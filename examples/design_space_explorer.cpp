@@ -1,0 +1,103 @@
+// Design-space exploration for a single application.
+//
+// Demonstrates the substrate APIs directly (no scheduler): run one kernel,
+// sweep its trace across the full Table-1 design space with the cache
+// simulator and Figure-4 energy model, then replay the Figure-5 tuning
+// heuristic and compare how much of the space it needed to find a
+// near-optimal configuration on each core size.
+//
+// Run:  ./build/examples/design_space_explorer [kernel-name]
+#include <iostream>
+#include <string>
+
+#include "core/tuning_heuristic.hpp"
+#include "energy/energy_model.hpp"
+#include "trace/kernel.hpp"
+#include "util/table_printer.hpp"
+#include "workload/characterization.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hetsched;
+
+  const std::string wanted = argc > 1 ? argv[1] : "matrix01";
+  const auto kernels = make_standard_kernels();
+  const Kernel* kernel = nullptr;
+  for (const auto& k : kernels) {
+    if (k->name() == wanted) kernel = k.get();
+  }
+  if (kernel == nullptr) {
+    std::cerr << "unknown kernel '" << wanted << "'; available:";
+    for (const auto& k : kernels) std::cerr << ' ' << k->name();
+    std::cerr << '\n';
+    return 1;
+  }
+
+  std::cout << "Executing '" << kernel->name() << "' ("
+            << to_string(kernel->domain()) << ")...\n";
+  const KernelExecution exec = execute(*kernel, /*data_seed=*/2024);
+  std::cout << "  " << exec.trace.size() << " memory references, "
+            << exec.counters.total_instructions() << " instructions, "
+            << exec.footprint_bytes << " B footprint\n\n";
+
+  const EnergyModel model{CactiModel{}};
+
+  // Exhaustive sweep (what the paper's "optimal" system pays for).
+  TablePrinter table({"config", "hits", "misses", "miss rate", "cycles",
+                      "dynamic nJ", "static nJ", "total nJ"});
+  const ConfigProfile* best = nullptr;
+  std::vector<ConfigProfile> profiles;
+  for (const CacheConfig& config : DesignSpace::all()) {
+    const CacheSimResult sim = simulate_trace(exec.trace, config);
+    profiles.push_back({config, sim.stats,
+                        model.evaluate(exec.counters, sim)});
+  }
+  for (const ConfigProfile& p : profiles) {
+    if (best == nullptr || p.energy.total() < best->energy.total()) {
+      best = &p;
+    }
+  }
+  for (const ConfigProfile& p : profiles) {
+    const bool is_best = &p == best;
+    table.add_row({p.config.name() + (is_best ? " *" : ""),
+                   std::to_string(p.cache.hits),
+                   std::to_string(p.cache.misses),
+                   TablePrinter::num(p.cache.miss_rate(), 4),
+                   std::to_string(p.energy.total_cycles),
+                   TablePrinter::num(p.energy.dynamic_energy.value(), 0),
+                   TablePrinter::num(p.energy.static_energy.value(), 0),
+                   TablePrinter::num(p.energy.total().value(), 0)});
+  }
+  table.print(std::cout);
+  std::cout << "* = lowest-energy configuration (the oracle best core has "
+            << best->config.size_bytes / 1024 << " KB)\n\n";
+
+  // The Figure-5 heuristic on each core size.
+  std::cout << "Figure-5 tuning heuristic per core size:\n";
+  ProfilingTable ptable(1);
+  for (std::uint32_t size : DesignSpace::sizes()) {
+    std::size_t executed = 0;
+    while (auto next = TuningHeuristic::next_config(ptable.entry(0), size)) {
+      const CacheSimResult sim = simulate_trace(exec.trace, *next);
+      const EnergyBreakdown energy = model.evaluate(exec.counters, sim);
+      ptable.record(0, *next,
+                    Observation{energy.total(), energy.dynamic_energy,
+                                energy.total_cycles});
+      ++executed;
+    }
+    const CacheConfig found =
+        TuningHeuristic::best_known(ptable.entry(0), size);
+    // Exhaustive optimum for this size, for comparison.
+    const ConfigProfile* size_best = nullptr;
+    for (const ConfigProfile& p : profiles) {
+      if (p.config.size_bytes != size) continue;
+      if (size_best == nullptr ||
+          p.energy.total() < size_best->energy.total()) {
+        size_best = &p;
+      }
+    }
+    std::cout << "  " << size / 1024 << "KB: converged to " << found.name()
+              << " after " << executed << " executions (exhaustive best: "
+              << size_best->config.name() << ")\n";
+  }
+  return 0;
+}

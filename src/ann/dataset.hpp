@@ -1,0 +1,73 @@
+// Supervised dataset handling: feature matrix + targets, deterministic
+// shuffling, and the paper's 70/15/15 train/validation/test split.
+#pragma once
+
+#include <vector>
+
+#include "ann/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace hetsched {
+
+struct Dataset {
+  Matrix features;  // n x d
+  Matrix targets;   // n x k (k = 1 for the cache-size regression)
+  // Optional per-row group key (e.g. which kernel produced the row);
+  // split_dataset_stratified uses it to represent every group in every
+  // partition. Empty means ungrouped.
+  std::vector<std::size_t> groups;
+
+  std::size_t size() const { return features.rows(); }
+  std::size_t feature_count() const { return features.cols(); }
+
+  bool consistent() const {
+    return features.rows() == targets.rows() &&
+           (groups.empty() || groups.size() == features.rows());
+  }
+
+  // Row subset (indices may repeat — used by bagging resamples).
+  Dataset subset(const std::vector<std::size_t>& indices) const;
+};
+
+struct DataSplit {
+  Dataset train;
+  Dataset validation;
+  Dataset test;
+};
+
+// Shuffles rows (deterministically via rng) then splits by the given
+// fractions; fractions must be positive and sum to <= 1, remainder goes to
+// test.
+DataSplit split_dataset(const Dataset& data, double train_fraction,
+                        double validation_fraction, Rng& rng);
+
+// Stratified variant: splits each group (data.groups) separately so every
+// group contributes rows to the training partition — without this, a
+// small suite can land all instances of one application outside the
+// training set and the predictor never learns that behaviour class.
+// Requires data.groups to be populated.
+DataSplit split_dataset_stratified(const Dataset& data,
+                                   double train_fraction,
+                                   double validation_fraction, Rng& rng);
+
+// Standardises features to zero mean / unit variance. Fitted on training
+// data, applied to everything — constant features pass through unchanged.
+class StandardScaler {
+ public:
+  void fit(const Matrix& features);
+  // Reconstructs a fitted scaler from saved moments (deserialisation).
+  static StandardScaler from_moments(std::vector<double> means,
+                                     std::vector<double> stddevs);
+  Matrix transform(const Matrix& features) const;
+  std::vector<double> transform_row(std::span<const double> row) const;
+
+  bool fitted() const { return !means_.empty(); }
+  const std::vector<double>& means() const { return means_; }
+  const std::vector<double>& stddevs() const { return stddevs_; }
+
+ private:
+  std::vector<double> means_;
+  std::vector<double> stddevs_;
+};
+
+}  // namespace hetsched

@@ -1,0 +1,85 @@
+#include "ann/feature_selection.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/contracts.hpp"
+#include "util/stats.hpp"
+
+namespace hetsched {
+namespace {
+
+std::vector<double> column(const Matrix& m, std::size_t c) {
+  std::vector<double> out(m.rows());
+  for (std::size_t r = 0; r < m.rows(); ++r) out[r] = m.at(r, c);
+  return out;
+}
+
+}  // namespace
+
+Dataset SelectedFeatures::project(const Dataset& data) const {
+  Dataset out;
+  out.features = Matrix(data.features.rows(), indices.size());
+  out.targets = data.targets;
+  for (std::size_t r = 0; r < data.features.rows(); ++r) {
+    for (std::size_t i = 0; i < indices.size(); ++i) {
+      out.features.at(r, i) = data.features.at(r, indices[i]);
+    }
+  }
+  return out;
+}
+
+std::vector<double> SelectedFeatures::project_row(
+    std::span<const double> row) const {
+  std::vector<double> out;
+  out.reserve(indices.size());
+  for (std::size_t idx : indices) {
+    HETSCHED_REQUIRE(idx < row.size());
+    out.push_back(row[idx]);
+  }
+  return out;
+}
+
+SelectedFeatures select_features(const Dataset& data,
+                                 const FeatureSelectionConfig& config) {
+  HETSCHED_REQUIRE(data.consistent());
+  HETSCHED_REQUIRE(data.size() >= 2);
+  HETSCHED_REQUIRE(data.targets.cols() == 1);
+  HETSCHED_REQUIRE(config.max_features > 0);
+
+  const std::size_t d = data.feature_count();
+  const std::vector<double> target = column(data.targets, 0);
+
+  SelectedFeatures result;
+  result.relevance.resize(d);
+  std::vector<std::vector<double>> columns(d);
+  for (std::size_t c = 0; c < d; ++c) {
+    columns[c] = column(data.features, c);
+    result.relevance[c] = std::abs(pearson(columns[c], target));
+  }
+
+  // Greedy: highest relevance first, skipping redundant candidates.
+  std::vector<std::size_t> order(d);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return result.relevance[a] > result.relevance[b];
+  });
+
+  for (std::size_t candidate : order) {
+    if (result.indices.size() >= config.max_features) break;
+    bool redundant = false;
+    for (std::size_t chosen : result.indices) {
+      if (std::abs(pearson(columns[candidate], columns[chosen])) >
+          config.redundancy_threshold) {
+        redundant = true;
+        break;
+      }
+    }
+    if (!redundant) result.indices.push_back(candidate);
+  }
+  HETSCHED_ASSERT(!result.indices.empty());
+  return result;
+}
+
+}  // namespace hetsched

@@ -1,0 +1,37 @@
+// Correlation-based feature selection.
+//
+// Section IV.D: from 18 execution statistics, feature selection keeps the
+// statistics most relevant to cache-size prediction. We rank features by
+// |Pearson correlation| with the target, drop near-duplicate features that
+// correlate highly with an already-selected one, and keep the top k (the
+// paper's final topology has 10 inputs).
+#pragma once
+
+#include <vector>
+
+#include "ann/dataset.hpp"
+
+namespace hetsched {
+
+struct FeatureSelectionConfig {
+  std::size_t max_features = 10;
+  // A candidate is dropped when |corr| with a selected feature exceeds
+  // this (redundancy filter).
+  double redundancy_threshold = 0.97;
+};
+
+struct SelectedFeatures {
+  // Indices into the original feature columns, in selection order.
+  std::vector<std::size_t> indices;
+  // |corr(feature, target)| for every original column.
+  std::vector<double> relevance;
+
+  // Projects a dataset/vector onto the selected columns.
+  Dataset project(const Dataset& data) const;
+  std::vector<double> project_row(std::span<const double> row) const;
+};
+
+SelectedFeatures select_features(const Dataset& data,
+                                 const FeatureSelectionConfig& config = {});
+
+}  // namespace hetsched

@@ -1,0 +1,81 @@
+// Dense row-major matrix for the ANN. The nets are tiny ({10,18,5,1}), so
+// clarity beats blocking/vectorisation tricks; the interface is the
+// minimal set backprop needs.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "util/contracts.hpp"
+#include "util/rng.hpp"
+
+namespace hetsched {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  static Matrix from_rows(
+      const std::vector<std::vector<double>>& rows);
+
+  // Xavier/Glorot-uniform initialisation for a (fan_in x fan_out) weight
+  // matrix.
+  static Matrix xavier(std::size_t fan_in, std::size_t fan_out, Rng& rng);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+
+  double& at(std::size_t r, std::size_t c) {
+    HETSCHED_ASSERT(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  double at(std::size_t r, std::size_t c) const {
+    HETSCHED_ASSERT(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  std::span<double> row(std::size_t r) {
+    HETSCHED_ASSERT(r < rows_);
+    return {data_.data() + r * cols_, cols_};
+  }
+  std::span<const double> row(std::size_t r) const {
+    HETSCHED_ASSERT(r < rows_);
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  std::span<double> flat() { return data_; }
+  std::span<const double> flat() const { return data_; }
+
+  // out = this * other
+  Matrix matmul(const Matrix& other) const;
+  // out = this^T * other
+  Matrix transposed_matmul(const Matrix& other) const;
+  // out = this * other^T
+  Matrix matmul_transposed(const Matrix& other) const;
+  Matrix transposed() const;
+
+  Matrix& add_inplace(const Matrix& other, double scale = 1.0);
+  Matrix& scale_inplace(double k);
+  // Adds `bias` (1 x cols) to every row.
+  Matrix& add_row_vector(const Matrix& bias);
+  // Elementwise product.
+  Matrix& hadamard_inplace(const Matrix& other);
+
+  // Column-wise sum → (1 x cols). Used for bias gradients.
+  Matrix column_sums() const;
+
+  double frobenius_norm() const;
+
+  friend bool operator==(const Matrix&, const Matrix&) = default;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace hetsched

@@ -1,0 +1,193 @@
+#include "cache/cache.hpp"
+
+#include "util/contracts.hpp"
+
+namespace hetsched {
+
+std::string_view to_string(ReplacementPolicy p) {
+  switch (p) {
+    case ReplacementPolicy::kLru: return "LRU";
+    case ReplacementPolicy::kFifo: return "FIFO";
+    case ReplacementPolicy::kRandom: return "random";
+  }
+  return "unknown";
+}
+
+std::string_view to_string(WritePolicy p) {
+  switch (p) {
+    case WritePolicy::kWriteBackAllocate: return "write-back";
+    case WritePolicy::kWriteThroughNoAllocate: return "write-through";
+  }
+  return "unknown";
+}
+
+Cache::Cache(const CacheConfig& config, ReplacementPolicy policy, Rng* rng)
+    : Cache(config, CacheOptions{.replacement = policy}, rng) {}
+
+Cache::Cache(const CacheConfig& config, const CacheOptions& options,
+             Rng* rng)
+    : config_(config), options_(options), rng_(rng) {
+  HETSCHED_REQUIRE(config.valid());
+  HETSCHED_REQUIRE(options.replacement != ReplacementPolicy::kRandom ||
+                   rng != nullptr);
+  lines_.resize(static_cast<std::size_t>(config.num_sets()) *
+                config.associativity);
+}
+
+Cache::AccessResult Cache::access(std::uint32_t address, std::uint8_t size,
+                                  bool is_write) {
+  HETSCHED_REQUIRE(size > 0);
+  const std::uint32_t first_line = config_.line_address(address);
+  const std::uint32_t last_line =
+      config_.line_address(address + size - 1u);
+  AccessResult combined;
+  combined.hit = true;
+  for (std::uint32_t la = first_line; la <= last_line; ++la) {
+    const AccessResult r = access_line(la, is_write);
+    combined.hit = combined.hit && r.hit;
+    combined.writeback = combined.writeback || r.writeback;
+  }
+  return combined;
+}
+
+bool Cache::fill_line(std::uint32_t line_addr, bool dirty) {
+  const std::uint32_t set = line_addr % config_.num_sets();
+  const std::uint32_t tag = line_addr / config_.num_sets();
+  Line* const set_base = &lines_[static_cast<std::size_t>(set) *
+                                 config_.associativity];
+  const std::size_t victim = victim_way(set);
+  Line& line = set_base[victim];
+  bool writeback = false;
+  if (line.valid) {
+    ++stats_.evictions;
+    if (line.dirty) {
+      ++stats_.writebacks;
+      writeback = true;
+    }
+  }
+  line.valid = true;
+  line.tag = tag;
+  line.dirty = dirty;
+  line.stamp = tick_;  // both LRU use-time and FIFO fill-time start here
+  return writeback;
+}
+
+bool Cache::prefetch_line(std::uint32_t line_addr) {
+  // Skip if already resident (no replacement disturbance).
+  const std::uint32_t set = line_addr % config_.num_sets();
+  const std::uint32_t tag = line_addr / config_.num_sets();
+  Line* const set_base = &lines_[static_cast<std::size_t>(set) *
+                                 config_.associativity];
+  for (std::uint32_t w = 0; w < config_.associativity; ++w) {
+    if (set_base[w].valid && set_base[w].tag == tag) return false;
+  }
+  ++stats_.prefetch_fills;
+  seen_lines_.insert(line_addr);
+  return fill_line(line_addr, false);
+}
+
+Cache::AccessResult Cache::access_line(std::uint32_t line_addr,
+                                       bool is_write) {
+  ++tick_;
+  ++stats_.accesses;
+
+  const bool write_through =
+      options_.write == WritePolicy::kWriteThroughNoAllocate;
+  if (write_through && is_write) {
+    // Every store is forwarded to the next level regardless of hit/miss.
+    ++stats_.writethroughs;
+  }
+
+  const std::uint32_t set = line_addr % config_.num_sets();
+  const std::uint32_t tag = line_addr / config_.num_sets();
+  Line* const set_base = &lines_[static_cast<std::size_t>(set) *
+                                 config_.associativity];
+
+  for (std::uint32_t w = 0; w < config_.associativity; ++w) {
+    Line& line = set_base[w];
+    if (line.valid && line.tag == tag) {
+      ++stats_.hits;
+      if (options_.replacement == ReplacementPolicy::kLru) {
+        line.stamp = tick_;
+      }
+      // Write-through lines never become dirty (memory is up to date).
+      line.dirty = line.dirty || (is_write && !write_through);
+      return {true, false};
+    }
+  }
+
+  // Miss.
+  ++stats_.misses;
+  if (is_write) {
+    ++stats_.write_misses;
+  } else {
+    ++stats_.read_misses;
+  }
+  if (seen_lines_.insert(line_addr).second) {
+    ++stats_.compulsory_misses;
+  }
+
+  // No-allocate: a write miss under write-through bypasses the cache.
+  if (write_through && is_write) {
+    return {false, false};
+  }
+
+  bool writeback = fill_line(line_addr, is_write && !write_through);
+
+  if (options_.next_line_prefetch) {
+    // Demand miss triggers a next-line prefetch (wrapping within the
+    // 32-bit line-address space).
+    writeback = prefetch_line(line_addr + 1) || writeback;
+  }
+  return {false, writeback};
+}
+
+std::size_t Cache::victim_way(std::uint32_t set) const {
+  const Line* const set_base = &lines_[static_cast<std::size_t>(set) *
+                                       config_.associativity];
+  // Prefer an invalid way.
+  for (std::uint32_t w = 0; w < config_.associativity; ++w) {
+    if (!set_base[w].valid) return w;
+  }
+  if (options_.replacement == ReplacementPolicy::kRandom) {
+    return static_cast<std::size_t>(rng_->below(config_.associativity));
+  }
+  // LRU and FIFO both evict the minimum stamp (use-time vs fill-time).
+  std::size_t victim = 0;
+  for (std::uint32_t w = 1; w < config_.associativity; ++w) {
+    if (set_base[w].stamp < set_base[victim].stamp) victim = w;
+  }
+  return victim;
+}
+
+std::uint32_t Cache::dirty_lines() const {
+  std::uint32_t n = 0;
+  for (const Line& line : lines_) {
+    if (line.valid && line.dirty) ++n;
+  }
+  return n;
+}
+
+std::uint32_t Cache::flush() {
+  std::uint32_t written_back = 0;
+  for (Line& line : lines_) {
+    if (line.valid && line.dirty) {
+      ++written_back;
+      ++stats_.writebacks;
+    }
+    line = Line{};
+  }
+  return written_back;
+}
+
+CacheSimResult simulate_trace(const MemTrace& trace,
+                              const CacheConfig& config,
+                              ReplacementPolicy policy, Rng* rng) {
+  Cache cache(config, policy, rng);
+  for (const MemRef& ref : trace) {
+    cache.access(ref);
+  }
+  return CacheSimResult{config, cache.stats()};
+}
+
+}  // namespace hetsched

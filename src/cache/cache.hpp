@@ -1,0 +1,137 @@
+// Set-associative cache simulator.
+//
+// Trace-driven functional model of one cache level: tag/valid/dirty state
+// per line, LRU / FIFO / random replacement, write-back + write-allocate
+// policy (the organisation Zhang's configurable cache [30] and the paper's
+// energy model assume). Produces the access/hit/miss/writeback counts the
+// Figure-4 energy model consumes.
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "cache/cache_config.hpp"
+#include "trace/memref.hpp"
+#include "util/rng.hpp"
+
+namespace hetsched {
+
+enum class ReplacementPolicy { kLru, kFifo, kRandom };
+
+std::string_view to_string(ReplacementPolicy p);
+
+// Write handling. The paper's configurable cache (and Figure 4) assumes
+// write-back + write-allocate; write-through/no-allocate is provided for
+// architecture studies.
+enum class WritePolicy { kWriteBackAllocate, kWriteThroughNoAllocate };
+
+std::string_view to_string(WritePolicy p);
+
+struct CacheOptions {
+  ReplacementPolicy replacement = ReplacementPolicy::kLru;
+  WritePolicy write = WritePolicy::kWriteBackAllocate;
+  // Fetch line+1 into the cache on every demand miss.
+  bool next_line_prefetch = false;
+};
+
+struct CacheStats {
+  std::uint64_t accesses = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t read_misses = 0;
+  std::uint64_t write_misses = 0;
+  std::uint64_t compulsory_misses = 0;  // first touch of a line address
+  std::uint64_t evictions = 0;
+  std::uint64_t writebacks = 0;  // dirty evictions (+ dirty flushes)
+  // Write-through stores forwarded to the next level.
+  std::uint64_t writethroughs = 0;
+  // Prefetch line fills issued (next-line prefetcher).
+  std::uint64_t prefetch_fills = 0;
+
+  double miss_rate() const {
+    return accesses == 0 ? 0.0
+                         : static_cast<double>(misses) /
+                               static_cast<double>(accesses);
+  }
+};
+
+class Cache {
+ public:
+  struct AccessResult {
+    bool hit = false;
+    bool writeback = false;  // a dirty line was evicted by this access
+  };
+
+  // `rng` is only consulted for kRandom replacement; it may be null for
+  // the deterministic policies.
+  explicit Cache(const CacheConfig& config,
+                 ReplacementPolicy policy = ReplacementPolicy::kLru,
+                 Rng* rng = nullptr);
+  // Full-options constructor (write policy, prefetcher).
+  Cache(const CacheConfig& config, const CacheOptions& options,
+        Rng* rng = nullptr);
+
+  const CacheConfig& config() const { return config_; }
+  ReplacementPolicy policy() const { return options_.replacement; }
+  const CacheOptions& options() const { return options_; }
+  const CacheStats& stats() const { return stats_; }
+
+  // Single byte-addressed access of `size` bytes; accesses every line the
+  // range touches (element-aligned kernel accesses touch exactly one).
+  AccessResult access(std::uint32_t address, std::uint8_t size,
+                      bool is_write);
+  AccessResult access(const MemRef& ref) {
+    return access(ref.address, ref.size, ref.is_write);
+  }
+
+  // Number of currently dirty lines (what a reconfiguration must flush).
+  std::uint32_t dirty_lines() const;
+
+  // Invalidates everything; returns the number of dirty lines written back
+  // (also added to stats().writebacks).
+  std::uint32_t flush();
+
+  void reset_stats() { stats_ = CacheStats{}; }
+
+ private:
+  struct Line {
+    std::uint32_t tag = 0;
+    bool valid = false;
+    bool dirty = false;
+    std::uint64_t stamp = 0;  // LRU: last use; FIFO: fill time
+  };
+
+  // One line-granular lookup; returns hit/writeback for that line.
+  AccessResult access_line(std::uint32_t line_addr, bool is_write);
+  // Allocates `line_addr` without counting an access (prefetch fill);
+  // returns true if a dirty line was written back.
+  bool prefetch_line(std::uint32_t line_addr);
+  // Fill helper shared by demand misses and prefetches.
+  bool fill_line(std::uint32_t line_addr, bool dirty);
+
+  std::size_t victim_way(std::uint32_t set) const;
+
+  CacheConfig config_;
+  CacheOptions options_;
+  Rng* rng_;
+  std::vector<Line> lines_;  // num_sets * associativity, set-major
+  std::uint64_t tick_ = 0;
+  CacheStats stats_;
+  std::unordered_set<std::uint32_t> seen_lines_;  // for compulsory misses
+};
+
+// Result of simulating one full trace against one configuration.
+struct CacheSimResult {
+  CacheConfig config;
+  CacheStats stats;
+};
+
+// Runs `trace` through a fresh cache in `config`. Deterministic for the
+// LRU/FIFO policies; for kRandom pass a seeded rng.
+CacheSimResult simulate_trace(const MemTrace& trace,
+                              const CacheConfig& config,
+                              ReplacementPolicy policy = ReplacementPolicy::kLru,
+                              Rng* rng = nullptr);
+
+}  // namespace hetsched

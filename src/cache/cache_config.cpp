@@ -1,0 +1,96 @@
+#include "cache/cache_config.hpp"
+
+#include <cstdio>
+
+#include "util/contracts.hpp"
+
+namespace hetsched {
+namespace {
+
+bool is_pow2(std::uint32_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+}  // namespace
+
+bool CacheConfig::valid() const {
+  if (!is_pow2(size_bytes) || !is_pow2(associativity) || !is_pow2(line_bytes))
+    return false;
+  if (line_bytes < 4 || line_bytes > size_bytes) return false;
+  if (associativity > num_lines()) return false;
+  return num_lines() % associativity == 0;
+}
+
+std::string CacheConfig::name() const {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%uKB_%uW_%uB", size_bytes / 1024,
+                associativity, line_bytes);
+  return buf;
+}
+
+std::optional<CacheConfig> CacheConfig::parse(std::string_view name) {
+  unsigned kb = 0, ways = 0, line = 0;
+  char tail = 0;
+  // snprintf-style format of name(): "<kb>KB_<w>W_<line>B"
+  const std::string owned(name);
+  const int matched =
+      std::sscanf(owned.c_str(), "%uKB_%uW_%uB%c", &kb, &ways, &line, &tail);
+  if (matched != 3) return std::nullopt;
+  CacheConfig config{kb * 1024, ways, line};
+  if (!config.valid()) return std::nullopt;
+  return config;
+}
+
+const std::vector<CacheConfig>& DesignSpace::all() {
+  static const std::vector<CacheConfig> kAll = [] {
+    std::vector<CacheConfig> configs;
+    for (std::uint32_t size : sizes()) {
+      for (std::uint32_t ways : associativities_for(size)) {
+        for (std::uint32_t line : line_sizes()) {
+          configs.push_back(CacheConfig{size, ways, line});
+          HETSCHED_ASSERT(configs.back().valid());
+        }
+      }
+    }
+    HETSCHED_ASSERT(configs.size() == 18);
+    return configs;
+  }();
+  return kAll;
+}
+
+const std::vector<std::uint32_t>& DesignSpace::sizes() {
+  static const std::vector<std::uint32_t> kSizes = {2048, 4096, 8192};
+  return kSizes;
+}
+
+std::vector<std::uint32_t> DesignSpace::associativities_for(
+    std::uint32_t size_bytes) {
+  switch (size_bytes) {
+    case 2048: return {1};
+    case 4096: return {1, 2};
+    case 8192: return {1, 2, 4};
+    default: return {};
+  }
+}
+
+const std::vector<std::uint32_t>& DesignSpace::line_sizes() {
+  static const std::vector<std::uint32_t> kLines = {16, 32, 64};
+  return kLines;
+}
+
+std::vector<CacheConfig> DesignSpace::configs_for_size(
+    std::uint32_t size_bytes) {
+  std::vector<CacheConfig> configs;
+  for (const CacheConfig& c : all()) {
+    if (c.size_bytes == size_bytes) configs.push_back(c);
+  }
+  return configs;
+}
+
+std::optional<std::size_t> DesignSpace::index_of(const CacheConfig& config) {
+  const auto& configs = all();
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    if (configs[i] == config) return i;
+  }
+  return std::nullopt;
+}
+
+}  // namespace hetsched

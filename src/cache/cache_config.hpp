@@ -1,0 +1,75 @@
+// Cache configuration model and the Table-1 design space.
+//
+// The paper's quad-core offers a subsetted configurable-L1 design space
+// (Table 1): total size 2/4/8 KB, associativity 1/2/4 ways bounded by the
+// size, line size 16/32/64 B — 18 configurations in all. Each core fixes
+// the size (2, 4, 8, 8 KB) and can tune associativity and line size.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace hetsched {
+
+struct CacheConfig {
+  std::uint32_t size_bytes = 8192;
+  std::uint32_t associativity = 4;
+  std::uint32_t line_bytes = 64;
+
+  std::uint32_t num_lines() const { return size_bytes / line_bytes; }
+  std::uint32_t num_sets() const { return num_lines() / associativity; }
+  std::uint32_t size_kb() const { return size_bytes / 1024; }
+
+  // True if sizes are powers of two and consistent (at least one set).
+  bool valid() const;
+
+  // Canonical name, e.g. "8KB_4W_64B" (Table 1 notation).
+  std::string name() const;
+  // Parses the canonical notation; nullopt on malformed input.
+  static std::optional<CacheConfig> parse(std::string_view name);
+
+  // Address decomposition.
+  std::uint32_t line_address(std::uint32_t addr) const {
+    return addr / line_bytes;
+  }
+  std::uint32_t set_index(std::uint32_t addr) const {
+    return line_address(addr) % num_sets();
+  }
+  std::uint32_t tag(std::uint32_t addr) const {
+    return line_address(addr) / num_sets();
+  }
+
+  friend bool operator==(const CacheConfig&, const CacheConfig&) = default;
+};
+
+// The Table-1 design space and the per-core subsets derived from it.
+class DesignSpace {
+ public:
+  // The base/profiling configuration (largest, most associative, widest).
+  static CacheConfig base_config() { return {8192, 4, 64}; }
+
+  // All 18 configurations of Table 1, in a fixed canonical order
+  // (size-major, then associativity, then line size).
+  static const std::vector<CacheConfig>& all();
+
+  // Cache sizes present in the space: {2048, 4096, 8192}.
+  static const std::vector<std::uint32_t>& sizes();
+
+  // Associativities Table 1 allows for a size (2KB:{1}, 4KB:{1,2},
+  // 8KB:{1,2,4}).
+  static std::vector<std::uint32_t> associativities_for(
+      std::uint32_t size_bytes);
+
+  // Line sizes (same for every size): {16, 32, 64}.
+  static const std::vector<std::uint32_t>& line_sizes();
+
+  // The per-core tunable subset: every Table-1 config with this size.
+  static std::vector<CacheConfig> configs_for_size(std::uint32_t size_bytes);
+
+  // Index of `config` in all(); nullopt if not a Table-1 configuration.
+  static std::optional<std::size_t> index_of(const CacheConfig& config);
+};
+
+}  // namespace hetsched

@@ -1,0 +1,29 @@
+#include "cache/cache_tuner.hpp"
+
+#include "util/contracts.hpp"
+
+namespace hetsched {
+
+CacheTuner::CacheTuner(std::uint32_t fixed_size_bytes,
+                       const CacheConfig& initial, ReplacementPolicy policy)
+    : fixed_size_bytes_(fixed_size_bytes), policy_(policy) {
+  HETSCHED_REQUIRE(initial.valid());
+  HETSCHED_REQUIRE(initial.size_bytes == fixed_size_bytes);
+  cache_ = std::make_unique<Cache>(initial, policy);
+}
+
+ReconfigureCost CacheTuner::reconfigure(const CacheConfig& next) {
+  HETSCHED_REQUIRE(next.valid());
+  HETSCHED_REQUIRE(next.size_bytes == fixed_size_bytes_);
+  if (next == cache_->config()) return {};
+
+  ReconfigureCost cost;
+  cost.flushed_writebacks = cache_->dirty_lines();
+  cost.invalidated_lines = cache_->config().num_lines();
+  cache_->flush();
+  cache_ = std::make_unique<Cache>(next, policy_);
+  ++reconfigurations_;
+  return cost;
+}
+
+}  // namespace hetsched

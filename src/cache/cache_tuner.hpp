@@ -1,0 +1,45 @@
+// Cache tuner hardware model (Figure 1).
+//
+// Each core carries a tuner that can reconfigure its L1's associativity and
+// line size within the core's fixed total size. Reconfiguration is not
+// free: dirty lines must be written back and the cache starts cold, so the
+// tuner reports the flush traffic for energy/cycle accounting.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "cache/cache.hpp"
+
+namespace hetsched {
+
+struct ReconfigureCost {
+  std::uint32_t flushed_writebacks = 0;  // dirty lines written back
+  std::uint32_t invalidated_lines = 0;   // lines lost to the cold start
+};
+
+class CacheTuner {
+ public:
+  // The tuner is bound to a core's fixed cache size; every configuration
+  // it installs must keep that size.
+  CacheTuner(std::uint32_t fixed_size_bytes, const CacheConfig& initial,
+             ReplacementPolicy policy = ReplacementPolicy::kLru);
+
+  std::uint32_t fixed_size_bytes() const { return fixed_size_bytes_; }
+  Cache& cache() { return *cache_; }
+  const Cache& cache() const { return *cache_; }
+
+  // Installs `next` (must match the fixed size and be valid). Returns the
+  // flush cost. A no-op reconfigure (same config) costs nothing.
+  ReconfigureCost reconfigure(const CacheConfig& next);
+
+  std::uint32_t reconfigurations() const { return reconfigurations_; }
+
+ private:
+  std::uint32_t fixed_size_bytes_;
+  ReplacementPolicy policy_;
+  std::unique_ptr<Cache> cache_;
+  std::uint32_t reconfigurations_ = 0;
+};
+
+}  // namespace hetsched

@@ -1,0 +1,55 @@
+// Two-level private cache hierarchy (Figure 1): configurable L1 backed by
+// a fixed, non-configurable private L2.
+//
+// The paper's Figure-4 energy model accounts L1 misses directly as
+// off-chip accesses (its L2 is not in the energy equations); the hierarchy
+// model here completes the Figure-1 architecture and powers the
+// "additional cache levels" future-work extension bench.
+#pragma once
+
+#include "cache/cache.hpp"
+
+namespace hetsched {
+
+struct HierarchyStats {
+  CacheStats l1;
+  CacheStats l2;
+
+  // Fraction of L1 misses also missing in L2 (off-chip accesses).
+  double global_miss_rate() const {
+    return l1.accesses == 0 ? 0.0
+                            : static_cast<double>(l2.misses) /
+                                  static_cast<double>(l1.accesses);
+  }
+};
+
+class CacheHierarchy {
+ public:
+  // Default L2 follows embedded practice: 32 KB, 4-way, matching 64 B lines.
+  static CacheConfig default_l2_config() { return {32768, 4, 64}; }
+
+  CacheHierarchy(const CacheConfig& l1_config,
+                 const CacheConfig& l2_config = default_l2_config(),
+                 ReplacementPolicy policy = ReplacementPolicy::kLru,
+                 Rng* rng = nullptr);
+
+  // Accesses L1; on an L1 miss, fetches the line through L2. L1 dirty
+  // evictions are written back into L2.
+  void access(const MemRef& ref);
+
+  HierarchyStats stats() const { return {l1_.stats(), l2_.stats()}; }
+  const Cache& l1() const { return l1_; }
+  const Cache& l2() const { return l2_; }
+
+ private:
+  Cache l1_;
+  Cache l2_;
+};
+
+// Simulates `trace` through a fresh two-level hierarchy.
+HierarchyStats simulate_hierarchy(const MemTrace& trace,
+                                  const CacheConfig& l1_config,
+                                  const CacheConfig& l2_config =
+                                      CacheHierarchy::default_l2_config());
+
+}  // namespace hetsched

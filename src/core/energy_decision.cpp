@@ -1,0 +1,39 @@
+#include "core/energy_decision.hpp"
+
+#include "util/contracts.hpp"
+
+namespace hetsched {
+
+EnergyAdvantageResult evaluate_energy_advantage(
+    const EnergyAdvantageInput& input) {
+  EnergyAdvantageResult result;
+  result.stall_cost = input.energy_on_best;
+  if (input.candidates.empty()) {
+    // Nothing to run on: stalling is the only option.
+    return result;
+  }
+
+  // Evaluate every candidate; remember the one with the largest margin
+  // (stall cost − run cost).
+  bool have_best = false;
+  double best_margin = 0.0;
+  for (const auto& candidate : input.candidates) {
+    const NanoJoules stall_cost =
+        input.energy_on_best +
+        candidate.idle_energy_per_cycle *
+            static_cast<double>(input.wait_cycles);
+    const double margin =
+        (stall_cost - candidate.run_energy).value();
+    if (!have_best || margin > best_margin) {
+      have_best = true;
+      best_margin = margin;
+      result.chosen_core = candidate.core;
+      result.stall_cost = stall_cost;
+      result.run_cost = candidate.run_energy;
+    }
+  }
+  result.run_on_non_best = best_margin > 0.0;
+  return result;
+}
+
+}  // namespace hetsched

@@ -1,0 +1,58 @@
+// Energy-advantageous scheduling decision (Section IV.E).
+//
+// When application B's best core C1 is busy running A, the scheduler
+// compares
+//
+//   stall:  Energy_C1^A + Energy_C1^B + IdleEnergy_C2
+//   run:    Energy_C1^A + Energy_C2^B
+//
+// Energy_C1^A (the remainder of A on C1) appears on both sides and
+// cancels, so the effective comparison per idle candidate core C2 is
+//
+//   Energy_C1^B + idle_rate(C2) * wait_cycles  >  Energy_C2^B
+//
+// where wait_cycles is A's remaining execution time (total cycles minus
+// cycles already executed — here read off the core's completion time) and
+// IdleEnergy_C2 is the idle energy C2 would burn over that wait. If the
+// stall side is strictly greater for some candidate, running B on the
+// best such candidate is energy advantageous; otherwise B stalls and is
+// re-enqueued.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace hetsched {
+
+struct EnergyAdvantageInput {
+  // Energy of B executing in its best configuration on its best core C1.
+  NanoJoules energy_on_best;
+  // Remaining cycles of the occupant of the soonest-free best core.
+  Cycles wait_cycles = 0;
+
+  struct Candidate {
+    std::size_t core = 0;
+    // Energy of B in the best-known configuration of this core's size.
+    NanoJoules run_energy;
+    // Idle energy per cycle of this core (current configuration).
+    NanoJoules idle_energy_per_cycle;
+  };
+  // Idle cores whose best configuration for B is known.
+  std::vector<Candidate> candidates;
+};
+
+struct EnergyAdvantageResult {
+  // True: schedule B on `chosen_core` now; false: stall for the best core.
+  bool run_on_non_best = false;
+  std::size_t chosen_core = 0;
+  // Costs for the winning candidate (diagnostics/tests).
+  NanoJoules stall_cost;
+  NanoJoules run_cost;
+};
+
+EnergyAdvantageResult evaluate_energy_advantage(
+    const EnergyAdvantageInput& input);
+
+}  // namespace hetsched

@@ -1,0 +1,93 @@
+#include "core/model_predictor.hpp"
+
+#include "ann/metrics.hpp"
+#include "util/contracts.hpp"
+#include "workload/dataset_builder.hpp"
+
+namespace hetsched {
+namespace {
+
+Matrix predict_matrix(const Regressor& model, const Matrix& features) {
+  Matrix out(features.rows(), 1);
+  for (std::size_t r = 0; r < features.rows(); ++r) {
+    out.at(r, 0) = model.predict(features.row(r));
+  }
+  return out;
+}
+
+}  // namespace
+
+ModelSizePredictor::ModelSizePredictor(const Dataset& data,
+                                       std::unique_ptr<Regressor> model,
+                                       const PredictorConfig& config,
+                                       Rng& rng)
+    : model_(std::move(model)) {
+  HETSCHED_REQUIRE(model_ != nullptr);
+  HETSCHED_REQUIRE(data.consistent());
+  HETSCHED_REQUIRE(data.size() >= 4);
+  HETSCHED_REQUIRE(data.feature_count() == kNumExecutionStatistics);
+
+  report_.dataset_rows = data.size();
+
+  DataSplit split =
+      data.groups.empty()
+          ? split_dataset(data, config.train_fraction,
+                          config.validation_fraction, rng)
+          : split_dataset_stratified(data, config.train_fraction,
+                                     config.validation_fraction, rng);
+
+  selected_ = select_features(split.train, config.selection);
+  report_.selected_features = selected_.indices.size();
+
+  Dataset train = selected_.project(split.train);
+  Dataset validation = selected_.project(split.validation);
+  Dataset test = selected_.project(split.test);
+
+  scaler_.fit(train.features);
+  train.features = scaler_.transform(train.features);
+  if (validation.size() > 0) {
+    validation.features = scaler_.transform(validation.features);
+  }
+  if (test.size() > 0) {
+    test.features = scaler_.transform(test.features);
+  }
+
+  model_->fit(train, validation, rng);
+
+  report_.train_rows = train.size();
+  report_.validation_rows = validation.size();
+  report_.test_rows = test.size();
+  report_.train_accuracy =
+      snapped_accuracy(predict_matrix(*model_, train.features),
+                       train.targets, size_target_classes());
+  if (test.size() > 0) {
+    const Matrix predictions = predict_matrix(*model_, test.features);
+    report_.test_mse = mean_squared_error(predictions, test.targets);
+    report_.test_accuracy = snapped_accuracy(predictions, test.targets,
+                                             size_target_classes());
+  }
+}
+
+double ModelSizePredictor::predict_raw(
+    const ExecutionStatistics& stats) const {
+  auto raw = stats.to_vector();
+  for (std::size_t c = 0; c < raw.size(); ++c) {
+    raw[c] = transform_statistic(c, raw[c]);
+  }
+  const std::vector<double> projected = selected_.project_row(raw);
+  const std::vector<double> scaled = scaler_.transform_row(projected);
+  return model_->predict(scaled);
+}
+
+std::uint32_t ModelSizePredictor::predict_size_bytes(
+    const ExecutionStatistics& stats) const {
+  return target_to_size(predict_raw(stats));
+}
+
+std::uint32_t ModelSizePredictor::predict(
+    std::size_t benchmark_id, const ExecutionStatistics& stats) const {
+  (void)benchmark_id;
+  return predict_size_bytes(stats);
+}
+
+}  // namespace hetsched

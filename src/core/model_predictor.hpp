@@ -1,0 +1,38 @@
+// Best-size predictor over any Regressor model.
+//
+// Runs the same pipeline as the paper's ANN predictor — stratified
+// 70/15/15 split, correlation feature selection, standardisation, model
+// fit, snap-to-{2,4,8}KB — with a pluggable regression model, enabling
+// the future-work comparison of machine-learning techniques.
+#pragma once
+
+#include <memory>
+
+#include "ann/regressor.hpp"
+#include "core/predictor.hpp"
+
+namespace hetsched {
+
+class ModelSizePredictor final : public SizePredictor {
+ public:
+  // Takes ownership of `model`; `config` supplies the split fractions and
+  // feature-selection settings (its MLP-specific fields are ignored).
+  ModelSizePredictor(const Dataset& data, std::unique_ptr<Regressor> model,
+                     const PredictorConfig& config, Rng& rng);
+
+  std::uint32_t predict(std::size_t benchmark_id,
+                        const ExecutionStatistics& stats) const override;
+  std::uint32_t predict_size_bytes(const ExecutionStatistics& stats) const;
+  double predict_raw(const ExecutionStatistics& stats) const;
+
+  const PredictorReport& report() const { return report_; }
+  const Regressor& model() const { return *model_; }
+
+ private:
+  std::unique_ptr<Regressor> model_;
+  SelectedFeatures selected_;
+  StandardScaler scaler_;
+  PredictorReport report_;
+};
+
+}  // namespace hetsched

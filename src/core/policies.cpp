@@ -1,0 +1,246 @@
+#include "core/policies.hpp"
+
+#include <algorithm>
+
+#include "core/energy_decision.hpp"
+#include "core/tuning_heuristic.hpp"
+#include "util/contracts.hpp"
+
+namespace hetsched {
+namespace policy_detail {
+
+std::optional<Decision> profiling_decision(const Job& job,
+                                           SystemView& view) {
+  const ProfilingTable::Entry& entry = view.table().entry(job.benchmark_id);
+  if (entry.profiled) return std::nullopt;
+
+  // Core 4 is the primary profiling core; Core 3 the secondary
+  // (Section III). Profiling executes the base configuration.
+  const std::size_t primary = view.system().primary_profiling_core;
+  const std::size_t secondary = view.system().secondary_profiling_core;
+  for (std::size_t core : {primary, secondary}) {
+    if (!view.core(core).busy && view.core(core).spec.can_profile) {
+      return Decision::run(core, DesignSpace::base_config(),
+                           ExecutionKind::kProfiling);
+    }
+  }
+  // No profiling core free: wait for one.
+  return Decision::stall();
+}
+
+Decision run_with_heuristic(std::size_t core, std::uint32_t size_bytes,
+                            const ProfilingTable::Entry& entry) {
+  if (TuningHeuristic::complete(entry, size_bytes)) {
+    return Decision::run(core, TuningHeuristic::best_known(entry, size_bytes),
+                         ExecutionKind::kNormal);
+  }
+  const auto next = TuningHeuristic::next_config(entry, size_bytes);
+  HETSCHED_ASSERT(next.has_value());
+  return Decision::run(core, *next, ExecutionKind::kTuning);
+}
+
+std::uint32_t clamp_to_available(const SystemView& view,
+                                 std::uint32_t size_bytes) {
+  std::uint32_t best = 0;
+  std::uint64_t best_distance = ~0ULL;
+  for (std::size_t i = 0; i < view.core_count(); ++i) {
+    const std::uint32_t size = view.core(i).spec.cache_size_bytes;
+    const std::uint64_t distance =
+        size >= size_bytes ? size - size_bytes : size_bytes - size;
+    // Nearest wins; on a tie prefer the larger size (never slower).
+    if (distance < best_distance ||
+        (distance == best_distance && size > best)) {
+      best_distance = distance;
+      best = size;
+    }
+  }
+  HETSCHED_ASSERT(best != 0);
+  return best;
+}
+
+}  // namespace policy_detail
+
+using policy_detail::profiling_decision;
+using policy_detail::run_with_heuristic;
+
+// --------------------------------------------------------------------
+// Base system: every core offers 8KB_4W_64B; first idle core runs the job
+// in that fixed configuration.
+Decision BasePolicy::decide(const Job& job, SystemView& view) {
+  (void)job;
+  for (std::size_t i = 0; i < view.core_count(); ++i) {
+    if (!view.core(i).busy) {
+      return Decision::run(i, view.core(i).spec.initial_config,
+                           ExecutionKind::kNormal);
+    }
+  }
+  HETSCHED_ASSERT(false && "decide() called with no idle core");
+  return Decision::stall();
+}
+
+// --------------------------------------------------------------------
+// Optimal system: exhaustive exploration, never stalls after profiling.
+Decision OptimalPolicy::decide(const Job& job, SystemView& view) {
+  if (const auto profiling = profiling_decision(job, view)) {
+    return *profiling;
+  }
+  const ProfilingTable::Entry& entry = view.table().entry(job.benchmark_id);
+  const std::vector<std::size_t> idle = view.idle_cores();
+  HETSCHED_ASSERT(!idle.empty());
+
+  // While any configuration anywhere is unexplored, use executions on
+  // idle cores to advance the exhaustive search: prefer an idle core
+  // whose size still has unexplored configurations.
+  if (!entry.fully_explored()) {
+    for (std::size_t core : idle) {
+      const auto next = entry.next_unexplored_for_size(
+          view.core(core).spec.cache_size_bytes);
+      if (next.has_value()) {
+        return Decision::run(core, *next, ExecutionKind::kTuning);
+      }
+    }
+    // Every idle core's size is already fully explored: run the best
+    // observed configuration for the first idle core's size.
+    const std::size_t core = idle.front();
+    const auto best = entry.best_observed_for_size(
+        view.core(core).spec.cache_size_bytes);
+    HETSCHED_ASSERT(best.has_value());
+    return Decision::run(core, *best, ExecutionKind::kNormal);
+  }
+
+  // Fully explored: the best configuration (and hence best core) is
+  // known. Prefer an idle best core; otherwise any idle core with its
+  // size's best configuration — the optimal system never stalls.
+  const auto best_overall = entry.best_observed();
+  HETSCHED_ASSERT(best_overall.has_value());
+  for (std::size_t core : idle) {
+    if (view.core(core).spec.cache_size_bytes ==
+        best_overall->size_bytes) {
+      return Decision::run(core, *best_overall, ExecutionKind::kNormal);
+    }
+  }
+  const std::size_t core = idle.front();
+  const auto best = entry.best_observed_for_size(
+      view.core(core).spec.cache_size_bytes);
+  HETSCHED_ASSERT(best.has_value());
+  return Decision::run(core, *best, ExecutionKind::kNormal);
+}
+
+// --------------------------------------------------------------------
+// Energy-centric system: ANN prediction, but jobs only ever execute on a
+// best-size core; anything else stalls.
+void EnergyCentricPolicy::on_profiled(std::size_t benchmark_id,
+                                      SystemView& view) {
+  ProfilingTable::Entry& entry = view.table().entry(benchmark_id);
+  entry.predicted_best_size_bytes = policy_detail::clamp_to_available(
+      view, predictor_->predict(benchmark_id, entry.statistics));
+}
+
+Decision EnergyCentricPolicy::decide(const Job& job, SystemView& view) {
+  if (const auto profiling = profiling_decision(job, view)) {
+    return *profiling;
+  }
+  const ProfilingTable::Entry& entry = view.table().entry(job.benchmark_id);
+  HETSCHED_ASSERT(entry.predicted_best_size_bytes.has_value());
+  const std::uint32_t best_size = *entry.predicted_best_size_bytes;
+
+  for (std::size_t core : view.system().cores_with_size(best_size)) {
+    if (!view.core(core).busy) {
+      return run_with_heuristic(core, best_size, entry);
+    }
+  }
+  return Decision::stall();
+}
+
+// --------------------------------------------------------------------
+// Proposed system (Figure 2).
+void ProposedPolicy::on_profiled(std::size_t benchmark_id,
+                                 SystemView& view) {
+  ProfilingTable::Entry& entry = view.table().entry(benchmark_id);
+  entry.predicted_best_size_bytes = policy_detail::clamp_to_available(
+      view, predictor_->predict(benchmark_id, entry.statistics));
+}
+
+Decision ProposedPolicy::decide(const Job& job, SystemView& view) {
+  if (const auto profiling = profiling_decision(job, view)) {
+    return *profiling;
+  }
+  const ProfilingTable::Entry& entry = view.table().entry(job.benchmark_id);
+  HETSCHED_ASSERT(entry.predicted_best_size_bytes.has_value());
+  const std::uint32_t best_size = *entry.predicted_best_size_bytes;
+
+  // Best core idle → schedule there (best-known config, or continue the
+  // Figure-5 exploration).
+  const std::vector<std::size_t> best_cores =
+      view.system().cores_with_size(best_size);
+  for (std::size_t core : best_cores) {
+    if (!view.core(core).busy) {
+      return run_with_heuristic(core, best_size, entry);
+    }
+  }
+
+  // Best core(s) busy. If some idle core's best configuration for this
+  // application is unknown, the scheduler cannot evaluate the energy
+  // tradeoff — schedule to such a core (arbitrarily: the first) to gather
+  // design-space information (Section IV.E).
+  const std::vector<std::size_t> idle = view.idle_cores();
+  HETSCHED_ASSERT(!idle.empty());
+  for (std::size_t core : idle) {
+    const std::uint32_t size = view.core(core).spec.cache_size_bytes;
+    if (!TuningHeuristic::complete(entry, size)) {
+      return run_with_heuristic(core, size, entry);
+    }
+  }
+
+  // All idle cores have known best configurations. The energy-advantage
+  // evaluation additionally needs B's energy on its best core; if that is
+  // still unknown the job stalls for its best core ("if and only if the
+  // best configuration is known for all cores").
+  if (!TuningHeuristic::complete(entry, best_size)) {
+    return Decision::stall();
+  }
+
+  EnergyAdvantageInput input;
+  const CacheConfig best_config =
+      TuningHeuristic::best_known(entry, best_size);
+  const Observation* best_obs = entry.find(best_config);
+  HETSCHED_ASSERT(best_obs != nullptr);
+  input.energy_on_best = best_obs->total_energy;
+
+  // Wait until the soonest best core frees up.
+  Cycles wait = 0;
+  bool first = true;
+  for (std::size_t core : best_cores) {
+    const Cycles remaining = view.remaining_cycles(core);
+    if (first || remaining < wait) {
+      wait = remaining;
+      first = false;
+    }
+  }
+  input.wait_cycles = wait;
+
+  for (std::size_t core : idle) {
+    const std::uint32_t size = view.core(core).spec.cache_size_bytes;
+    const CacheConfig config = TuningHeuristic::best_known(entry, size);
+    const Observation* obs = entry.find(config);
+    HETSCHED_ASSERT(obs != nullptr);
+    EnergyAdvantageInput::Candidate candidate;
+    candidate.core = core;
+    candidate.run_energy = obs->total_energy;
+    candidate.idle_energy_per_cycle =
+        view.energy().idle_per_cycle(view.core(core).current_config);
+    input.candidates.push_back(candidate);
+  }
+
+  const EnergyAdvantageResult advantage = evaluate_energy_advantage(input);
+  if (advantage.run_on_non_best) {
+    const std::uint32_t size =
+        view.core(advantage.chosen_core).spec.cache_size_bytes;
+    return Decision::run(advantage.chosen_core,
+                         TuningHeuristic::best_known(entry, size),
+                         ExecutionKind::kNormal);
+  }
+  return Decision::stall();
+}
+
+}  // namespace hetsched

@@ -1,0 +1,82 @@
+// The four evaluated scheduler policies (Section V):
+//
+//   BasePolicy          — homogeneous 8KB_4W_64B system, no profiling,
+//                         no ANN, no tuning; first idle core wins.
+//   OptimalPolicy       — configuration-subsetted system; profiles on the
+//                         profiling core, then exhaustively executes every
+//                         configuration to find the best one; schedules to
+//                         the best core when idle, otherwise to any idle
+//                         core; never stalls.
+//   EnergyCentricPolicy — ANN predicts the best core; jobs only ever run
+//                         on a best-size core (always stall otherwise);
+//                         Figure-5 heuristic tunes the best core.
+//   ProposedPolicy      — the paper's scheduler: ANN prediction, Figure-5
+//                         tuning on non-best cores, and the Section IV.E
+//                         energy-advantageous stall-vs-run decision.
+#pragma once
+
+#include "core/predictor.hpp"
+#include "core/scheduler.hpp"
+
+namespace hetsched {
+
+class BasePolicy final : public SchedulerPolicy {
+ public:
+  std::string_view name() const override { return "base"; }
+  Decision decide(const Job& job, SystemView& view) override;
+};
+
+class OptimalPolicy final : public SchedulerPolicy {
+ public:
+  std::string_view name() const override { return "optimal"; }
+  Decision decide(const Job& job, SystemView& view) override;
+};
+
+class EnergyCentricPolicy final : public SchedulerPolicy {
+ public:
+  explicit EnergyCentricPolicy(const SizePredictor& predictor)
+      : predictor_(&predictor) {}
+
+  std::string_view name() const override { return "energy-centric"; }
+  Decision decide(const Job& job, SystemView& view) override;
+  void on_profiled(std::size_t benchmark_id, SystemView& view) override;
+
+ private:
+  const SizePredictor* predictor_;
+};
+
+class ProposedPolicy final : public SchedulerPolicy {
+ public:
+  explicit ProposedPolicy(const SizePredictor& predictor)
+      : predictor_(&predictor) {}
+
+  std::string_view name() const override { return "proposed"; }
+  Decision decide(const Job& job, SystemView& view) override;
+  void on_profiled(std::size_t benchmark_id, SystemView& view) override;
+
+ private:
+  const SizePredictor* predictor_;
+};
+
+namespace policy_detail {
+
+// Shared profiling step: if the job has no profiling information, run it
+// in the base configuration on an idle profiling core (primary first), or
+// stall until one frees up. Returns nullopt when already profiled.
+std::optional<Decision> profiling_decision(const Job& job, SystemView& view);
+
+// Configuration to run on a core of the given size: the heuristic's
+// best-known configuration if tuning converged, otherwise the heuristic's
+// next exploration step (flagged kTuning).
+Decision run_with_heuristic(std::size_t core, std::uint32_t size_bytes,
+                            const ProfilingTable::Entry& entry);
+
+// Snaps a predicted cache size onto a size this machine actually offers
+// (nearest available, ties upward). Custom machines need not provide
+// every Table-1 size.
+std::uint32_t clamp_to_available(const SystemView& view,
+                                 std::uint32_t size_bytes);
+
+}  // namespace policy_detail
+
+}  // namespace hetsched

@@ -1,0 +1,107 @@
+#include "core/profiling_table.hpp"
+
+#include "util/contracts.hpp"
+
+namespace hetsched {
+namespace {
+
+std::size_t config_index(const CacheConfig& config) {
+  const auto idx = DesignSpace::index_of(config);
+  HETSCHED_REQUIRE(idx.has_value());
+  return *idx;
+}
+
+}  // namespace
+
+std::size_t ProfilingTable::Entry::observed_count() const {
+  std::size_t n = 0;
+  for (const auto& o : observations) {
+    if (o.has_value()) ++n;
+  }
+  return n;
+}
+
+std::size_t ProfilingTable::Entry::observed_count_for_size(
+    std::uint32_t size_bytes) const {
+  const auto& space = DesignSpace::all();
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < space.size(); ++i) {
+    if (space[i].size_bytes == size_bytes && observations[i].has_value()) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+const Observation* ProfilingTable::Entry::find(
+    const CacheConfig& config) const {
+  const auto& obs = observations[config_index(config)];
+  return obs.has_value() ? &*obs : nullptr;
+}
+
+std::optional<CacheConfig> ProfilingTable::Entry::best_observed() const {
+  const auto& space = DesignSpace::all();
+  std::optional<CacheConfig> best;
+  NanoJoules best_energy;
+  for (std::size_t i = 0; i < space.size(); ++i) {
+    if (!observations[i].has_value()) continue;
+    if (!best.has_value() || observations[i]->total_energy < best_energy) {
+      best = space[i];
+      best_energy = observations[i]->total_energy;
+    }
+  }
+  return best;
+}
+
+std::optional<CacheConfig> ProfilingTable::Entry::best_observed_for_size(
+    std::uint32_t size_bytes) const {
+  const auto& space = DesignSpace::all();
+  std::optional<CacheConfig> best;
+  NanoJoules best_energy;
+  for (std::size_t i = 0; i < space.size(); ++i) {
+    if (space[i].size_bytes != size_bytes) continue;
+    if (!observations[i].has_value()) continue;
+    if (!best.has_value() || observations[i]->total_energy < best_energy) {
+      best = space[i];
+      best_energy = observations[i]->total_energy;
+    }
+  }
+  return best;
+}
+
+std::optional<CacheConfig> ProfilingTable::Entry::next_unexplored_for_size(
+    std::uint32_t size_bytes) const {
+  const auto& space = DesignSpace::all();
+  for (std::size_t i = 0; i < space.size(); ++i) {
+    if (space[i].size_bytes == size_bytes && !observations[i].has_value()) {
+      return space[i];
+    }
+  }
+  return std::nullopt;
+}
+
+ProfilingTable::ProfilingTable(std::size_t benchmark_count)
+    : entries_(benchmark_count) {
+  HETSCHED_REQUIRE(benchmark_count > 0);
+  HETSCHED_ASSERT(DesignSpace::all().size() == kConfigCount);
+}
+
+ProfilingTable::Entry& ProfilingTable::entry(std::size_t benchmark_id) {
+  HETSCHED_REQUIRE(benchmark_id < entries_.size());
+  return entries_[benchmark_id];
+}
+
+const ProfilingTable::Entry& ProfilingTable::entry(
+    std::size_t benchmark_id) const {
+  HETSCHED_REQUIRE(benchmark_id < entries_.size());
+  return entries_[benchmark_id];
+}
+
+void ProfilingTable::record(std::size_t benchmark_id,
+                            const CacheConfig& config,
+                            const Observation& obs) {
+  HETSCHED_REQUIRE(benchmark_id < entries_.size());
+  entries_[benchmark_id].observations[config_index(config)] = obs;
+}
+
+}  // namespace hetsched

@@ -1,0 +1,77 @@
+// Profiling table (Section IV.A/IV.B).
+//
+// Core 4 stores, per application: the execution statistics recorded during
+// the base-configuration profiling run, the ANN's best-size prediction,
+// and the energy/performance of every configuration explored so far. This
+// persistence is what lets the tuning heuristic "continue where the
+// exploration left off" across executions, and what feeds the
+// energy-advantageous decision. Core 3 (secondary profiling core) reads
+// the same table over the on-chip network.
+//
+// Policies may ONLY learn about a benchmark through this table — the
+// characterised ground truth is hidden from them until an execution
+// deposits an observation here.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "cache/cache_config.hpp"
+#include "trace/counters.hpp"
+#include "util/units.hpp"
+
+namespace hetsched {
+
+// Measured outcome of one execution in one configuration.
+struct Observation {
+  NanoJoules total_energy;
+  NanoJoules dynamic_energy;
+  Cycles cycles = 0;
+};
+
+class ProfilingTable {
+ public:
+  static constexpr std::size_t kConfigCount = 18;
+
+  struct Entry {
+    bool profiled = false;
+    ExecutionStatistics statistics;
+    std::optional<std::uint32_t> predicted_best_size_bytes;
+    // Indexed parallel to DesignSpace::all().
+    std::array<std::optional<Observation>, kConfigCount> observations;
+
+    std::size_t observed_count() const;
+    std::size_t observed_count_for_size(std::uint32_t size_bytes) const;
+    bool fully_explored() const { return observed_count() == kConfigCount; }
+
+    const Observation* find(const CacheConfig& config) const;
+
+    // Lowest-total-energy observed configuration (overall or per size);
+    // nullopt when nothing relevant has been observed yet.
+    std::optional<CacheConfig> best_observed() const;
+    std::optional<CacheConfig> best_observed_for_size(
+        std::uint32_t size_bytes) const;
+    // First unobserved Table-1 configuration of the size, canonical order
+    // (drives the optimal system's exhaustive exploration).
+    std::optional<CacheConfig> next_unexplored_for_size(
+        std::uint32_t size_bytes) const;
+  };
+
+  explicit ProfilingTable(std::size_t benchmark_count);
+
+  std::size_t size() const { return entries_.size(); }
+  Entry& entry(std::size_t benchmark_id);
+  const Entry& entry(std::size_t benchmark_id) const;
+
+  // Records a measured execution. Re-executions overwrite (the system is
+  // deterministic, so values are identical).
+  void record(std::size_t benchmark_id, const CacheConfig& config,
+              const Observation& obs);
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+}  // namespace hetsched

@@ -1,0 +1,87 @@
+#include "core/realtime_policy.hpp"
+
+#include <limits>
+
+#include "core/policies.hpp"
+#include "core/tuning_heuristic.hpp"
+#include "util/contracts.hpp"
+
+namespace hetsched {
+
+void RealtimeEdfPolicy::on_profiled(std::size_t benchmark_id,
+                                    SystemView& view) {
+  ProfilingTable::Entry& entry = view.table().entry(benchmark_id);
+  entry.predicted_best_size_bytes = policy_detail::clamp_to_available(
+      view, predictor_->predict(benchmark_id, entry.statistics));
+}
+
+Decision RealtimeEdfPolicy::decide(const Job& job, SystemView& view) {
+  if (const auto profiling = policy_detail::profiling_decision(job, view)) {
+    return *profiling;
+  }
+  const ProfilingTable::Entry& entry = view.table().entry(job.benchmark_id);
+  HETSCHED_ASSERT(entry.predicted_best_size_bytes.has_value());
+  const std::uint32_t best_size = *entry.predicted_best_size_bytes;
+
+  // Idle best core first (fastest known placement for this job).
+  for (std::size_t core : view.system().cores_with_size(best_size)) {
+    if (!view.core(core).busy) {
+      return policy_detail::run_with_heuristic(core, best_size, entry);
+    }
+  }
+  // Otherwise run on an idle core whose cache is *larger* than the best
+  // size: a bigger cache never slows the job in this architecture,
+  // whereas a smaller one can stretch it 2-3x and blow the very deadline
+  // the placement was meant to save. Smaller idle cores are left for the
+  // jobs they fit.
+  const std::vector<std::size_t> idle = view.idle_cores();
+  std::size_t chosen = view.core_count();
+  for (std::size_t candidate : idle) {
+    const std::uint32_t size = view.core(candidate).spec.cache_size_bytes;
+    if (size < best_size) continue;
+    if (chosen == view.core_count() ||
+        size < view.core(chosen).spec.cache_size_bytes) {
+      chosen = candidate;  // smallest sufficient cache
+    }
+  }
+  if (chosen < view.core_count()) {
+    return policy_detail::run_with_heuristic(
+        chosen, view.core(chosen).spec.cache_size_bytes, entry);
+  }
+
+  // All cores busy: EDF eviction. Find the running job with the latest
+  // deadline (best-effort jobs count as infinitely late); preempt it if
+  // this job is strictly more urgent.
+  if (allow_preemption_ && job.deadline.has_value()) {
+    std::size_t victim_core = view.core_count();
+    SimTime victim_deadline = 0;
+    for (std::size_t core = 0; core < view.core_count(); ++core) {
+      if (view.core(core).running_kind == ExecutionKind::kProfiling) {
+        continue;  // profiling runs are never preempted
+      }
+      if (view.core(core).spec.cache_size_bytes < best_size) {
+        continue;  // an undersized core would just trade one miss for another
+      }
+      const Job* running = view.running_job(core);
+      if (running == nullptr) continue;
+      const SimTime running_deadline = running->deadline.value_or(
+          std::numeric_limits<SimTime>::max());
+      if (victim_core == view.core_count() ||
+          running_deadline > victim_deadline) {
+        victim_core = core;
+        victim_deadline = running_deadline;
+      }
+    }
+    if (victim_core < view.core_count() &&
+        *job.deadline < victim_deadline) {
+      const std::uint32_t size =
+          view.core(victim_core).spec.cache_size_bytes;
+      const Decision run =
+          policy_detail::run_with_heuristic(victim_core, size, entry);
+      return Decision::preempt(victim_core, run.config, run.exec);
+    }
+  }
+  return Decision::stall();
+}
+
+}  // namespace hetsched

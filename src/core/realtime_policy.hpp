@@ -1,0 +1,36 @@
+// Real-time scheduler policy (paper future work, §VIII).
+//
+// Builds on the proposed system's machinery — ANN best-size prediction
+// and Figure-5 tuning — but targets deadlines instead of energy:
+//   * prefers an idle best core; otherwise any idle core (capacity is
+//     never left idle while deadline work waits);
+//   * when no core is idle, preempts the running job with the latest
+//     deadline, provided the queued job's deadline is strictly earlier
+//     (classic EDF eviction; profiling runs are never preempted);
+//   * designed to run under QueueDiscipline::kEdf so the queue offers
+//     the most urgent job first.
+#pragma once
+
+#include "core/predictor.hpp"
+#include "core/scheduler.hpp"
+
+namespace hetsched {
+
+class RealtimeEdfPolicy final : public SchedulerPolicy {
+ public:
+  explicit RealtimeEdfPolicy(const SizePredictor& predictor,
+                             bool allow_preemption = true)
+      : predictor_(&predictor), allow_preemption_(allow_preemption) {}
+
+  std::string_view name() const override { return "realtime-edf"; }
+  bool can_preempt() const override { return allow_preemption_; }
+
+  void on_profiled(std::size_t benchmark_id, SystemView& view) override;
+  Decision decide(const Job& job, SystemView& view) override;
+
+ private:
+  const SizePredictor* predictor_;
+  bool allow_preemption_;
+};
+
+}  // namespace hetsched

@@ -1,0 +1,47 @@
+#include "core/schedule_log.hpp"
+
+#include <algorithm>
+#include <map>
+#include <ostream>
+
+#include "core/simulator.hpp"
+
+namespace hetsched {
+
+bool ScheduleLog::well_formed() const {
+  std::map<std::size_t, std::vector<std::pair<SimTime, SimTime>>> by_core;
+  for (const ScheduledSlice& slice : slices_) {
+    if (slice.end <= slice.start) return false;
+    by_core[slice.core].emplace_back(slice.start, slice.end);
+  }
+  for (auto& [core, intervals] : by_core) {
+    (void)core;
+    std::sort(intervals.begin(), intervals.end());
+    for (std::size_t i = 1; i < intervals.size(); ++i) {
+      if (intervals[i].first < intervals[i - 1].second) return false;
+    }
+  }
+  return true;
+}
+
+std::vector<Cycles> ScheduleLog::busy_cycles(std::size_t core_count) const {
+  std::vector<Cycles> busy(core_count, 0);
+  for (const ScheduledSlice& slice : slices_) {
+    if (slice.core < core_count) {
+      busy[slice.core] += slice.end - slice.start;
+    }
+  }
+  return busy;
+}
+
+void ScheduleLog::write_csv(std::ostream& out) const {
+  out << "job,benchmark,core,start,end,config,kind,completed\n";
+  for (const ScheduledSlice& slice : slices_) {
+    out << slice.job_id << ',' << slice.benchmark_id << ',' << slice.core
+        << ',' << slice.start << ',' << slice.end << ','
+        << slice.config.name() << ',' << to_string(slice.kind) << ','
+        << (slice.completed ? 1 : 0) << '\n';
+  }
+}
+
+}  // namespace hetsched

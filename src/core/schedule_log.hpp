@@ -1,0 +1,56 @@
+// Schedule observation: a hook the simulator drives with every executed
+// slice (complete executions and preempted fragments), plus a concrete
+// recorder that retains the full schedule, validates its invariants and
+// exports it as CSV for external Gantt visualisation.
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "core/job.hpp"
+#include "cache/cache_config.hpp"
+
+namespace hetsched {
+
+// One contiguous occupancy of one core by one job.
+struct ScheduledSlice {
+  std::uint64_t job_id = 0;
+  std::size_t benchmark_id = 0;
+  std::size_t core = 0;
+  SimTime start = 0;
+  SimTime end = 0;
+  CacheConfig config{};
+  ExecutionKind kind = ExecutionKind::kNormal;
+  // False when the slice ended in a preemption rather than completion.
+  bool completed = true;
+};
+
+class ScheduleObserver {
+ public:
+  virtual ~ScheduleObserver() = default;
+  virtual void on_slice(const ScheduledSlice& slice) = 0;
+};
+
+class ScheduleLog final : public ScheduleObserver {
+ public:
+  void on_slice(const ScheduledSlice& slice) override {
+    slices_.push_back(slice);
+  }
+
+  const std::vector<ScheduledSlice>& slices() const { return slices_; }
+
+  // Schedule invariants: every slice well-formed, and no two slices on
+  // the same core overlap in time.
+  bool well_formed() const;
+
+  // Busy cycles per core, reconstructed from the slices.
+  std::vector<Cycles> busy_cycles(std::size_t core_count) const;
+
+  // CSV: job,benchmark,core,start,end,config,kind,completed
+  void write_csv(std::ostream& out) const;
+
+ private:
+  std::vector<ScheduledSlice> slices_;
+};
+
+}  // namespace hetsched

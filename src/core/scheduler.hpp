@@ -1,0 +1,143 @@
+// Scheduler policy interface and the system view policies decide against.
+//
+// The simulator owns all machine state; a policy sees it only through
+// SystemView (core occupancy, current configurations, remaining busy
+// cycles) plus the shared profiling table — never the characterised
+// ground truth. This enforces the paper's information model: everything a
+// scheduler knows, it learnt from profiling/tuning executions.
+#pragma once
+
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "core/job.hpp"
+#include "core/profiling_table.hpp"
+#include "core/system_config.hpp"
+#include "energy/energy_model.hpp"
+
+namespace hetsched {
+
+// Live state of one core inside the simulation.
+struct CoreRuntime {
+  CoreSpec spec;
+  CacheConfig current_config;
+  bool busy = false;
+  SimTime busy_until = 0;
+  std::uint64_t running_job_id = 0;
+  std::size_t running_benchmark = 0;
+  ExecutionKind running_kind = ExecutionKind::kNormal;
+  SimTime idle_since = 0;
+
+  // Cumulative accounting.
+  Cycles busy_cycles = 0;
+  std::uint64_t executions = 0;
+};
+
+class SystemView {
+ public:
+  SystemView(SimTime now, const SystemConfig& system,
+             std::span<const CoreRuntime> cores, ProfilingTable& table,
+             const EnergyModel& energy,
+             std::span<const Job> running_jobs = {})
+      : now_(now), system_(&system), cores_(cores), table_(&table),
+        energy_(&energy), running_jobs_(running_jobs) {}
+
+  SimTime now() const { return now_; }
+  const SystemConfig& system() const { return *system_; }
+  std::size_t core_count() const { return cores_.size(); }
+  const CoreRuntime& core(std::size_t i) const { return cores_[i]; }
+
+  std::vector<std::size_t> idle_cores() const {
+    std::vector<std::size_t> idle;
+    for (std::size_t i = 0; i < cores_.size(); ++i) {
+      if (!cores_[i].busy) idle.push_back(i);
+    }
+    return idle;
+  }
+
+  // Cycles until the core frees up (0 when idle).
+  Cycles remaining_cycles(std::size_t i) const {
+    const CoreRuntime& c = cores_[i];
+    if (!c.busy || c.busy_until <= now_) return 0;
+    return c.busy_until - now_;
+  }
+
+  ProfilingTable& table() const { return *table_; }
+  const EnergyModel& energy() const { return *energy_; }
+
+  // The job currently executing on a busy core (nullptr when idle or when
+  // the view was built without job visibility).
+  const Job* running_job(std::size_t i) const {
+    if (running_jobs_.empty() || !cores_[i].busy) return nullptr;
+    return &running_jobs_[i];
+  }
+
+ private:
+  SimTime now_;
+  const SystemConfig* system_;
+  std::span<const CoreRuntime> cores_;
+  ProfilingTable* table_;
+  const EnergyModel* energy_;
+  std::span<const Job> running_jobs_;
+};
+
+// What the policy wants done with the job at the head of the ready queue.
+struct Decision {
+  enum class Kind { kRun, kStall, kPreempt };
+
+  Kind kind = Kind::kStall;
+  std::size_t core = 0;
+  CacheConfig config{};
+  ExecutionKind exec = ExecutionKind::kNormal;
+
+  static Decision run(std::size_t core, const CacheConfig& config,
+                      ExecutionKind exec = ExecutionKind::kNormal) {
+    return Decision{Kind::kRun, core, config, exec};
+  }
+  // Stall: the job is re-enqueued at the back of the ready queue
+  // (Section IV.A) and reconsidered at the next scheduling event.
+  static Decision stall() { return Decision{}; }
+  // Real-time extension: evict the job running on `core` (it returns to
+  // the front of the ready queue with its remaining fraction) and run
+  // this job instead. Only honoured for policies whose can_preempt() is
+  // true, and never against a profiling execution.
+  static Decision preempt(std::size_t core, const CacheConfig& config,
+                          ExecutionKind exec = ExecutionKind::kNormal) {
+    return Decision{Kind::kPreempt, core, config, exec};
+  }
+};
+
+// Order in which the ready queue is offered to the policy.
+enum class QueueDiscipline {
+  kFifo,      // paper baseline: first come, first served
+  kEdf,       // earliest absolute deadline first (best-effort jobs last)
+  kPriority,  // highest priority first, FIFO within a priority level
+};
+
+class SchedulerPolicy {
+ public:
+  virtual ~SchedulerPolicy() = default;
+
+  virtual std::string_view name() const = 0;
+
+  // Called for the job at the head of the ready queue whenever at least
+  // one core is idle (or, for preempting policies, on every scheduling
+  // event). A kRun decision's core must be idle; a kPreempt decision's
+  // core must be busy with a non-profiling execution.
+  virtual Decision decide(const Job& job, SystemView& view) = 0;
+
+  // Policies that may return Decision::preempt() opt in here; the
+  // simulator then consults them even when no core is idle.
+  virtual bool can_preempt() const { return false; }
+
+  // Called after a profiling execution completed and the benchmark's
+  // statistics were deposited in the profiling table; ANN-based policies
+  // attach their best-size prediction here.
+  virtual void on_profiled(std::size_t benchmark_id, SystemView& view) {
+    (void)benchmark_id;
+    (void)view;
+  }
+};
+
+}  // namespace hetsched

@@ -1,0 +1,369 @@
+#include "core/simulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/contracts.hpp"
+
+namespace hetsched {
+
+std::string_view to_string(ExecutionKind k) {
+  switch (k) {
+    case ExecutionKind::kNormal: return "normal";
+    case ExecutionKind::kProfiling: return "profiling";
+    case ExecutionKind::kTuning: return "tuning";
+  }
+  return "unknown";
+}
+
+MulticoreSimulator::MulticoreSimulator(const SystemConfig& system,
+                                       const CharacterizedSuite& suite,
+                                       const EnergyModel& energy,
+                                       SchedulerPolicy& policy,
+                                       QueueDiscipline discipline)
+    : system_(system), suite_(suite), energy_(energy), policy_(policy),
+      discipline_(discipline), table_(suite.size()) {
+  HETSCHED_REQUIRE(system_.valid());
+  HETSCHED_REQUIRE(suite_.size() > 0);
+  cores_.reserve(system_.cores.size());
+  for (const CoreSpec& spec : system_.cores) {
+    CoreRuntime core;
+    core.spec = spec;
+    core.current_config = spec.initial_config;
+    cores_.push_back(core);
+  }
+  running_jobs_.resize(cores_.size());
+  started_at_.resize(cores_.size(), 0);
+  result_.per_core.resize(cores_.size());
+}
+
+SystemView MulticoreSimulator::make_view(SimTime now) {
+  return SystemView(now, system_, cores_, table_, energy_, running_jobs_);
+}
+
+void MulticoreSimulator::accrue_idle(std::size_t core, SimTime until) {
+  CoreRuntime& c = cores_[core];
+  HETSCHED_ASSERT(!c.busy);
+  if (until > c.idle_since) {
+    const double idle_cycles = static_cast<double>(until - c.idle_since);
+    result_.idle_energy +=
+        energy_.idle_per_cycle(c.current_config) * idle_cycles;
+    c.idle_since = until;
+  }
+}
+
+void MulticoreSimulator::start_execution(const Job& job,
+                                         const Decision& decision,
+                                         SimTime now) {
+  HETSCHED_REQUIRE(decision.core < cores_.size());
+  CoreRuntime& core = cores_[decision.core];
+  HETSCHED_REQUIRE(!core.busy);
+  HETSCHED_REQUIRE(decision.config.valid());
+  HETSCHED_REQUIRE(decision.config.size_bytes ==
+                   core.spec.cache_size_bytes);
+  HETSCHED_REQUIRE(decision.exec != ExecutionKind::kProfiling ||
+                   core.spec.can_profile);
+  HETSCHED_REQUIRE(job.remaining_fraction > 0.0 &&
+                   job.remaining_fraction <= 1.0);
+
+  // Close the idle interval under the outgoing configuration.
+  accrue_idle(decision.core, now);
+
+  // Reconfigure the L1 if the decision asks for a different shape. The
+  // tuner flushes: charge write-back traffic for (on average) half the
+  // lines being dirty.
+  if (!(core.current_config == decision.config)) {
+    const double flushed =
+        static_cast<double>(core.current_config.num_lines()) / 2.0;
+    result_.reconfig_energy +=
+        energy_.writeback_energy(core.current_config) * flushed;
+    ++result_.reconfigurations;
+    core.current_config = decision.config;
+  }
+
+  const BenchmarkProfile& profile = suite_.benchmark(job.benchmark_id);
+  const ConfigProfile& cp = profile.profile_for(decision.config);
+  const auto duration = std::max<Cycles>(
+      1, static_cast<Cycles>(std::llround(
+             job.remaining_fraction *
+             static_cast<double>(cp.energy.total_cycles))));
+
+  core.busy = true;
+  core.busy_until = now + duration;
+  core.running_job_id = job.job_id;
+  core.running_benchmark = job.benchmark_id;
+  core.running_kind = decision.exec;
+  ++core.executions;
+  running_jobs_[decision.core] = job;
+  started_at_[decision.core] = now;
+
+  completions_.push(Completion{core.busy_until, decision.core, job.job_id});
+}
+
+double MulticoreSimulator::settle_execution(std::size_t core_index,
+                                            SimTime now) {
+  CoreRuntime& core = cores_[core_index];
+  HETSCHED_ASSERT(core.busy);
+  const BenchmarkProfile& profile =
+      suite_.benchmark(core.running_benchmark);
+  const ConfigProfile& cp = profile.profile_for(core.current_config);
+
+  const Cycles executed = now - started_at_[core_index];
+  const double portion = static_cast<double>(executed) /
+                         static_cast<double>(cp.energy.total_cycles);
+
+  result_.dynamic_energy += cp.energy.dynamic_energy * portion;
+  result_.busy_static_energy += cp.energy.static_energy * portion;
+  result_.cpu_energy += cp.energy.cpu_energy * portion;
+  core.busy_cycles += executed;
+  result_.total_execution_cycles += executed;
+  return portion;
+}
+
+void MulticoreSimulator::finish_execution(std::size_t core_index,
+                                          SimTime now) {
+  CoreRuntime& core = cores_[core_index];
+  HETSCHED_ASSERT(core.busy);
+  HETSCHED_ASSERT(core.busy_until == now);
+
+  const double portion = settle_execution(core_index, now);
+  const std::size_t benchmark = core.running_benchmark;
+  const BenchmarkProfile& profile = suite_.benchmark(benchmark);
+  const ConfigProfile& cp = profile.profile_for(core.current_config);
+  const Job& job = running_jobs_[core_index];
+
+  ++result_.completed_jobs;
+  result_.total_response_cycles += now - job.arrival;
+  SimulationResult::PriorityStats& level =
+      result_.per_priority[job.priority];
+  ++level.completed;
+  level.total_response_cycles += now - job.arrival;
+  if (job.deadline.has_value()) {
+    ++result_.jobs_with_deadline;
+    if (now > *job.deadline) {
+      ++result_.deadline_misses;
+      ++level.deadline_misses;
+    }
+  }
+
+  switch (core.running_kind) {
+    case ExecutionKind::kProfiling:
+      ++result_.profiling_runs;
+      result_.profiling_energy += cp.energy.total() * portion;
+      break;
+    case ExecutionKind::kTuning:
+      ++result_.tuning_runs;
+      result_.tuning_energy += cp.energy.total() * portion;
+      break;
+    case ExecutionKind::kNormal:
+      break;
+  }
+
+  // Hardware counters: the measured energy/cycles of a complete execution
+  // in this configuration land in the profiling table regardless of
+  // policy. (Recorded values are full-execution magnitudes.)
+  table_.record(benchmark, core.current_config,
+                Observation{cp.energy.total(), cp.energy.dynamic_energy,
+                            cp.energy.total_cycles});
+
+  const bool was_profiling = core.running_kind == ExecutionKind::kProfiling;
+  if (was_profiling) {
+    ProfilingTable::Entry& entry = table_.entry(benchmark);
+    entry.profiled = true;
+    entry.statistics = profile.base_statistics;
+  }
+
+  if (observer_ != nullptr && now > started_at_[core_index]) {
+    observer_->on_slice(ScheduledSlice{job.job_id, benchmark, core_index,
+                                       started_at_[core_index], now,
+                                       core.current_config,
+                                       core.running_kind, true});
+  }
+
+  core.busy = false;
+  core.idle_since = now;
+  result_.makespan = std::max(result_.makespan, now);
+
+  if (was_profiling) {
+    SystemView view = make_view(now);
+    policy_.on_profiled(benchmark, view);
+  }
+}
+
+void MulticoreSimulator::preempt_execution(std::size_t core_index,
+                                           SimTime now) {
+  CoreRuntime& core = cores_[core_index];
+  HETSCHED_REQUIRE(core.busy);
+  HETSCHED_REQUIRE(core.running_kind != ExecutionKind::kProfiling &&
+                   "profiling runs cannot be preempted");
+
+  const double portion = settle_execution(core_index, now);
+  Job victim = running_jobs_[core_index];
+  victim.remaining_fraction =
+      std::max(0.0, victim.remaining_fraction - portion);
+  if (victim.remaining_fraction < 1e-9) {
+    // Degenerate preempt-at-completion-boundary: keep a token remainder
+    // so the victim still flows through a final (1-cycle) execution and
+    // completion accounting stays uniform.
+    victim.remaining_fraction = 1e-9;
+  }
+  if (observer_ != nullptr && now > started_at_[core_index]) {
+    observer_->on_slice(ScheduledSlice{
+        victim.job_id, victim.benchmark_id, core_index,
+        started_at_[core_index], now, core.current_config,
+        core.running_kind, false});
+  }
+  ready_.push_front(victim);
+  ++result_.preemptions;
+
+  core.busy = false;
+  core.idle_since = now;
+  // The stale completion entry for this execution is skipped via job_id
+  // validation when it surfaces.
+}
+
+void MulticoreSimulator::apply_discipline() {
+  if (discipline_ == QueueDiscipline::kFifo || ready_.size() < 2) return;
+  if (discipline_ == QueueDiscipline::kEdf) {
+    std::stable_sort(ready_.begin(), ready_.end(),
+                     [](const Job& a, const Job& b) {
+                       const SimTime da = a.deadline.value_or(
+                           std::numeric_limits<SimTime>::max());
+                       const SimTime db = b.deadline.value_or(
+                           std::numeric_limits<SimTime>::max());
+                       return da < db;
+                     });
+  } else {  // kPriority
+    std::stable_sort(ready_.begin(), ready_.end(),
+                     [](const Job& a, const Job& b) {
+                       if (a.priority != b.priority) {
+                         return a.priority > b.priority;
+                       }
+                       return a.arrival < b.arrival;
+                     });
+  }
+}
+
+void MulticoreSimulator::try_schedule(SimTime now) {
+  apply_discipline();
+
+  // Consider each currently queued job at most once per invocation;
+  // stalled jobs go to the back of the queue (Section IV.A).
+  std::size_t attempts = ready_.size();
+  bool any_started = false;
+  while (attempts-- > 0 && !ready_.empty()) {
+    const bool has_idle =
+        std::any_of(cores_.begin(), cores_.end(),
+                    [](const CoreRuntime& c) { return !c.busy; });
+    if (!has_idle && !policy_.can_preempt()) break;
+
+    Job job = ready_.front();
+    ready_.pop_front();
+
+    SystemView view = make_view(now);
+    const Decision decision = policy_.decide(job, view);
+    switch (decision.kind) {
+      case Decision::Kind::kRun:
+        start_execution(job, decision, now);
+        any_started = true;
+        break;
+      case Decision::Kind::kPreempt:
+        HETSCHED_REQUIRE(policy_.can_preempt());
+        preempt_execution(decision.core, now);
+        start_execution(job, decision, now);
+        any_started = true;
+        break;
+      case Decision::Kind::kStall:
+        ++result_.stall_events;
+        ready_.push_back(job);
+        break;
+    }
+  }
+
+  // Liveness: with every core idle a sound policy must schedule something
+  // (its best core is idle by definition), otherwise the simulation could
+  // deadlock with no future event.
+  if (!ready_.empty() && completions_.empty()) {
+    HETSCHED_REQUIRE(any_started);
+  }
+}
+
+SimulationResult MulticoreSimulator::run(
+    const std::vector<JobArrival>& arrivals) {
+  HETSCHED_REQUIRE(!ran_);
+  ran_ = true;
+  HETSCHED_REQUIRE(!arrivals.empty());
+  HETSCHED_REQUIRE(std::is_sorted(
+      arrivals.begin(), arrivals.end(),
+      [](const JobArrival& a, const JobArrival& b) {
+        return a.arrival < b.arrival;
+      }));
+
+  std::size_t next_arrival = 0;
+  std::uint64_t next_job_id = 0;
+
+  while (next_arrival < arrivals.size() || !completions_.empty() ||
+         !ready_.empty()) {
+    // Next event time: earliest completion or arrival.
+    SimTime now;
+    const bool have_completion = !completions_.empty();
+    const bool have_arrival = next_arrival < arrivals.size();
+    HETSCHED_ASSERT(have_completion || have_arrival);
+    if (have_completion &&
+        (!have_arrival ||
+         completions_.top().time <= arrivals[next_arrival].arrival)) {
+      now = completions_.top().time;
+    } else {
+      now = arrivals[next_arrival].arrival;
+    }
+
+    // Retire every live completion at `now` (deterministic core order);
+    // entries orphaned by preemption are discarded.
+    while (!completions_.empty() && completions_.top().time == now) {
+      const Completion completion = completions_.top();
+      completions_.pop();
+      const CoreRuntime& core = cores_[completion.core];
+      const bool live = core.busy &&
+                        core.running_job_id == completion.job_id &&
+                        core.busy_until == completion.time;
+      if (live) {
+        finish_execution(completion.core, now);
+      }
+    }
+    // Admit every arrival at `now`.
+    while (next_arrival < arrivals.size() &&
+           arrivals[next_arrival].arrival == now) {
+      Job job;
+      job.job_id = next_job_id++;
+      job.benchmark_id = arrivals[next_arrival].benchmark_id;
+      job.arrival = now;
+      job.priority = arrivals[next_arrival].priority;
+      job.deadline = arrivals[next_arrival].deadline;
+      ready_.push_back(job);
+      ++next_arrival;
+    }
+
+    try_schedule(now);
+  }
+
+  // Close every core's trailing idle interval at the makespan.
+  for (std::size_t i = 0; i < cores_.size(); ++i) {
+    HETSCHED_ASSERT(!cores_[i].busy);
+    accrue_idle(i, result_.makespan);
+  }
+
+  for (std::size_t i = 0; i < cores_.size(); ++i) {
+    result_.per_core[i].busy_cycles = cores_[i].busy_cycles;
+    result_.per_core[i].executions = cores_[i].executions;
+    result_.per_core[i].utilization =
+        result_.makespan == 0
+            ? 0.0
+            : static_cast<double>(cores_[i].busy_cycles) /
+                  static_cast<double>(result_.makespan);
+  }
+  HETSCHED_ASSERT(result_.completed_jobs == arrivals.size());
+  return result_;
+}
+
+}  // namespace hetsched

@@ -1,0 +1,168 @@
+// Event-driven multicore scheduling simulator (the paper's MATLAB system
+// simulation, Section V) plus the paper's future-work real-time extension
+// (§VIII): priorities, deadlines, queue disciplines and preemption.
+//
+// Jobs arrive into a ready queue; the scheduler policy is invoked
+// whenever a benchmark arrives or a core becomes idle. Executions replay
+// the characterised (cycles, energy) of the benchmark in the chosen
+// configuration; idle cores accrue idle energy (cache leakage + core idle
+// power); reconfigurations charge tuner flush traffic. All observations
+// land in the profiling table, which is the only channel back to the
+// policy.
+//
+// Preemption model: a preempted job is settled pro-rata (energy and
+// cycles for the portion it executed), returns to the front of the ready
+// queue carrying its remaining fraction, and resumes under whatever
+// configuration the policy next assigns.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <queue>
+
+#include "core/schedule_log.hpp"
+#include "core/scheduler.hpp"
+#include "workload/arrivals.hpp"
+#include "workload/characterization.hpp"
+
+namespace hetsched {
+
+struct CoreUsage {
+  Cycles busy_cycles = 0;
+  std::uint64_t executions = 0;
+  double utilization = 0.0;  // busy cycles / makespan
+};
+
+struct SimulationResult {
+  // Energy buckets (Figure 6 reports idle / dynamic / total).
+  NanoJoules idle_energy;         // idle-period leakage + core idle power
+  NanoJoules dynamic_energy;      // execution dynamic energy
+  NanoJoules busy_static_energy;  // leakage while executing
+  NanoJoules cpu_energy;          // core pipeline active energy
+  NanoJoules reconfig_energy;     // tuner flush traffic
+
+  // Overhead attribution (subsets of the execution energy above).
+  NanoJoules profiling_energy;
+  NanoJoules tuning_energy;
+
+  Cycles makespan = 0;  // completion time of the last job
+  // Total execution cycles summed over all executions (the paper's
+  // "performance in number of cycles" metric: work performed, which —
+  // unlike makespan — also reflects executions in slow configurations
+  // that finish before the last arrival).
+  Cycles total_execution_cycles = 0;
+
+  std::uint64_t completed_jobs = 0;
+  std::uint64_t stall_events = 0;
+  std::uint64_t profiling_runs = 0;
+  std::uint64_t tuning_runs = 0;
+  std::uint64_t reconfigurations = 0;
+
+  // Real-time extension metrics.
+  std::uint64_t preemptions = 0;
+  std::uint64_t jobs_with_deadline = 0;
+  std::uint64_t deadline_misses = 0;
+  Cycles total_response_cycles = 0;  // sum of (completion - arrival)
+
+  // Response-time accounting split by priority level.
+  struct PriorityStats {
+    std::uint64_t completed = 0;
+    Cycles total_response_cycles = 0;
+    std::uint64_t deadline_misses = 0;
+
+    double mean_response_cycles() const {
+      return completed == 0 ? 0.0
+                            : static_cast<double>(total_response_cycles) /
+                                  static_cast<double>(completed);
+    }
+  };
+  std::map<int, PriorityStats> per_priority;
+
+  std::vector<CoreUsage> per_core;
+
+  NanoJoules total_energy() const {
+    return idle_energy + dynamic_energy + busy_static_energy + cpu_energy +
+           reconfig_energy;
+  }
+  // Static + idle bucket some reports use.
+  NanoJoules static_energy() const {
+    return idle_energy + busy_static_energy;
+  }
+  double deadline_miss_rate() const {
+    return jobs_with_deadline == 0
+               ? 0.0
+               : static_cast<double>(deadline_misses) /
+                     static_cast<double>(jobs_with_deadline);
+  }
+  double mean_response_cycles() const {
+    return completed_jobs == 0
+               ? 0.0
+               : static_cast<double>(total_response_cycles) /
+                     static_cast<double>(completed_jobs);
+  }
+};
+
+class MulticoreSimulator {
+ public:
+  MulticoreSimulator(const SystemConfig& system,
+                     const CharacterizedSuite& suite,
+                     const EnergyModel& energy, SchedulerPolicy& policy,
+                     QueueDiscipline discipline = QueueDiscipline::kFifo);
+
+  // Runs the arrival stream to completion and returns the accounting.
+  // May be called once per simulator instance.
+  SimulationResult run(const std::vector<JobArrival>& arrivals);
+
+  // Final profiling-table state (exploration counts etc.); valid after
+  // run().
+  const ProfilingTable& table() const { return table_; }
+
+  // Optional schedule observer (e.g. a ScheduleLog); receives every
+  // executed slice. Must outlive run(). Set before run().
+  void set_observer(ScheduleObserver* observer) { observer_ = observer; }
+
+ private:
+  struct Completion {
+    SimTime time = 0;
+    std::size_t core = 0;
+    std::uint64_t job_id = 0;  // stale-entry detection after preemption
+    // Min-heap on (time, core) for deterministic ordering.
+    friend bool operator>(const Completion& a, const Completion& b) {
+      return a.time != b.time ? a.time > b.time : a.core > b.core;
+    }
+  };
+
+  void start_execution(const Job& job, const Decision& decision,
+                       SimTime now);
+  // Charges energy/cycles for the portion of the current execution that
+  // ran until `now`; returns that portion of a full benchmark execution.
+  double settle_execution(std::size_t core, SimTime now);
+  void finish_execution(std::size_t core, SimTime now);
+  void preempt_execution(std::size_t core, SimTime now);
+  void try_schedule(SimTime now);
+  void apply_discipline();
+  void accrue_idle(std::size_t core, SimTime until);
+  SystemView make_view(SimTime now);
+
+  const SystemConfig system_;
+  const CharacterizedSuite& suite_;
+  const EnergyModel& energy_;
+  SchedulerPolicy& policy_;
+  const QueueDiscipline discipline_;
+
+  std::vector<CoreRuntime> cores_;
+  ProfilingTable table_;
+  std::deque<Job> ready_;
+  std::priority_queue<Completion, std::vector<Completion>,
+                      std::greater<Completion>>
+      completions_;
+  std::vector<Job> running_jobs_;    // per core, valid while busy
+  std::vector<SimTime> started_at_;  // per core, valid while busy
+
+  SimulationResult result_;
+  ScheduleObserver* observer_ = nullptr;
+  bool ran_ = false;
+};
+
+}  // namespace hetsched

@@ -1,0 +1,93 @@
+#include "core/system_config.hpp"
+
+#include "util/contracts.hpp"
+
+namespace hetsched {
+
+SystemConfig SystemConfig::paper_quadcore() {
+  SystemConfig config;
+  auto spec = [](std::uint32_t size, bool profiling) {
+    CoreSpec s;
+    s.cache_size_bytes = size;
+    // Boot in the smallest associativity / line size Table 1 offers for
+    // the size; the tuner reconfigures on demand.
+    s.initial_config =
+        CacheConfig{size, DesignSpace::associativities_for(size).front(),
+                    DesignSpace::line_sizes().front()};
+    s.can_profile = profiling;
+    return s;
+  };
+  config.cores = {spec(2048, false), spec(4096, false), spec(8192, true),
+                  spec(8192, true)};
+  config.primary_profiling_core = 3;
+  config.secondary_profiling_core = 2;
+  HETSCHED_ASSERT(config.valid());
+  return config;
+}
+
+SystemConfig SystemConfig::fixed_base(std::size_t n) {
+  HETSCHED_REQUIRE(n >= 1);
+  SystemConfig config;
+  CoreSpec s;
+  s.cache_size_bytes = DesignSpace::base_config().size_bytes;
+  s.initial_config = DesignSpace::base_config();
+  s.can_profile = false;
+  config.cores.assign(n, s);
+  config.primary_profiling_core = n - 1;
+  config.secondary_profiling_core = n >= 2 ? n - 2 : n - 1;
+  return config;
+}
+
+SystemConfig SystemConfig::scaled_heterogeneous(std::size_t n) {
+  HETSCHED_REQUIRE(n >= 2);
+  SystemConfig config;
+  auto spec = [](std::uint32_t size, bool profiling) {
+    CoreSpec s;
+    s.cache_size_bytes = size;
+    s.initial_config =
+        CacheConfig{size, DesignSpace::associativities_for(size).front(),
+                    DesignSpace::line_sizes().front()};
+    s.can_profile = profiling;
+    return s;
+  };
+  static constexpr std::uint32_t kPattern[] = {2048, 4096, 8192, 8192};
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t size = kPattern[i % 4];
+    config.cores.push_back(spec(size, size == 8192));
+  }
+  // Guarantee a profiling core: the last core is always 8 KB.
+  config.cores.back() = spec(8192, true);
+  config.primary_profiling_core = n - 1;
+  // Secondary: the next 8 KB profiling core below the primary, if any.
+  config.secondary_profiling_core = n - 1;
+  for (std::size_t i = n - 1; i-- > 0;) {
+    if (config.cores[i].can_profile) {
+      config.secondary_profiling_core = i;
+      break;
+    }
+  }
+  HETSCHED_ASSERT(config.valid());
+  return config;
+}
+
+std::vector<std::size_t> SystemConfig::cores_with_size(
+    std::uint32_t size_bytes) const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < cores.size(); ++i) {
+    if (cores[i].cache_size_bytes == size_bytes) out.push_back(i);
+  }
+  return out;
+}
+
+bool SystemConfig::valid() const {
+  if (cores.empty()) return false;
+  if (primary_profiling_core >= cores.size()) return false;
+  if (secondary_profiling_core >= cores.size()) return false;
+  for (const CoreSpec& core : cores) {
+    if (!core.initial_config.valid()) return false;
+    if (core.initial_config.size_bytes != core.cache_size_bytes) return false;
+  }
+  return true;
+}
+
+}  // namespace hetsched

@@ -1,0 +1,49 @@
+// System architecture description (Figure 1): a set of cores, each with a
+// fixed L1 cache size, a tunable L1 configuration, and optionally the
+// ability to act as a profiling core.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/cache_config.hpp"
+
+namespace hetsched {
+
+struct CoreSpec {
+  std::uint32_t cache_size_bytes = 8192;
+  // Configuration the core boots with.
+  CacheConfig initial_config{8192, 4, 64};
+  // Profiling cores host the scheduler/ANN and the profiling table
+  // (Cores 3 and 4 in the paper).
+  bool can_profile = false;
+};
+
+struct SystemConfig {
+  std::vector<CoreSpec> cores;
+  std::size_t primary_profiling_core = 3;
+  std::size_t secondary_profiling_core = 2;
+
+  std::size_t core_count() const { return cores.size(); }
+
+  // Paper architecture: Cores 1-4 with 2/4/8/8 KB caches; Core 4 is the
+  // primary profiling core and Core 3 the secondary (0-based 3 and 2).
+  static SystemConfig paper_quadcore();
+
+  // Homogeneous baseline: `n` cores all fixed at the base configuration,
+  // no profiling capability (base system, Section V).
+  static SystemConfig fixed_base(std::size_t n = 4);
+
+  // Section III: "this general structure could be scaled up or down".
+  // Builds an n-core machine repeating the paper's 2/4/8/8 KB mix; the
+  // last core is always an 8 KB profiling core and every 8 KB core can
+  // profile. Requires n >= 2.
+  static SystemConfig scaled_heterogeneous(std::size_t n);
+
+  // Cores whose fixed L1 size equals `size_bytes` (ascending indices).
+  std::vector<std::size_t> cores_with_size(std::uint32_t size_bytes) const;
+
+  bool valid() const;
+};
+
+}  // namespace hetsched

@@ -1,0 +1,86 @@
+#include "core/tuning_heuristic.hpp"
+
+#include "util/contracts.hpp"
+
+namespace hetsched {
+
+TuningHeuristic::WalkState TuningHeuristic::walk(
+    const ProfilingTable::Entry& entry, std::uint32_t size_bytes) {
+  const auto assocs = DesignSpace::associativities_for(size_bytes);
+  const auto& lines = DesignSpace::line_sizes();
+  HETSCHED_REQUIRE(!assocs.empty());
+
+  WalkState state;
+  auto energy_of = [&](std::uint32_t ways,
+                       std::uint32_t line) -> const Observation* {
+    return entry.find(CacheConfig{size_bytes, ways, line});
+  };
+
+  // --- Phase 1: associativity, line fixed at the smallest value ---
+  const std::uint32_t line0 = lines.front();
+  const Observation* current = energy_of(assocs.front(), line0);
+  if (current == nullptr) {
+    state.next = CacheConfig{size_bytes, assocs.front(), line0};
+    return state;
+  }
+  state.explored = 1;
+  std::uint32_t best_ways = assocs.front();
+  for (std::size_t i = 1; i < assocs.size(); ++i) {
+    const Observation* candidate = energy_of(assocs[i], line0);
+    if (candidate == nullptr) {
+      state.next = CacheConfig{size_bytes, assocs[i], line0};
+      return state;
+    }
+    ++state.explored;
+    if (candidate->total_energy < current->total_energy) {
+      best_ways = assocs[i];
+      current = candidate;
+    } else {
+      break;  // energy stopped improving: freeze associativity
+    }
+  }
+
+  // --- Phase 2: line size, associativity frozen at best_ways ---
+  std::uint32_t best_line = lines.front();
+  for (std::size_t j = 1; j < lines.size(); ++j) {
+    const Observation* candidate = energy_of(best_ways, lines[j]);
+    if (candidate == nullptr) {
+      state.next = CacheConfig{size_bytes, best_ways, lines[j]};
+      return state;
+    }
+    ++state.explored;
+    if (candidate->total_energy < current->total_energy) {
+      best_line = lines[j];
+      current = candidate;
+    } else {
+      break;  // freeze line size
+    }
+  }
+
+  state.best = CacheConfig{size_bytes, best_ways, best_line};
+  return state;
+}
+
+std::optional<CacheConfig> TuningHeuristic::next_config(
+    const ProfilingTable::Entry& entry, std::uint32_t size_bytes) {
+  return walk(entry, size_bytes).next;
+}
+
+bool TuningHeuristic::complete(const ProfilingTable::Entry& entry,
+                               std::uint32_t size_bytes) {
+  return !walk(entry, size_bytes).next.has_value();
+}
+
+CacheConfig TuningHeuristic::best_known(const ProfilingTable::Entry& entry,
+                                        std::uint32_t size_bytes) {
+  const WalkState state = walk(entry, size_bytes);
+  HETSCHED_REQUIRE(!state.next.has_value());
+  return state.best;
+}
+
+std::size_t TuningHeuristic::explored_count(
+    const ProfilingTable::Entry& entry, std::uint32_t size_bytes) {
+  return walk(entry, size_bytes).explored;
+}
+
+}  // namespace hetsched

@@ -1,0 +1,51 @@
+// Cache tuning heuristic (Figure 5, Section IV.F).
+//
+// On a core with a fixed cache size, the heuristic explores associativity
+// first (second-largest energy impact after size), then line size, each
+// from smallest to largest to minimise cache flushing. Exploration starts
+// at the smallest value of both parameters; a parameter is increased while
+// the measured total energy keeps improving, then frozen at the best
+// value. Each step is one physical execution whose result lands in the
+// profiling table, so the heuristic is expressed *statelessly* over the
+// table entry: given what has been observed, it derives the next
+// configuration to try — which is exactly how the paper's heuristic
+// "continues where the exploration left off" across executions.
+#pragma once
+
+#include <optional>
+
+#include "core/profiling_table.hpp"
+
+namespace hetsched {
+
+class TuningHeuristic {
+ public:
+  // Next configuration to execute for this benchmark on a core of
+  // `size_bytes`, or nullopt when tuning for that size is complete.
+  static std::optional<CacheConfig> next_config(
+      const ProfilingTable::Entry& entry, std::uint32_t size_bytes);
+
+  // True when the heuristic has converged for that size.
+  static bool complete(const ProfilingTable::Entry& entry,
+                       std::uint32_t size_bytes);
+
+  // The converged configuration; requires complete().
+  static CacheConfig best_known(const ProfilingTable::Entry& entry,
+                                std::uint32_t size_bytes);
+
+  // Number of configurations the heuristic has executed for this size
+  // (counts observations along the heuristic's path only).
+  static std::size_t explored_count(const ProfilingTable::Entry& entry,
+                                    std::uint32_t size_bytes);
+
+ private:
+  struct WalkState {
+    std::optional<CacheConfig> next;  // config to try, if any
+    CacheConfig best;                 // best converged-so-far config
+    std::size_t explored = 0;         // observations consumed by the walk
+  };
+  static WalkState walk(const ProfilingTable::Entry& entry,
+                        std::uint32_t size_bytes);
+};
+
+}  // namespace hetsched

@@ -1,0 +1,50 @@
+#include "energy/cacti.hpp"
+
+#include <bit>
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace hetsched {
+
+CactiModel::CactiModel(CactiCoefficients coeffs) : coeffs_(coeffs) {
+  HETSCHED_REQUIRE(coeffs.data_array_per_way_byte > 0.0);
+  HETSCHED_REQUIRE(coeffs.write_factor > 0.0);
+}
+
+std::uint32_t CactiModel::index_bits(const CacheConfig& config) const {
+  HETSCHED_REQUIRE(config.valid());
+  return static_cast<std::uint32_t>(std::bit_width(config.num_sets()) - 1);
+}
+
+std::uint32_t CactiModel::tag_bits(const CacheConfig& config) const {
+  HETSCHED_REQUIRE(config.valid());
+  const std::uint32_t offset_bits = static_cast<std::uint32_t>(
+      std::bit_width(config.line_bytes) - 1);
+  return coeffs_.address_bits - offset_bits - index_bits(config);
+}
+
+NanoJoules CactiModel::read_energy(const CacheConfig& config) const {
+  HETSCHED_REQUIRE(config.valid());
+  const double ways = config.associativity;
+  const double data = coeffs_.data_array_per_way_byte * ways *
+                      static_cast<double>(config.line_bytes);
+  const double tag = coeffs_.tag_per_way_bit * ways *
+                     static_cast<double>(tag_bits(config));
+  const double decode =
+      coeffs_.decode_per_index_bit * static_cast<double>(index_bits(config));
+  return NanoJoules(data + tag + decode + coeffs_.sense_fixed);
+}
+
+NanoJoules CactiModel::write_energy(const CacheConfig& config) const {
+  return read_energy(config) * coeffs_.write_factor;
+}
+
+NanoJoules CactiModel::fill_energy(const CacheConfig& config) const {
+  HETSCHED_REQUIRE(config.valid());
+  return NanoJoules(coeffs_.fill_per_byte *
+                    static_cast<double>(config.line_bytes)) +
+         NanoJoules(coeffs_.sense_fixed * 0.5);
+}
+
+}  // namespace hetsched

@@ -1,0 +1,57 @@
+// Analytical SRAM energy model standing in for CACTI 2.0 at 0.18 µm.
+//
+// The paper obtained per-access dynamic energies from CACTI; we reproduce
+// the properties the scheduler depends on with a closed-form model:
+//   * reading a set activates every way's data and tag subarrays, so
+//     per-access energy grows with associativity × line size;
+//   * decoder energy grows with the number of sets;
+//   * leakage grows with total capacity.
+// Coefficients are calibrated so the base 8KB_4W_64B configuration lands
+// near the ~1 nJ/access CACTI 2.0 reports at 0.18 µm, and the cheapest
+// 2KB_1W_16B configuration near ~0.2 nJ — the relative spread that drives
+// all scheduling decisions.
+#pragma once
+
+#include "cache/cache_config.hpp"
+#include "util/units.hpp"
+
+namespace hetsched {
+
+struct CactiCoefficients {
+  // nJ per (way × data byte) activated on a read.
+  double data_array_per_way_byte = 0.0035;
+  // nJ per tag bit compared across the activated ways.
+  double tag_per_way_bit = 0.0012;
+  // nJ per set-index bit through the row decoder.
+  double decode_per_index_bit = 0.010;
+  // Fixed sense-amp / output-driver cost per access, nJ.
+  double sense_fixed = 0.080;
+  // Write drivers touch a single way: relative cost of a write vs read.
+  double write_factor = 1.05;
+  // nJ per byte written during a line fill (single-way write burst).
+  double fill_per_byte = 0.0030;
+  // Physical tag width assumes a 32-bit address space.
+  std::uint32_t address_bits = 32;
+};
+
+class CactiModel {
+ public:
+  explicit CactiModel(CactiCoefficients coeffs = {});
+
+  // E(hit): dynamic energy of one read access.
+  NanoJoules read_energy(const CacheConfig& config) const;
+  // Dynamic energy of one write access (hit).
+  NanoJoules write_energy(const CacheConfig& config) const;
+  // E(cache_fill): writing one full line into the data array.
+  NanoJoules fill_energy(const CacheConfig& config) const;
+
+  std::uint32_t tag_bits(const CacheConfig& config) const;
+  std::uint32_t index_bits(const CacheConfig& config) const;
+
+  const CactiCoefficients& coefficients() const { return coeffs_; }
+
+ private:
+  CactiCoefficients coeffs_;
+};
+
+}  // namespace hetsched

@@ -1,0 +1,90 @@
+#include "energy/energy_model.hpp"
+
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace hetsched {
+
+EnergyModel::EnergyModel(CactiModel cacti, EnergyModelParams params,
+                         CacheConfig base_config)
+    : cacti_(cacti), params_(params), base_config_(base_config) {
+  HETSCHED_REQUIRE(base_config_.valid());
+  HETSCHED_REQUIRE(params_.beat_bytes > 0);
+  HETSCHED_REQUIRE(params_.base_cpi > 0.0);
+  // E(per KB) = static_fraction * E(dyn of base cache) / base_KB.
+  static_per_kb_per_cycle_ =
+      cacti_.read_energy(base_config_) * params_.static_fraction /
+      static_cast<double>(base_config_.size_kb());
+}
+
+Cycles EnergyModel::stall_cycles_per_miss(const CacheConfig& config) const {
+  HETSCHED_REQUIRE(config.valid());
+  const Cycles beats =
+      (config.line_bytes + params_.beat_bytes - 1) / params_.beat_bytes;
+  return params_.miss_latency + beats * params_.bandwidth_cycles_per_beat;
+}
+
+Cycles EnergyModel::miss_cycles(const CacheConfig& config,
+                                std::uint64_t misses) const {
+  return misses * stall_cycles_per_miss(config);
+}
+
+NanoJoules EnergyModel::hit_energy(const CacheConfig& config) const {
+  return cacti_.read_energy(config);
+}
+
+NanoJoules EnergyModel::miss_energy(const CacheConfig& config) const {
+  const Cycles beats =
+      (config.line_bytes + params_.beat_bytes - 1) / params_.beat_bytes;
+  const NanoJoules offchip =
+      params_.offchip_access +
+      params_.offchip_per_beat * static_cast<double>(beats);
+  const NanoJoules stall =
+      params_.cpu_stall_per_cycle *
+      static_cast<double>(stall_cycles_per_miss(config));
+  return offchip + stall + cacti_.fill_energy(config);
+}
+
+NanoJoules EnergyModel::static_per_cycle(const CacheConfig& config) const {
+  HETSCHED_REQUIRE(config.valid());
+  return static_per_kb_per_cycle_ * static_cast<double>(config.size_kb());
+}
+
+NanoJoules EnergyModel::idle_per_cycle(const CacheConfig& config) const {
+  return static_per_cycle(config) + params_.core_idle_per_cycle;
+}
+
+NanoJoules EnergyModel::writeback_energy(const CacheConfig& config) const {
+  const Cycles beats =
+      (config.line_bytes + params_.beat_bytes - 1) / params_.beat_bytes;
+  return params_.offchip_access * 0.5 +
+         params_.offchip_per_beat * static_cast<double>(beats);
+}
+
+EnergyBreakdown EnergyModel::evaluate(const RawCounters& counters,
+                                      const CacheSimResult& sim) const {
+  HETSCHED_REQUIRE(sim.config.valid());
+  EnergyBreakdown out;
+  out.miss_cycles = miss_cycles(sim.config, sim.stats.misses);
+  const double instr_cycles =
+      static_cast<double>(counters.total_instructions()) * params_.base_cpi;
+  out.total_cycles =
+      static_cast<Cycles>(std::llround(instr_cycles)) + out.miss_cycles;
+
+  NanoJoules dynamic =
+      hit_energy(sim.config) * static_cast<double>(sim.stats.hits) +
+      miss_energy(sim.config) * static_cast<double>(sim.stats.misses);
+  if (params_.include_writebacks) {
+    dynamic += writeback_energy(sim.config) *
+               static_cast<double>(sim.stats.writebacks);
+  }
+  out.dynamic_energy = dynamic;
+  out.static_energy = static_per_cycle(sim.config) *
+                      static_cast<double>(out.total_cycles);
+  out.cpu_energy = params_.core_active_per_cycle *
+                   static_cast<double>(out.total_cycles);
+  return out;
+}
+
+}  // namespace hetsched

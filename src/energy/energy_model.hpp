@@ -1,0 +1,104 @@
+// Figure-4 energy model.
+//
+//   E(total)   = E(sta) + E(dynamic)
+//   E(dynamic) = hits * E(hit) + misses * E(miss)
+//   E(miss)    = E(off-chip access) + stall_cycles * E(CPU stall)
+//                + E(cache fill)
+//   miss cycles = misses * miss_latency
+//                + misses * (line/16) * memory_bandwidth
+//   E(sta)     = total_cycles * E(static per cycle)
+//   E(static per cycle) = E(per KB) * size_KB,
+//   E(per KB)  = 10% * E(dyn of base cache) / base_KB
+//
+// with the paper's stated assumptions: main-memory fetch is 40× an L1
+// fetch and memory bandwidth costs 50% of the miss penalty per 16-byte
+// beat. Off-chip access energy follows a low-power SDRAM profile.
+#pragma once
+
+#include "cache/cache.hpp"
+#include "energy/cacti.hpp"
+#include "trace/counters.hpp"
+#include "util/units.hpp"
+
+namespace hetsched {
+
+struct EnergyModelParams {
+  // Cycles for the main-memory portion of a miss ("40× an L1 fetch").
+  Cycles miss_latency = 40;
+  // Transfer beat granularity and per-beat cycles ("50% of miss penalty").
+  std::uint32_t beat_bytes = 16;
+  Cycles bandwidth_cycles_per_beat = 20;
+  // Off-chip (low-power SDRAM) energies.
+  NanoJoules offchip_access{6.0};   // fixed per transaction
+  NanoJoules offchip_per_beat{1.5}; // per 16-byte beat transferred
+  // CPU energy burnt per stall cycle waiting on a miss.
+  NanoJoules cpu_stall_per_cycle{0.05};
+  // E(per KB) = static_fraction * E(dyn of base) / base_KB.
+  double static_fraction = 0.10;
+  // Cycles per (non-stalled) instruction.
+  double base_cpi = 1.0;
+  // Idle power of the core pipeline itself, on top of cache leakage.
+  NanoJoules core_idle_per_cycle{0.30};
+  // Active power of the core pipeline per busy cycle. Configuration
+  // independent per cycle, so configurations that stretch execution pay
+  // proportionally (this is the CPU component of E(CPU stall) extended to
+  // the whole execution).
+  NanoJoules core_active_per_cycle{0.20};
+  // Charge dirty-eviction writeback traffic (not in Figure 4; enabled by
+  // the extended-model ablation).
+  bool include_writebacks = false;
+};
+
+// Energy and timing of one complete application execution in one
+// configuration.
+struct EnergyBreakdown {
+  Cycles miss_cycles = 0;
+  Cycles total_cycles = 0;
+  NanoJoules static_energy;
+  NanoJoules dynamic_energy;
+  // Core pipeline active energy over the execution.
+  NanoJoules cpu_energy;
+
+  NanoJoules total() const {
+    return static_energy + dynamic_energy + cpu_energy;
+  }
+};
+
+class EnergyModel {
+ public:
+  EnergyModel(CactiModel cacti, EnergyModelParams params = {},
+              CacheConfig base_config = DesignSpace::base_config());
+
+  const EnergyModelParams& params() const { return params_; }
+  const CactiModel& cacti() const { return cacti_; }
+
+  // --- Figure-4 pieces, exposed for tests and reports ---
+
+  // Stall cycles incurred by a single miss (latency + line transfer).
+  Cycles stall_cycles_per_miss(const CacheConfig& config) const;
+  // Total miss cycles for `misses` misses in `config`.
+  Cycles miss_cycles(const CacheConfig& config, std::uint64_t misses) const;
+  // E(hit) for one access.
+  NanoJoules hit_energy(const CacheConfig& config) const;
+  // E(miss) for one miss.
+  NanoJoules miss_energy(const CacheConfig& config) const;
+  // E(static per cycle) = E(per KB) * size_KB.
+  NanoJoules static_per_cycle(const CacheConfig& config) const;
+  // Per-cycle energy of an idle core whose cache sits in `config`.
+  NanoJoules idle_per_cycle(const CacheConfig& config) const;
+  // Energy to write back one dirty line off-chip.
+  NanoJoules writeback_energy(const CacheConfig& config) const;
+
+  // Full evaluation of one execution: cycles from the instruction count
+  // plus miss stalls, energy from the equations above.
+  EnergyBreakdown evaluate(const RawCounters& counters,
+                           const CacheSimResult& sim) const;
+
+ private:
+  CactiModel cacti_;
+  EnergyModelParams params_;
+  CacheConfig base_config_;
+  NanoJoules static_per_kb_per_cycle_;
+};
+
+}  // namespace hetsched

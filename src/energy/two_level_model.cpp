@@ -1,0 +1,92 @@
+#include "energy/two_level_model.hpp"
+
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace hetsched {
+
+TwoLevelEnergyModel::TwoLevelEnergyModel(CactiModel cacti,
+                                         EnergyModelParams params,
+                                         TwoLevelParams two_level)
+    : l1_model_(cacti, params), two_level_(two_level) {
+  HETSCHED_REQUIRE(two_level_.l2_config.valid());
+  HETSCHED_REQUIRE(two_level_.l2_hit_latency > 0);
+  HETSCHED_REQUIRE(two_level_.l2_static_fraction > 0.0);
+}
+
+Cycles TwoLevelEnergyModel::stall_cycles(const CacheConfig& l1_config,
+                                         std::uint64_t l2_served,
+                                         std::uint64_t offchip_misses) const {
+  const auto& p = l1_model_.params();
+  const Cycles l1_beats =
+      (l1_config.line_bytes + p.beat_bytes - 1) / p.beat_bytes;
+  // L2-served fill: L2 latency plus the on-chip line transfer (cheap: one
+  // cycle per beat rather than the off-chip bandwidth cost).
+  const Cycles l2_fill = two_level_.l2_hit_latency + l1_beats;
+  // Off-chip: the Figure-4 path for the L2 line.
+  const Cycles l2_beats =
+      (two_level_.l2_config.line_bytes + p.beat_bytes - 1) / p.beat_bytes;
+  const Cycles offchip =
+      p.miss_latency + l2_beats * p.bandwidth_cycles_per_beat;
+  return l2_served * l2_fill + offchip_misses * offchip;
+}
+
+NanoJoules TwoLevelEnergyModel::l2_access_energy() const {
+  return l1_model_.cacti().read_energy(two_level_.l2_config);
+}
+
+NanoJoules TwoLevelEnergyModel::offchip_miss_energy() const {
+  const auto& p = l1_model_.params();
+  const Cycles l2_beats =
+      (two_level_.l2_config.line_bytes + p.beat_bytes - 1) / p.beat_bytes;
+  return p.offchip_access +
+         p.offchip_per_beat * static_cast<double>(l2_beats) +
+         l1_model_.cacti().fill_energy(two_level_.l2_config);
+}
+
+NanoJoules TwoLevelEnergyModel::static_per_cycle(
+    const CacheConfig& l1_config) const {
+  const NanoJoules l1 = l1_model_.static_per_cycle(l1_config);
+  // Reuse the Figure-4 E(per KB) derivation scaled by the density factor.
+  const NanoJoules per_kb =
+      l1_model_.static_per_cycle(CacheConfig{1024, 1, 16});
+  return l1 + per_kb * two_level_.l2_static_fraction *
+                  static_cast<double>(two_level_.l2_config.size_kb());
+}
+
+EnergyBreakdown TwoLevelEnergyModel::evaluate(
+    const RawCounters& counters, const HierarchyStats& stats,
+    const CacheConfig& l1_config) const {
+  HETSCHED_REQUIRE(l1_config.valid());
+  const auto& p = l1_model_.params();
+
+  const std::uint64_t l1_misses = stats.l1.misses;
+  const std::uint64_t offchip = std::min(stats.l2.misses, l1_misses);
+  const std::uint64_t l2_served = l1_misses - offchip;
+
+  EnergyBreakdown out;
+  out.miss_cycles = stall_cycles(l1_config, l2_served, offchip);
+  const double instr_cycles =
+      static_cast<double>(counters.total_instructions()) * p.base_cpi;
+  out.total_cycles =
+      static_cast<Cycles>(std::llround(instr_cycles)) + out.miss_cycles;
+
+  const NanoJoules l1_fill =
+      l1_model_.cacti().fill_energy(l1_config);
+  NanoJoules dynamic =
+      l1_model_.hit_energy(l1_config) *
+          static_cast<double>(stats.l1.hits) +
+      (l2_access_energy() + l1_fill) * static_cast<double>(l1_misses) +
+      offchip_miss_energy() * static_cast<double>(offchip) +
+      p.cpu_stall_per_cycle * static_cast<double>(out.miss_cycles);
+  out.dynamic_energy = dynamic;
+
+  out.static_energy =
+      static_per_cycle(l1_config) * static_cast<double>(out.total_cycles);
+  out.cpu_energy = p.core_active_per_cycle *
+                   static_cast<double>(out.total_cycles);
+  return out;
+}
+
+}  // namespace hetsched

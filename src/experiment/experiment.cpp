@@ -1,0 +1,116 @@
+#include "experiment/experiment.hpp"
+
+#include "util/contracts.hpp"
+
+namespace hetsched {
+
+ExperimentOptions ExperimentOptions::quick() {
+  ExperimentOptions opts;
+  opts.suite.kernel_scale = 0.25;
+  opts.suite.variants_per_kernel = 2;
+  opts.arrivals.count = 300;
+  opts.arrivals.mean_interarrival_cycles = 60000.0;
+  opts.predictor.ensemble_size = 5;
+  opts.predictor.trainer.max_epochs = 120;
+  return opts;
+}
+
+NormalizedEnergy normalize(const SimulationResult& system,
+                           const SimulationResult& reference) {
+  NormalizedEnergy n;
+  auto ratio = [](NanoJoules a, NanoJoules b) {
+    return b.value() > 0.0 ? a / b : 1.0;
+  };
+  n.idle = ratio(system.idle_energy, reference.idle_energy);
+  n.dynamic = ratio(system.dynamic_energy, reference.dynamic_energy);
+  n.total = ratio(system.total_energy(), reference.total_energy());
+  n.cycles =
+      reference.total_execution_cycles > 0
+          ? static_cast<double>(system.total_execution_cycles) /
+                static_cast<double>(reference.total_execution_cycles)
+          : 1.0;
+  n.makespan = reference.makespan > 0
+                   ? static_cast<double>(system.makespan) /
+                         static_cast<double>(reference.makespan)
+                   : 1.0;
+  return n;
+}
+
+Experiment::Experiment(const ExperimentOptions& options)
+    : options_(options),
+      energy_(CactiModel{}, options.energy_params),
+      suite_(CharacterizedSuite::build(energy_, options.suite)) {
+  // Train the ANN on the variant>0 instances; schedule the variant-0
+  // instances (held-out inputs of the same kernels). With a single
+  // variant per kernel, train on everything (the paper trains and
+  // evaluates on the same EEMBC suite).
+  std::vector<std::size_t> train_ids = suite_.training_ids();
+  if (train_ids.empty()) {
+    train_ids.resize(suite_.size());
+    for (std::size_t i = 0; i < train_ids.size(); ++i) train_ids[i] = i;
+  }
+  const Dataset dataset = build_ann_dataset(suite_, train_ids);
+
+  Rng train_rng(options_.seed);
+  predictor_ = std::make_unique<BestSizePredictor>(dataset,
+                                                   options_.predictor,
+                                                   train_rng);
+
+  scheduling_ids_ = suite_.scheduling_ids();
+  HETSCHED_ASSERT(!scheduling_ids_.empty());
+  Rng arrival_rng(options_.seed ^ 0xa5a5a5a5ULL);
+  arrivals_ =
+      generate_arrivals(scheduling_ids_, options_.arrivals, arrival_rng);
+}
+
+SystemRun Experiment::run_policy(const SystemConfig& system,
+                                 SchedulerPolicy& policy,
+                                 std::string name) const {
+  MulticoreSimulator simulator(system, suite_, energy_, policy);
+  SystemRun run;
+  run.name = std::move(name);
+  run.result = simulator.run(arrivals_);
+  run.explored_configs.reserve(scheduling_ids_.size());
+  for (std::size_t id : scheduling_ids_) {
+    run.explored_configs.push_back(
+        simulator.table().entry(id).observed_count());
+  }
+  return run;
+}
+
+SystemRun Experiment::run_base() const {
+  BasePolicy policy;
+  return run_policy(SystemConfig::fixed_base(4), policy, "base");
+}
+
+SystemRun Experiment::run_optimal() const {
+  OptimalPolicy policy;
+  return run_policy(SystemConfig::paper_quadcore(), policy, "optimal");
+}
+
+SystemRun Experiment::run_energy_centric() const {
+  EnergyCentricPolicy policy(*predictor_);
+  return run_policy(SystemConfig::paper_quadcore(), policy,
+                    "energy-centric");
+}
+
+SystemRun Experiment::run_proposed() const {
+  ProposedPolicy policy(*predictor_);
+  return run_policy(SystemConfig::paper_quadcore(), policy, "proposed");
+}
+
+SystemRun Experiment::run_proposed_with(const SizePredictor& predictor,
+                                        std::string name) const {
+  ProposedPolicy policy(predictor);
+  return run_policy(SystemConfig::paper_quadcore(), policy,
+                    std::move(name));
+}
+
+SystemRun Experiment::run_energy_centric_with(const SizePredictor& predictor,
+                                              std::string name) const {
+  EnergyCentricPolicy policy(predictor);
+  return run_policy(SystemConfig::paper_quadcore(), policy,
+                    std::move(name));
+}
+
+}  // namespace hetsched

@@ -1,0 +1,105 @@
+// End-to-end experiment harness (Section V): builds the characterised
+// suite, trains the ANN predictor, generates the 5000-job arrival stream,
+// and runs the four evaluated systems over the *same* stream. Every bench
+// binary and example builds on this class.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/policies.hpp"
+#include "core/simulator.hpp"
+#include "workload/dataset_builder.hpp"
+
+namespace hetsched {
+
+struct ExperimentOptions {
+  SuiteOptions suite{};
+  ArrivalOptions arrivals{};
+  PredictorConfig predictor{};
+  EnergyModelParams energy_params{};
+  std::uint64_t seed = 42;
+
+  // Scaled-down preset for unit/integration tests: smaller kernels, fewer
+  // arrivals, lighter ANN training.
+  static ExperimentOptions quick();
+};
+
+// Oracle predictor for ablations: answers with the characterised best
+// size (what a perfect ANN would say).
+class OracleSizePredictor final : public SizePredictor {
+ public:
+  explicit OracleSizePredictor(const CharacterizedSuite& suite)
+      : suite_(&suite) {}
+
+  std::uint32_t predict(std::size_t benchmark_id,
+                        const ExecutionStatistics& stats) const override {
+    (void)stats;
+    return suite_->benchmark(benchmark_id).oracle_best_size();
+  }
+
+ private:
+  const CharacterizedSuite* suite_;
+};
+
+struct SystemRun {
+  std::string name;
+  SimulationResult result;
+  // Per scheduled benchmark: configurations observed by the end of the run
+  // (the tuning-footprint data behind the Figure-5 discussion).
+  std::vector<std::size_t> explored_configs;
+};
+
+// Ratios relative to a reference system (Figures 6 and 7 are built from
+// these).
+struct NormalizedEnergy {
+  double idle = 1.0;
+  double dynamic = 1.0;
+  double total = 1.0;
+  double cycles = 1.0;    // total execution cycles (work)
+  double makespan = 1.0;  // completion time of the last job
+};
+
+NormalizedEnergy normalize(const SimulationResult& system,
+                           const SimulationResult& reference);
+
+class Experiment {
+ public:
+  explicit Experiment(const ExperimentOptions& options = {});
+
+  const ExperimentOptions& options() const { return options_; }
+  const EnergyModel& energy() const { return energy_; }
+  const CharacterizedSuite& suite() const { return suite_; }
+  const BestSizePredictor& predictor() const { return *predictor_; }
+  const std::vector<JobArrival>& arrivals() const { return arrivals_; }
+  const std::vector<std::size_t>& scheduling_ids() const {
+    return scheduling_ids_;
+  }
+
+  // The four systems of Section V. Each runs the identical arrival stream
+  // on a fresh machine.
+  SystemRun run_base() const;
+  SystemRun run_optimal() const;
+  SystemRun run_energy_centric() const;
+  SystemRun run_proposed() const;
+
+  // Ablation entry point: the proposed/energy-centric systems with an
+  // arbitrary predictor (e.g. OracleSizePredictor).
+  SystemRun run_proposed_with(const SizePredictor& predictor,
+                              std::string name) const;
+  SystemRun run_energy_centric_with(const SizePredictor& predictor,
+                                    std::string name) const;
+
+ private:
+  SystemRun run_policy(const SystemConfig& system, SchedulerPolicy& policy,
+                       std::string name) const;
+
+  ExperimentOptions options_;
+  EnergyModel energy_;
+  CharacterizedSuite suite_;
+  std::unique_ptr<BestSizePredictor> predictor_;
+  std::vector<std::size_t> scheduling_ids_;
+  std::vector<JobArrival> arrivals_;
+};
+
+}  // namespace hetsched

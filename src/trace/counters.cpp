@@ -1,0 +1,41 @@
+#include "trace/counters.hpp"
+
+#include "util/contracts.hpp"
+
+namespace hetsched {
+
+std::array<double, kNumExecutionStatistics> ExecutionStatistics::to_vector()
+    const {
+  return {total_instructions,
+          cycles,
+          loads,
+          stores,
+          branches,
+          taken_branches,
+          int_ops,
+          fp_ops,
+          l1_accesses,
+          l1_misses,
+          l1_miss_rate,
+          compulsory_misses,
+          writebacks,
+          working_set_bytes,
+          load_fraction,
+          mem_intensity,
+          compute_intensity,
+          branch_fraction};
+}
+
+std::string_view ExecutionStatistics::name(std::size_t i) {
+  static constexpr std::string_view kNames[kNumExecutionStatistics] = {
+      "total_instructions", "cycles",          "loads",
+      "stores",             "branches",        "taken_branches",
+      "int_ops",            "fp_ops",          "l1_accesses",
+      "l1_misses",          "l1_miss_rate",    "compulsory_misses",
+      "writebacks",         "working_set_bytes", "load_fraction",
+      "mem_intensity",      "compute_intensity", "branch_fraction"};
+  HETSCHED_REQUIRE(i < kNumExecutionStatistics);
+  return kNames[i];
+}
+
+}  // namespace hetsched

@@ -1,0 +1,67 @@
+// Hardware-counter model.
+//
+// The paper's ANN consumes "18 different cache-relevant execution
+// statistics" recorded by built-in hardware counters while the application
+// executes in the base configuration (Section IV.B/IV.D). RawCounters are
+// the architecture-independent counts a kernel execution produces;
+// ExecutionStatistics adds the base-configuration cache behaviour and the
+// derived ratios, yielding exactly 18 named statistics.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace hetsched {
+
+// Counts accumulated by the instrumented execution context while a kernel
+// runs. These do not depend on any cache configuration.
+struct RawCounters {
+  std::uint64_t loads = 0;
+  std::uint64_t stores = 0;
+  std::uint64_t branches = 0;
+  std::uint64_t taken_branches = 0;
+  std::uint64_t int_ops = 0;
+  std::uint64_t fp_ops = 0;
+
+  std::uint64_t total_instructions() const {
+    return loads + stores + branches + int_ops + fp_ops;
+  }
+  std::uint64_t memory_refs() const { return loads + stores; }
+};
+
+// The 18 statistics stored in the profiling table for each application,
+// in a fixed order so they can be used directly as an ANN input vector.
+inline constexpr std::size_t kNumExecutionStatistics = 18;
+
+struct ExecutionStatistics {
+  // Instruction mix (from RawCounters).
+  double total_instructions = 0;   // [0]
+  double cycles = 0;               // [1] one complete execution, base config
+  double loads = 0;                // [2]
+  double stores = 0;               // [3]
+  double branches = 0;             // [4]
+  double taken_branches = 0;       // [5]
+  double int_ops = 0;              // [6]
+  double fp_ops = 0;               // [7]
+  // Memory behaviour in the base configuration.
+  double l1_accesses = 0;          // [8]
+  double l1_misses = 0;            // [9]
+  double l1_miss_rate = 0;         // [10]
+  double compulsory_misses = 0;    // [11] unique lines touched (base line sz)
+  double writebacks = 0;           // [12]
+  double working_set_bytes = 0;    // [13] unique bytes touched
+  // Derived ratios.
+  double load_fraction = 0;        // [14] loads / memory refs
+  double mem_intensity = 0;        // [15] memory refs / instructions
+  double compute_intensity = 0;    // [16] (int+fp) / instructions
+  double branch_fraction = 0;      // [17] branches / instructions
+
+  // Flattens to the canonical 18-element vector (index order above).
+  std::array<double, kNumExecutionStatistics> to_vector() const;
+
+  // Name of statistic i, for reports and feature-selection output.
+  static std::string_view name(std::size_t i);
+};
+
+}  // namespace hetsched

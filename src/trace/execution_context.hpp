@@ -1,0 +1,138 @@
+// Instrumented execution context.
+//
+// Kernels run against this context instead of raw host memory: every array
+// element access is recorded as a MemRef in the benchmark's virtual address
+// space and tallied in the RawCounters, and arithmetic/branch operations
+// are tallied explicitly. The result is the same (trace, counters) pair
+// SimpleScalar would produce for an instrumented binary, without needing an
+// ISA-level simulator.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "trace/counters.hpp"
+#include "trace/memref.hpp"
+#include "util/contracts.hpp"
+#include "util/rng.hpp"
+
+namespace hetsched {
+
+class ExecutionContext;
+
+// A typed array living in the benchmark's simulated address space. Loads
+// and stores go through the owning context so they are traced and counted.
+// Element values are held in host memory so kernels compute real results
+// (data-dependent control flow produces realistic traces).
+template <typename T>
+class TracedArray {
+ public:
+  TracedArray() = default;
+
+  std::size_t size() const { return data_.size(); }
+  std::uint32_t base_address() const { return base_; }
+
+  T load(std::size_t i) const;
+  void store(std::size_t i, T value);
+
+  // Untraced host-side access, for initialisation and result checking only.
+  T peek(std::size_t i) const {
+    HETSCHED_REQUIRE(i < data_.size());
+    return data_[i];
+  }
+  void poke(std::size_t i, T value) {
+    HETSCHED_REQUIRE(i < data_.size());
+    data_[i] = value;
+  }
+
+ private:
+  friend class ExecutionContext;
+  TracedArray(ExecutionContext* ctx, std::uint32_t base, std::size_t n)
+      : ctx_(ctx), base_(base), data_(n, T{}) {}
+
+  ExecutionContext* ctx_ = nullptr;
+  std::uint32_t base_ = 0;
+  std::vector<T> data_;
+};
+
+class ExecutionContext {
+ public:
+  // `data_seed` seeds the kernel-visible RNG used to generate input data;
+  // the same seed always reproduces the same trace.
+  explicit ExecutionContext(std::uint64_t data_seed)
+      : rng_(data_seed) {}
+
+  ExecutionContext(const ExecutionContext&) = delete;
+  ExecutionContext& operator=(const ExecutionContext&) = delete;
+
+  // Allocates n elements of T, 64-byte aligned, at the next free region of
+  // the simulated address space.
+  template <typename T>
+  TracedArray<T> alloc(std::size_t n) {
+    HETSCHED_REQUIRE(n > 0);
+    next_free_ = align_up(next_free_, 64);
+    const std::uint32_t base = next_free_;
+    next_free_ += static_cast<std::uint32_t>(n * sizeof(T));
+    return TracedArray<T>(this, base, n);
+  }
+
+  // --- operation counting (called by kernels and TracedArray) ---
+  void int_op(std::uint64_t n = 1) { counters_.int_ops += n; }
+  void fp_op(std::uint64_t n = 1) { counters_.fp_ops += n; }
+  // Records a branch; returns `taken` so it can wrap conditions inline:
+  //   if (ctx.branch(x < y)) { ... }
+  bool branch(bool taken) {
+    ++counters_.branches;
+    if (taken) ++counters_.taken_branches;
+    return taken;
+  }
+
+  void record_load(std::uint32_t address, std::uint8_t size) {
+    ++counters_.loads;
+    trace_.push_back(MemRef{address, size, false});
+  }
+  void record_store(std::uint32_t address, std::uint8_t size) {
+    ++counters_.stores;
+    trace_.push_back(MemRef{address, size, true});
+  }
+
+  Rng& rng() { return rng_; }
+
+  const MemTrace& trace() const { return trace_; }
+  MemTrace take_trace() { return std::move(trace_); }
+  const RawCounters& counters() const { return counters_; }
+  std::uint32_t footprint_bytes() const { return next_free_ - kBaseAddress; }
+
+ private:
+  static constexpr std::uint32_t kBaseAddress = 0x1000;
+
+  static std::uint32_t align_up(std::uint32_t v, std::uint32_t a) {
+    return (v + a - 1) / a * a;
+  }
+
+  std::uint32_t next_free_ = kBaseAddress;
+  MemTrace trace_;
+  RawCounters counters_;
+  Rng rng_;
+};
+
+template <typename T>
+T TracedArray<T>::load(std::size_t i) const {
+  HETSCHED_REQUIRE(ctx_ != nullptr);
+  HETSCHED_REQUIRE(i < data_.size());
+  ctx_->record_load(base_ + static_cast<std::uint32_t>(i * sizeof(T)),
+                    static_cast<std::uint8_t>(sizeof(T)));
+  return data_[i];
+}
+
+template <typename T>
+void TracedArray<T>::store(std::size_t i, T value) {
+  HETSCHED_REQUIRE(ctx_ != nullptr);
+  HETSCHED_REQUIRE(i < data_.size());
+  data_[i] = value;
+  ctx_->record_store(base_ + static_cast<std::uint32_t>(i * sizeof(T)),
+                     static_cast<std::uint8_t>(sizeof(T)));
+}
+
+}  // namespace hetsched

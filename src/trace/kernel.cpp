@@ -1,0 +1,44 @@
+#include "trace/kernel.hpp"
+
+#include "trace/kernels/kernel_base.hpp"
+
+namespace hetsched {
+
+std::string_view to_string(Domain d) {
+  switch (d) {
+    case Domain::kAutomotive: return "automotive";
+    case Domain::kConsumer: return "consumer";
+    case Domain::kNetworking: return "networking";
+    case Domain::kOffice: return "office";
+    case Domain::kTelecom: return "telecom";
+  }
+  return "unknown";
+}
+
+KernelExecution execute(const Kernel& kernel, std::uint64_t data_seed) {
+  ExecutionContext ctx(data_seed);
+  kernel.run(ctx);
+  KernelExecution result;
+  result.counters = ctx.counters();
+  result.footprint_bytes = ctx.footprint_bytes();
+  result.trace = ctx.take_trace();
+  return result;
+}
+
+std::vector<std::unique_ptr<Kernel>> make_standard_kernels(double scale) {
+  std::vector<std::unique_ptr<Kernel>> kernels;
+  append_automotive_kernels(kernels, scale);
+  append_consumer_kernels(kernels, scale);
+  append_networking_kernels(kernels, scale);
+  append_office_kernels(kernels, scale);
+  append_telecom_kernels(kernels, scale);
+  return kernels;
+}
+
+std::vector<std::unique_ptr<Kernel>> make_extended_kernels(double scale) {
+  std::vector<std::unique_ptr<Kernel>> kernels;
+  append_extended_kernels(kernels, scale);
+  return kernels;
+}
+
+}  // namespace hetsched

@@ -1,0 +1,62 @@
+// Kernel interface for the synthetic EEMBC-like benchmark suite.
+//
+// A Kernel is a deterministic embedded-style computation (filter, codec
+// stage, table lookup, graph relaxation, ...) parameterised by a working-set
+// scale. Executing it against an ExecutionContext yields the memory trace
+// and raw counters used for cache characterisation and ANN features.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "trace/execution_context.hpp"
+
+namespace hetsched {
+
+// EEMBC organises its suites by application domain; we mirror that so the
+// suite spans distinct access-pattern families.
+enum class Domain {
+  kAutomotive,
+  kConsumer,
+  kNetworking,
+  kOffice,
+  kTelecom,
+};
+
+std::string_view to_string(Domain d);
+
+class Kernel {
+ public:
+  virtual ~Kernel() = default;
+
+  virtual const std::string& name() const = 0;
+  virtual Domain domain() const = 0;
+
+  // Runs one complete benchmark execution against `ctx`. Implementations
+  // must be deterministic given ctx.rng()'s seed.
+  virtual void run(ExecutionContext& ctx) const = 0;
+};
+
+// Result of executing a kernel once.
+struct KernelExecution {
+  MemTrace trace;
+  RawCounters counters;
+  std::uint32_t footprint_bytes = 0;
+};
+
+// Convenience: run `kernel` with the given data seed.
+KernelExecution execute(const Kernel& kernel, std::uint64_t data_seed);
+
+// Factory for the full suite; defined across the kernels/ translation
+// units. `scale` in (0, 4] multiplies every kernel's working-set knobs so
+// tests can run a miniature suite quickly (scale < 1).
+std::vector<std::unique_ptr<Kernel>> make_standard_kernels(double scale = 1.0);
+
+// Eight additional kernels (CRC, AES-like, Huffman, string search, sparse
+// matvec, Kalman, CAN decode, JPEG quantise) for larger-suite studies;
+// not part of the calibrated standard suite.
+std::vector<std::unique_ptr<Kernel>> make_extended_kernels(double scale = 1.0);
+
+}  // namespace hetsched

@@ -1,0 +1,196 @@
+// Automotive/industrial-style kernels, modelled after the access patterns of
+// EEMBC AutoBench: angle-to-time conversion, table lookup with interpolation,
+// FIR filtering, fixed-point matrix arithmetic and pulse-width modulation.
+#include <cstdint>
+
+#include "trace/kernels/kernel_base.hpp"
+
+namespace hetsched {
+namespace {
+
+// a2time: tooth-wheel angle-to-time conversion. Tight loop over a small
+// lookup table with integer arithmetic — small working set, branch heavy.
+class AngleToTime final : public KernelBase {
+ public:
+  explicit AngleToTime(double scale)
+      : KernelBase("a2time", Domain::kAutomotive, scale) {}
+
+  void run(ExecutionContext& ctx) const override {
+    const std::size_t teeth = scaled(64, 8);
+    const std::size_t pulses = scaled(6000, 64);
+    auto tooth_angle = ctx.alloc<std::uint32_t>(teeth);
+    auto period = ctx.alloc<std::uint32_t>(teeth);
+    auto out = ctx.alloc<std::uint32_t>(teeth);
+
+    for (std::size_t i = 0; i < teeth; ++i) {
+      tooth_angle.poke(i, static_cast<std::uint32_t>(i * 360u));
+      period.poke(i, 1000u + static_cast<std::uint32_t>(ctx.rng().below(500)));
+    }
+
+    std::uint32_t crank = 0;
+    for (std::size_t p = 0; p < pulses; ++p) {
+      const std::size_t tooth = p % teeth;
+      const std::uint32_t angle = tooth_angle.load(tooth);
+      const std::uint32_t per = period.load(tooth);
+      crank += per;
+      ctx.int_op(3);  // accumulate, scale, wrap
+      std::uint32_t t = angle * per / 360u;
+      if (ctx.branch((crank & 0x3ffu) > 512u)) {
+        t += per / 2u;
+        ctx.int_op(1);
+      }
+      out.store(tooth, t);
+    }
+  }
+};
+
+// tblook: engine-map table lookup with bilinear interpolation over a
+// moderately sized 2-D table — mixed sequential/strided reads.
+class TableLookup final : public KernelBase {
+ public:
+  explicit TableLookup(double scale)
+      : KernelBase("tblook", Domain::kAutomotive, scale) {}
+
+  void run(ExecutionContext& ctx) const override {
+    const std::size_t dim = scaled(40, 8);          // dim*dim u32 table
+    const std::size_t lookups = scaled(9000, 64);
+    auto table = ctx.alloc<std::uint32_t>(dim * dim);
+    auto results = ctx.alloc<std::uint32_t>(256);
+
+    for (std::size_t i = 0; i < dim * dim; ++i) {
+      table.poke(i, static_cast<std::uint32_t>(ctx.rng().below(4096)));
+    }
+
+    for (std::size_t q = 0; q < lookups; ++q) {
+      const std::size_t x =
+          static_cast<std::size_t>(ctx.rng().below(dim - 1));
+      const std::size_t y =
+          static_cast<std::size_t>(ctx.rng().below(dim - 1));
+      const std::uint32_t v00 = table.load(y * dim + x);
+      const std::uint32_t v01 = table.load(y * dim + x + 1);
+      const std::uint32_t v10 = table.load((y + 1) * dim + x);
+      const std::uint32_t v11 = table.load((y + 1) * dim + x + 1);
+      ctx.int_op(7);  // bilinear blend in fixed point
+      const std::uint32_t interp = (v00 + v01 + v10 + v11) / 4u;
+      results.store(q % 256, interp);
+    }
+  }
+};
+
+// aifirf: finite impulse response filter over a sample stream — classic
+// sliding-window reuse whose best cache tracks the tap count.
+class FirFilter final : public KernelBase {
+ public:
+  explicit FirFilter(double scale)
+      : KernelBase("aifirf", Domain::kAutomotive, scale) {}
+
+  void run(ExecutionContext& ctx) const override {
+    const std::size_t taps = scaled(32, 8);
+    const std::size_t samples = scaled(700, 64);
+    auto coeff = ctx.alloc<float>(taps);
+    auto input = ctx.alloc<float>(samples + taps);
+    auto output = ctx.alloc<float>(samples);
+
+    for (std::size_t i = 0; i < taps; ++i) {
+      coeff.poke(i, static_cast<float>(ctx.rng().normal(0.0, 0.5)));
+    }
+    for (std::size_t i = 0; i < samples + taps; ++i) {
+      input.poke(i, static_cast<float>(ctx.rng().normal(0.0, 1.0)));
+    }
+
+    for (std::size_t n = 0; n < samples; ++n) {
+      float acc = 0.0f;
+      for (std::size_t k = 0; k < taps; ++k) {
+        acc += coeff.load(k) * input.load(n + k);
+        ctx.fp_op(2);
+        ctx.int_op(1);  // index update
+      }
+      ctx.branch(n + 1 < samples);
+      output.store(n, acc);
+    }
+  }
+};
+
+// matrix01: fixed-size dense matrix multiply — the large-working-set,
+// reuse-rich member of the automotive set.
+class MatrixArith final : public KernelBase {
+ public:
+  explicit MatrixArith(double scale)
+      : KernelBase("matrix01", Domain::kAutomotive, scale) {}
+
+  void run(ExecutionContext& ctx) const override {
+    const std::size_t n = scaled(26, 8);  // 3 matrices of n*n floats
+    auto a = ctx.alloc<float>(n * n);
+    auto b = ctx.alloc<float>(n * n);
+    auto c = ctx.alloc<float>(n * n);
+
+    for (std::size_t i = 0; i < n * n; ++i) {
+      a.poke(i, static_cast<float>(ctx.rng().uniform(-1.0, 1.0)));
+      b.poke(i, static_cast<float>(ctx.rng().uniform(-1.0, 1.0)));
+    }
+
+    const std::size_t repeats = scaled(3, 1);
+    for (std::size_t r = 0; r < repeats; ++r) {
+      for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+          float acc = 0.0f;
+          for (std::size_t k = 0; k < n; ++k) {
+            acc += a.load(i * n + k) * b.load(k * n + j);
+            ctx.fp_op(2);
+            ctx.int_op(2);  // row/col index arithmetic
+          }
+          ctx.branch(j + 1 < n);
+          c.store(i * n + j, acc);
+        }
+      }
+    }
+  }
+};
+
+// puwmod: pulse-width modulation duty-cycle computation — almost entirely
+// register arithmetic with a tiny state array; the smallest footprint in
+// the suite.
+class PulseWidth final : public KernelBase {
+ public:
+  explicit PulseWidth(double scale)
+      : KernelBase("puwmod", Domain::kAutomotive, scale) {}
+
+  void run(ExecutionContext& ctx) const override {
+    const std::size_t channels = scaled(16, 4);
+    const std::size_t ticks = scaled(14000, 128);
+    auto duty = ctx.alloc<std::uint32_t>(channels);
+    auto counter = ctx.alloc<std::uint32_t>(channels);
+    auto level = ctx.alloc<std::uint8_t>(channels);
+
+    for (std::size_t c = 0; c < channels; ++c) {
+      duty.poke(c, static_cast<std::uint32_t>(ctx.rng().below(100)));
+    }
+
+    for (std::size_t t = 0; t < ticks; ++t) {
+      const std::size_t c = t % channels;
+      std::uint32_t cnt = counter.load(c);
+      cnt = (cnt + 1u) % 100u;
+      ctx.int_op(2);
+      counter.store(c, cnt);
+      const bool high = cnt < duty.load(c);
+      if (ctx.branch(high)) {
+        level.store(c, 1);
+      } else {
+        level.store(c, 0);
+      }
+    }
+  }
+};
+
+}  // namespace
+
+void append_automotive_kernels(std::vector<std::unique_ptr<Kernel>>& out,
+                               double scale) {
+  out.push_back(std::make_unique<AngleToTime>(scale));
+  out.push_back(std::make_unique<TableLookup>(scale));
+  out.push_back(std::make_unique<FirFilter>(scale));
+  out.push_back(std::make_unique<MatrixArith>(scale));
+  out.push_back(std::make_unique<PulseWidth>(scale));
+}
+
+}  // namespace hetsched

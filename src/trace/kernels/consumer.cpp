@@ -1,0 +1,186 @@
+// Consumer/media-style kernels, modelled after EEMBC ConsumerBench: JPEG
+// forward DCT, RGB→CMYK conversion, image histogram and error-diffusion
+// dithering.
+#include <algorithm>
+#include <cstdint>
+
+#include "trace/kernels/kernel_base.hpp"
+
+namespace hetsched {
+namespace {
+
+// cjpegdct: 8x8 forward DCT over a stream of image blocks with a resident
+// coefficient table — block-local reuse plus streaming input.
+class JpegDct final : public KernelBase {
+ public:
+  explicit JpegDct(double scale)
+      : KernelBase("cjpegdct", Domain::kConsumer, scale) {}
+
+  void run(ExecutionContext& ctx) const override {
+    const std::size_t blocks = scaled(28, 4);
+    const std::size_t passes = scaled(4, 1);
+    auto cos_table = ctx.alloc<float>(64);
+    auto image = ctx.alloc<float>(blocks * 64);
+    auto row = ctx.alloc<float>(8);  // per-block scratch row
+
+    for (std::size_t i = 0; i < 64; ++i) {
+      cos_table.poke(i, static_cast<float>(ctx.rng().uniform(-1.0, 1.0)));
+    }
+    for (std::size_t i = 0; i < blocks * 64; ++i) {
+      image.poke(i, static_cast<float>(ctx.rng().below(256)));
+    }
+
+    for (std::size_t p = 0; p < passes; ++p) {
+    for (std::size_t b = 0; b < blocks; ++b) {
+      const std::size_t base = b * 64;
+      // Row pass then column pass, both reading the 64-entry cosine table.
+      for (std::size_t u = 0; u < 8; ++u) {
+        for (std::size_t x = 0; x < 8; ++x) {
+          float acc = 0.0f;
+          for (std::size_t k = 0; k < 8; ++k) {
+            acc += image.load(base + u * 8 + k) * cos_table.load(x * 8 + k);
+            ctx.fp_op(2);
+            ctx.int_op(1);
+          }
+          ctx.branch(x + 1 < 8);
+          row.store(x, acc * 0.25f);
+          ctx.fp_op(1);
+        }
+        // Write the transformed row back in place.
+        for (std::size_t x = 0; x < 8; ++x) {
+          image.store(base + u * 8 + x, row.load(x));
+        }
+      }
+    }
+    }
+  }
+};
+
+// rgbcmy: pixelwise RGB→CMYK conversion — pure streaming with no reuse;
+// its best cache is the smallest one (misses are compulsory regardless).
+class RgbToCmyk final : public KernelBase {
+ public:
+  explicit RgbToCmyk(double scale)
+      : KernelBase("rgbcmy", Domain::kConsumer, scale) {}
+
+  void run(ExecutionContext& ctx) const override {
+    const std::size_t pixels = scaled(5000, 64);
+    auto rgb = ctx.alloc<std::uint8_t>(pixels * 3);
+    auto cmyk = ctx.alloc<std::uint8_t>(pixels * 4);
+
+    for (std::size_t i = 0; i < pixels * 3; ++i) {
+      rgb.poke(i, static_cast<std::uint8_t>(ctx.rng().below(256)));
+    }
+
+    for (std::size_t p = 0; p < pixels; ++p) {
+      const std::uint8_t r = rgb.load(p * 3);
+      const std::uint8_t g = rgb.load(p * 3 + 1);
+      const std::uint8_t b = rgb.load(p * 3 + 2);
+      std::uint8_t c = static_cast<std::uint8_t>(255 - r);
+      std::uint8_t m = static_cast<std::uint8_t>(255 - g);
+      std::uint8_t y = static_cast<std::uint8_t>(255 - b);
+      std::uint8_t k = c < m ? (c < y ? c : y) : (m < y ? m : y);
+      ctx.int_op(6);
+      ctx.branch(k > 0);
+      cmyk.store(p * 4, static_cast<std::uint8_t>(c - k));
+      cmyk.store(p * 4 + 1, static_cast<std::uint8_t>(m - k));
+      cmyk.store(p * 4 + 2, static_cast<std::uint8_t>(y - k));
+      cmyk.store(p * 4 + 3, k);
+    }
+  }
+};
+
+// histogram: 256-bin luminance histogram — streaming reads plus hot
+// read-modify-write traffic into a 1 KB bin array.
+class HistogramKernel final : public KernelBase {
+ public:
+  explicit HistogramKernel(double scale)
+      : KernelBase("histgrm", Domain::kConsumer, scale) {}
+
+  void run(ExecutionContext& ctx) const override {
+    const std::size_t pixels = scaled(7000, 64);
+    const std::size_t nbins = scaled(1536, 64);
+    auto image = ctx.alloc<std::uint16_t>(pixels);
+    auto bins = ctx.alloc<std::uint32_t>(nbins);
+
+    for (std::size_t i = 0; i < pixels; ++i) {
+      const double v = ctx.rng().normal(static_cast<double>(nbins) / 2.0,
+                                        static_cast<double>(nbins) / 5.0);
+      const double clamped =
+          std::min(std::max(v, 0.0), static_cast<double>(nbins - 1));
+      image.poke(i, static_cast<std::uint16_t>(clamped));
+    }
+
+    for (std::size_t p = 0; p < pixels; ++p) {
+      const std::uint16_t lum = image.load(p);
+      const std::uint32_t count = bins.load(lum);
+      bins.store(lum, count + 1u);
+      ctx.int_op(2);
+      ctx.branch(p + 1 < pixels);
+    }
+    // Cumulative pass over the bins (histogram equalisation step).
+    std::uint32_t acc = 0;
+    for (std::size_t i = 0; i < nbins; ++i) {
+      acc += bins.load(i);
+      bins.store(i, acc);
+      ctx.int_op(1);
+    }
+  }
+};
+
+// dith: Floyd–Steinberg error diffusion over an image row window — two-row
+// working set with neighbour-carried dependencies.
+class ErrorDiffusion final : public KernelBase {
+ public:
+  explicit ErrorDiffusion(double scale)
+      : KernelBase("dith", Domain::kConsumer, scale) {}
+
+  void run(ExecutionContext& ctx) const override {
+    const std::size_t width = scaled(256, 16);
+    const std::size_t rows = scaled(24, 4);
+    auto current = ctx.alloc<std::int32_t>(width);
+    auto next = ctx.alloc<std::int32_t>(width);
+    auto out = ctx.alloc<std::uint8_t>(width * rows);
+
+    for (std::size_t i = 0; i < width; ++i) {
+      current.poke(i, static_cast<std::int32_t>(ctx.rng().below(256)));
+    }
+
+    for (std::size_t r = 0; r < rows; ++r) {
+      for (std::size_t x = 0; x < width; ++x) {
+        const std::int32_t old = current.load(x);
+        const std::int32_t quant = old >= 128 ? 255 : 0;
+        ctx.branch(old >= 128);
+        const std::int32_t err = old - quant;
+        ctx.int_op(2);
+        out.store(r * width + x, static_cast<std::uint8_t>(quant));
+        if (ctx.branch(x + 1 < width)) {
+          current.store(x + 1, current.load(x + 1) + err * 7 / 16);
+          next.store(x + 1, next.load(x + 1) + err * 1 / 16);
+          ctx.int_op(4);
+        }
+        next.store(x, next.load(x) + err * 5 / 16);
+        ctx.int_op(2);
+      }
+      // Swap rows: the "next" row becomes current, seeded with fresh input.
+      for (std::size_t x = 0; x < width; ++x) {
+        current.store(x, next.load(x) +
+                             static_cast<std::int32_t>(ctx.rng().below(256)));
+        next.store(x, 0);
+        ctx.int_op(1);
+      }
+    }
+  }
+};
+
+}  // namespace
+
+void append_consumer_kernels(std::vector<std::unique_ptr<Kernel>>& out,
+                             double scale) {
+  out.push_back(std::make_unique<JpegDct>(scale));
+  out.push_back(std::make_unique<RgbToCmyk>(scale));
+  out.push_back(std::make_unique<HistogramKernel>(scale));
+  out.push_back(std::make_unique<ErrorDiffusion>(scale));
+}
+
+}  // namespace hetsched

@@ -1,0 +1,354 @@
+// Extended kernel pack: eight additional EEMBC-style kernels (CRC,
+// AES-like substitution, Huffman decode, string search, sparse matrix,
+// Kalman-style filter, CAN frame decode, JPEG quantisation). Not part of
+// the calibrated standard suite; opted into via
+// SuiteOptions::include_extended for larger-suite robustness studies.
+#include <cmath>
+#include <cstdint>
+
+#include "trace/kernels/kernel_base.hpp"
+
+namespace hetsched {
+namespace {
+
+// crc32: table-driven CRC over a byte stream — 1 KB hot table.
+class Crc32 final : public KernelBase {
+ public:
+  explicit Crc32(double scale)
+      : KernelBase("crc32", Domain::kNetworking, scale) {}
+
+  void run(ExecutionContext& ctx) const override {
+    const std::size_t length = scaled(16000, 256);
+    auto table = ctx.alloc<std::uint32_t>(256);
+    auto data = ctx.alloc<std::uint8_t>(length);
+
+    for (std::size_t i = 0; i < 256; ++i) {
+      std::uint32_t c = static_cast<std::uint32_t>(i);
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+      }
+      table.poke(i, c);
+    }
+    for (std::size_t i = 0; i < length; ++i) {
+      data.poke(i, static_cast<std::uint8_t>(ctx.rng().below(256)));
+    }
+
+    std::uint32_t crc = 0xffffffffu;
+    for (std::size_t i = 0; i < length; ++i) {
+      const std::uint8_t byte = data.load(i);
+      crc = table.load((crc ^ byte) & 0xffu) ^ (crc >> 8);
+      ctx.int_op(3);
+      ctx.branch(i + 1 < length);
+    }
+    (void)crc;
+  }
+};
+
+// aesround: AES-like S-box substitution + mixing rounds over 16-byte
+// blocks — tiny hot state, substitution-table bound.
+class AesRound final : public KernelBase {
+ public:
+  explicit AesRound(double scale)
+      : KernelBase("aesrnd", Domain::kNetworking, scale) {}
+
+  void run(ExecutionContext& ctx) const override {
+    const std::size_t blocks = scaled(700, 16);
+    auto sbox = ctx.alloc<std::uint8_t>(256);
+    auto state = ctx.alloc<std::uint8_t>(16);
+    auto input = ctx.alloc<std::uint8_t>(blocks * 16);
+
+    for (std::size_t i = 0; i < 256; ++i) {
+      sbox.poke(i, static_cast<std::uint8_t>((i * 167 + 13) & 0xff));
+    }
+    for (std::size_t i = 0; i < blocks * 16; ++i) {
+      input.poke(i, static_cast<std::uint8_t>(ctx.rng().below(256)));
+    }
+
+    for (std::size_t b = 0; b < blocks; ++b) {
+      for (std::size_t i = 0; i < 16; ++i) {
+        state.store(i, input.load(b * 16 + i));
+      }
+      for (int round = 0; round < 10; ++round) {
+        for (std::size_t i = 0; i < 16; ++i) {
+          const std::uint8_t s = sbox.load(state.load(i));
+          state.store(i, static_cast<std::uint8_t>(
+                             s ^ static_cast<std::uint8_t>(round)));
+          ctx.int_op(2);
+        }
+        ctx.branch(round < 9);
+      }
+    }
+  }
+};
+
+// huffde: canonical Huffman decode via a node-table walk — mid-sized tree
+// with data-dependent branching.
+class HuffmanDecode final : public KernelBase {
+ public:
+  explicit HuffmanDecode(double scale)
+      : KernelBase("huffde", Domain::kConsumer, scale) {}
+
+  void run(ExecutionContext& ctx) const override {
+    const std::size_t nodes = scaled(700, 32);   // 2 u16 per node
+    const std::size_t bits = scaled(40000, 512);
+    auto tree = ctx.alloc<std::uint16_t>(nodes * 2);
+    auto stream = ctx.alloc<std::uint8_t>(bits / 8);
+
+    // Random full-ish binary tree: internal nodes link forward.
+    for (std::size_t i = 0; i < nodes; ++i) {
+      const std::uint64_t remaining = nodes - i - 1;
+      if (remaining > 2 && ctx.rng().bernoulli(0.7)) {
+        tree.poke(i * 2, static_cast<std::uint16_t>(
+                             i + 1 + ctx.rng().below(remaining)));
+        tree.poke(i * 2 + 1, static_cast<std::uint16_t>(
+                                 i + 1 + ctx.rng().below(remaining)));
+      } else {
+        tree.poke(i * 2, 0);  // leaf
+        tree.poke(i * 2 + 1, 0);
+      }
+    }
+    for (std::size_t i = 0; i < bits / 8; ++i) {
+      stream.poke(i, static_cast<std::uint8_t>(ctx.rng().below(256)));
+    }
+
+    std::size_t node = 0;
+    std::uint64_t symbols = 0;
+    for (std::size_t b = 0; b < bits; ++b) {
+      const std::uint8_t byte = stream.load(b / 8);
+      const bool bit = (byte >> (b % 8)) & 1u;
+      const std::uint16_t child = tree.load(node * 2 + (bit ? 1 : 0));
+      ctx.int_op(2);
+      if (ctx.branch(child == 0 || child >= nodes)) {
+        ++symbols;  // leaf: emit symbol, restart at root
+        node = 0;
+      } else {
+        node = child;
+      }
+    }
+    (void)symbols;
+  }
+};
+
+// strsearch: Horspool substring search — 256-entry shift table plus a
+// streamed text buffer.
+class StringSearch final : public KernelBase {
+ public:
+  explicit StringSearch(double scale)
+      : KernelBase("strsrch", Domain::kOffice, scale) {}
+
+  void run(ExecutionContext& ctx) const override {
+    const std::size_t text_len = scaled(12000, 512);
+    constexpr std::size_t kPatternLen = 8;
+    auto text = ctx.alloc<std::uint8_t>(text_len);
+    auto pattern = ctx.alloc<std::uint8_t>(kPatternLen);
+    auto shift = ctx.alloc<std::uint32_t>(256);
+
+    for (std::size_t i = 0; i < text_len; ++i) {
+      text.poke(i, static_cast<std::uint8_t>('a' + ctx.rng().below(8)));
+    }
+    for (std::size_t i = 0; i < kPatternLen; ++i) {
+      pattern.poke(i, static_cast<std::uint8_t>('a' + ctx.rng().below(8)));
+    }
+    for (std::size_t i = 0; i < 256; ++i) shift.poke(i, kPatternLen);
+    for (std::size_t i = 0; i + 1 < kPatternLen; ++i) {
+      shift.poke(pattern.peek(i),
+                 static_cast<std::uint32_t>(kPatternLen - 1 - i));
+    }
+
+    std::uint64_t matches = 0;
+    std::size_t pos = 0;
+    while (ctx.branch(pos + kPatternLen <= text_len)) {
+      std::size_t i = kPatternLen;
+      while (i > 0 && ctx.branch(text.load(pos + i - 1) ==
+                                 pattern.load(i - 1))) {
+        --i;
+        ctx.int_op(1);
+      }
+      if (ctx.branch(i == 0)) ++matches;
+      pos += shift.load(text.load(pos + kPatternLen - 1));
+      ctx.int_op(2);
+    }
+    (void)matches;
+  }
+};
+
+// sparsemv: CSR sparse matrix-vector product — indexed gathers over a
+// large working set.
+class SparseMatVec final : public KernelBase {
+ public:
+  explicit SparseMatVec(double scale)
+      : KernelBase("sparsemv", Domain::kAutomotive, scale) {}
+
+  void run(ExecutionContext& ctx) const override {
+    const std::size_t rows = scaled(220, 16);
+    const std::size_t nnz_per_row = 6;
+    const std::size_t nnz = rows * nnz_per_row;
+    auto values = ctx.alloc<float>(nnz);
+    auto cols = ctx.alloc<std::uint32_t>(nnz);
+    auto x = ctx.alloc<float>(rows);
+    auto y = ctx.alloc<float>(rows);
+
+    for (std::size_t i = 0; i < nnz; ++i) {
+      values.poke(i, static_cast<float>(ctx.rng().uniform(-1, 1)));
+      cols.poke(i, static_cast<std::uint32_t>(ctx.rng().below(rows)));
+    }
+    for (std::size_t i = 0; i < rows; ++i) {
+      x.poke(i, static_cast<float>(ctx.rng().uniform(-1, 1)));
+    }
+
+    const std::size_t repeats = scaled(4, 1);
+    for (std::size_t rep = 0; rep < repeats; ++rep) {
+      for (std::size_t r = 0; r < rows; ++r) {
+        float acc = 0.0f;
+        for (std::size_t k = 0; k < nnz_per_row; ++k) {
+          const std::size_t idx = r * nnz_per_row + k;
+          acc += values.load(idx) * x.load(cols.load(idx));
+          ctx.fp_op(2);
+          ctx.int_op(2);
+        }
+        ctx.branch(r + 1 < rows);
+        y.store(r, acc);
+      }
+    }
+  }
+};
+
+// kalman: constant-size state estimator update — dense 6x6 floating-point
+// algebra, compute bound with a tiny footprint.
+class KalmanFilter final : public KernelBase {
+ public:
+  explicit KalmanFilter(double scale)
+      : KernelBase("kalman", Domain::kAutomotive, scale) {}
+
+  void run(ExecutionContext& ctx) const override {
+    constexpr std::size_t kN = 6;
+    const std::size_t steps = scaled(220, 16);
+    auto state = ctx.alloc<float>(kN);
+    auto cov = ctx.alloc<float>(kN * kN);
+    auto gain = ctx.alloc<float>(kN * kN);
+    auto meas = ctx.alloc<float>(steps * 2);
+
+    for (std::size_t i = 0; i < kN; ++i) state.poke(i, 0.0f);
+    for (std::size_t i = 0; i < kN * kN; ++i) {
+      cov.poke(i, i % (kN + 1) == 0 ? 1.0f : 0.0f);
+      gain.poke(i, static_cast<float>(ctx.rng().uniform(-0.1, 0.1)));
+    }
+    for (std::size_t i = 0; i < steps * 2; ++i) {
+      meas.poke(i, static_cast<float>(ctx.rng().normal(0.0, 1.0)));
+    }
+
+    for (std::size_t t = 0; t < steps; ++t) {
+      // Predict: cov += gain * cov (simplified propagation).
+      for (std::size_t i = 0; i < kN; ++i) {
+        for (std::size_t j = 0; j < kN; ++j) {
+          float acc = cov.load(i * kN + j);
+          for (std::size_t k = 0; k < kN; ++k) {
+            acc += gain.load(i * kN + k) * cov.load(k * kN + j) * 0.01f;
+            ctx.fp_op(3);
+          }
+          cov.store(i * kN + j, acc);
+          ctx.branch(j + 1 < kN);
+        }
+      }
+      // Update the state from the two measurements.
+      const float z0 = meas.load(t * 2);
+      const float z1 = meas.load(t * 2 + 1);
+      for (std::size_t i = 0; i < kN; ++i) {
+        const float residual =
+            (i % 2 == 0 ? z0 : z1) - state.load(i) * 0.5f;
+        state.store(i, state.load(i) + 0.1f * residual);
+        ctx.fp_op(4);
+      }
+    }
+  }
+};
+
+// canrdr: CAN bus frame decode — small ring of frames, bit-field
+// extraction and a dispatch histogram.
+class CanReader final : public KernelBase {
+ public:
+  explicit CanReader(double scale)
+      : KernelBase("canrdr", Domain::kAutomotive, scale) {}
+
+  void run(ExecutionContext& ctx) const override {
+    const std::size_t frames = scaled(4500, 64);
+    constexpr std::size_t kRing = 32;
+    auto ring = ctx.alloc<std::uint32_t>(kRing * 4);  // 16-byte frames
+    auto dispatch = ctx.alloc<std::uint32_t>(128);
+
+    for (std::size_t f = 0; f < frames; ++f) {
+      const std::size_t slot = f % kRing;
+      // "Receive" a frame.
+      for (std::size_t w = 0; w < 4; ++w) {
+        ring.store(slot * 4 + w,
+                   static_cast<std::uint32_t>(ctx.rng().next()));
+      }
+      // Decode: 11-bit id, 4-bit dlc, payload checksum.
+      const std::uint32_t header = ring.load(slot * 4);
+      const std::uint32_t id = header >> 21;
+      const std::uint32_t dlc = (header >> 17) & 0xfu;
+      ctx.int_op(3);
+      std::uint32_t sum = 0;
+      for (std::uint32_t w = 1; w <= (dlc % 3) + 1; ++w) {
+        sum += ring.load(slot * 4 + w);
+        ctx.int_op(1);
+      }
+      const std::size_t bin = (id ^ sum) % 128u;
+      dispatch.store(bin, dispatch.load(bin) + 1u);
+      ctx.int_op(2);
+      ctx.branch(f + 1 < frames);
+    }
+  }
+};
+
+// jpegquant: quantisation + zig-zag reordering of DCT blocks — streamed
+// blocks against two resident 64-entry tables.
+class JpegQuantise final : public KernelBase {
+ public:
+  explicit JpegQuantise(double scale)
+      : KernelBase("jpegqnt", Domain::kConsumer, scale) {}
+
+  void run(ExecutionContext& ctx) const override {
+    const std::size_t blocks = scaled(450, 16);
+    auto quant = ctx.alloc<std::uint16_t>(64);
+    auto zigzag = ctx.alloc<std::uint8_t>(64);
+    auto coeffs = ctx.alloc<std::int16_t>(blocks * 64);
+    auto out = ctx.alloc<std::int16_t>(64);
+
+    for (std::size_t i = 0; i < 64; ++i) {
+      quant.poke(i, static_cast<std::uint16_t>(1 + (i * 3) / 2));
+      zigzag.poke(i, static_cast<std::uint8_t>((i * 29) % 64));
+    }
+    for (std::size_t i = 0; i < blocks * 64; ++i) {
+      coeffs.poke(i,
+                  static_cast<std::int16_t>(ctx.rng().normal(0.0, 60.0)));
+    }
+
+    for (std::size_t b = 0; b < blocks; ++b) {
+      for (std::size_t i = 0; i < 64; ++i) {
+        const std::size_t src = b * 64 + zigzag.load(i);
+        const std::int16_t q = static_cast<std::int16_t>(
+            coeffs.load(src) / static_cast<std::int16_t>(quant.load(i)));
+        out.store(i, q);
+        ctx.int_op(3);
+        ctx.branch(q != 0);
+      }
+    }
+  }
+};
+
+}  // namespace
+
+void append_extended_kernels(std::vector<std::unique_ptr<Kernel>>& out,
+                             double scale) {
+  out.push_back(std::make_unique<Crc32>(scale));
+  out.push_back(std::make_unique<AesRound>(scale));
+  out.push_back(std::make_unique<HuffmanDecode>(scale));
+  out.push_back(std::make_unique<StringSearch>(scale));
+  out.push_back(std::make_unique<SparseMatVec>(scale));
+  out.push_back(std::make_unique<KalmanFilter>(scale));
+  out.push_back(std::make_unique<CanReader>(scale));
+  out.push_back(std::make_unique<JpegQuantise>(scale));
+}
+
+}  // namespace hetsched

@@ -1,0 +1,53 @@
+// Shared base for the synthetic kernels: name/domain storage plus the
+// working-set scaling helper every kernel uses.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <string>
+#include <utility>
+
+#include "trace/kernel.hpp"
+
+namespace hetsched {
+
+class KernelBase : public Kernel {
+ public:
+  KernelBase(std::string name, Domain domain, double scale)
+      : name_(std::move(name)), domain_(domain), scale_(scale) {
+    HETSCHED_REQUIRE(scale > 0.0 && scale <= 4.0);
+  }
+
+  const std::string& name() const override { return name_; }
+  Domain domain() const override { return domain_; }
+
+ protected:
+  // Scales a working-set knob, never below `floor` (kernels need a minimum
+  // problem size to be meaningful).
+  std::size_t scaled(std::size_t base, std::size_t floor = 4) const {
+    const auto v = static_cast<std::size_t>(
+        static_cast<double>(base) * scale_);
+    return std::max(v, floor);
+  }
+
+ private:
+  std::string name_;
+  Domain domain_;
+  double scale_;
+};
+
+// Per-domain factory hooks implemented in the sibling .cpp files.
+void append_automotive_kernels(std::vector<std::unique_ptr<Kernel>>& out,
+                               double scale);
+void append_consumer_kernels(std::vector<std::unique_ptr<Kernel>>& out,
+                             double scale);
+void append_networking_kernels(std::vector<std::unique_ptr<Kernel>>& out,
+                               double scale);
+void append_office_kernels(std::vector<std::unique_ptr<Kernel>>& out,
+                           double scale);
+void append_telecom_kernels(std::vector<std::unique_ptr<Kernel>>& out,
+                            double scale);
+void append_extended_kernels(std::vector<std::unique_ptr<Kernel>>& out,
+                             double scale);
+
+}  // namespace hetsched

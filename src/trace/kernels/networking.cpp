@@ -1,0 +1,166 @@
+// Networking-style kernels, modelled after EEMBC NetBench: longest-prefix
+// route lookup over a trie, packet-queue management, and OSPF-style
+// shortest-path relaxation.
+#include <cstdint>
+
+#include "trace/kernels/kernel_base.hpp"
+
+namespace hetsched {
+namespace {
+
+// routelkup: longest-prefix match over a binary trie stored as an index
+// array — pointer-chase pattern with a working set that defeats small
+// caches.
+class RouteLookup final : public KernelBase {
+ public:
+  explicit RouteLookup(double scale)
+      : KernelBase("routelkup", Domain::kNetworking, scale) {}
+
+  void run(ExecutionContext& ctx) const override {
+    const std::size_t nodes = scaled(620, 64);  // 3 u32 per node
+    const std::size_t packets = scaled(1700, 64);
+    // node layout: [left child, right child, next-hop] per node
+    auto trie = ctx.alloc<std::uint32_t>(nodes * 3);
+
+    // Build a randomly linked node table (a compressed multibit trie in
+    // spirit): every node links to two other nodes, so lookups walk a
+    // fixed number of levels across the whole structure.
+    for (std::size_t i = 0; i < nodes; ++i) {
+      trie.poke(i * 3, static_cast<std::uint32_t>(ctx.rng().below(nodes)));
+      trie.poke(i * 3 + 1,
+                static_cast<std::uint32_t>(ctx.rng().below(nodes)));
+      trie.poke(i * 3 + 2, static_cast<std::uint32_t>(ctx.rng().below(64)));
+    }
+
+    constexpr int kLevels = 12;
+    std::uint64_t delivered = 0;
+    for (std::size_t p = 0; p < packets; ++p) {
+      std::uint32_t addr32 =
+          static_cast<std::uint32_t>(ctx.rng().next());
+      std::uint32_t node = addr32 % nodes;
+      std::uint32_t hop = 0;
+      for (int depth = 0; depth < kLevels; ++depth) {
+        const bool bit = (addr32 >> (31 - depth)) & 1u;
+        ctx.int_op(2);
+        node = trie.load(node * 3 + (bit ? 1u : 0u));
+        ctx.branch(depth + 1 < kLevels);
+      }
+      hop = trie.load(node * 3 + 2);
+      delivered += hop;
+      ctx.int_op(1);
+    }
+    (void)delivered;
+  }
+};
+
+// pktflow: packet buffer enqueue/dequeue with header checksumming — FIFO
+// reuse over a ring of packet buffers.
+class PacketFlow final : public KernelBase {
+ public:
+  explicit PacketFlow(double scale)
+      : KernelBase("pktflow", Domain::kNetworking, scale) {}
+
+  void run(ExecutionContext& ctx) const override {
+    const std::size_t ring_slots = scaled(24, 4);
+    const std::size_t packet_words = 16;  // 64-byte packets
+    const std::size_t events = scaled(4200, 64);
+    auto ring = ctx.alloc<std::uint32_t>(ring_slots * packet_words);
+    auto checksums = ctx.alloc<std::uint32_t>(ring_slots);
+
+    std::size_t head = 0, tail = 0, occupancy = 0;
+    for (std::size_t e = 0; e < events; ++e) {
+      const bool enqueue = occupancy == 0 ||
+                           (occupancy < ring_slots && ctx.rng().bernoulli(0.55));
+      if (ctx.branch(enqueue)) {
+        const std::size_t slot = head % ring_slots;
+        std::uint32_t sum = 0;
+        for (std::size_t w = 0; w < packet_words; ++w) {
+          const std::uint32_t word =
+              static_cast<std::uint32_t>(ctx.rng().next());
+          ring.store(slot * packet_words + w, word);
+          sum += word;
+          ctx.int_op(2);
+        }
+        checksums.store(slot, sum);
+        ++head;
+        ++occupancy;
+      } else {
+        const std::size_t slot = tail % ring_slots;
+        std::uint32_t sum = 0;
+        for (std::size_t w = 0; w < packet_words; ++w) {
+          sum += ring.load(slot * packet_words + w);
+          ctx.int_op(1);
+        }
+        const bool ok = sum == checksums.load(slot);
+        ctx.branch(ok);
+        ++tail;
+        --occupancy;
+      }
+      ctx.int_op(2);  // pointer updates
+    }
+  }
+};
+
+// ospf: Dijkstra-style relaxation over a dense adjacency matrix — large
+// read-mostly working set with row-major scans.
+class OspfDijkstra final : public KernelBase {
+ public:
+  explicit OspfDijkstra(double scale)
+      : KernelBase("ospf", Domain::kNetworking, scale) {}
+
+  void run(ExecutionContext& ctx) const override {
+    const std::size_t n = scaled(42, 8);
+    auto adj = ctx.alloc<std::uint32_t>(n * n);
+    auto dist = ctx.alloc<std::uint32_t>(n);
+    auto done = ctx.alloc<std::uint8_t>(n);
+
+    constexpr std::uint32_t kInf = 0x3fffffff;
+    for (std::size_t i = 0; i < n * n; ++i) {
+      adj.poke(i, ctx.rng().bernoulli(0.35)
+                      ? static_cast<std::uint32_t>(1 + ctx.rng().below(100))
+                      : kInf);
+    }
+    for (std::size_t i = 0; i < n; ++i) dist.poke(i, kInf);
+    dist.poke(0, 0);
+
+    for (std::size_t iter = 0; iter < n; ++iter) {
+      // Select the nearest unfinished vertex.
+      std::size_t best = n;
+      std::uint32_t best_d = kInf;
+      for (std::size_t v = 0; v < n; ++v) {
+        const bool candidate =
+            done.load(v) == 0 && dist.load(v) < best_d;
+        if (ctx.branch(candidate)) {
+          best = v;
+          best_d = dist.load(v);
+        }
+        ctx.int_op(1);
+      }
+      if (!ctx.branch(best < n)) break;
+      done.store(best, 1);
+      // Relax its out-edges.
+      for (std::size_t v = 0; v < n; ++v) {
+        const std::uint32_t w = adj.load(best * n + v);
+        if (ctx.branch(w != kInf)) {
+          const std::uint32_t nd = best_d + w;
+          ctx.int_op(1);
+          if (ctx.branch(nd < dist.load(v))) {
+            dist.store(v, nd);
+          }
+        }
+        ctx.int_op(1);
+      }
+    }
+  }
+};
+
+}  // namespace
+
+void append_networking_kernels(std::vector<std::unique_ptr<Kernel>>& out,
+                               double scale) {
+  out.push_back(std::make_unique<RouteLookup>(scale));
+  out.push_back(std::make_unique<PacketFlow>(scale));
+  out.push_back(std::make_unique<OspfDijkstra>(scale));
+}
+
+}  // namespace hetsched

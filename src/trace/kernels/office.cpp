@@ -1,0 +1,159 @@
+// Office-automation-style kernels, modelled after EEMBC OfficeBench: Bézier
+// curve interpolation (printing), text parsing, and image rotation.
+#include <cstdint>
+
+#include "trace/kernels/kernel_base.hpp"
+
+namespace hetsched {
+namespace {
+
+// bezier01: cubic Bézier evaluation for font/plot rendering — floating
+// point heavy over a tiny control-point set.
+class BezierInterp final : public KernelBase {
+ public:
+  explicit BezierInterp(double scale)
+      : KernelBase("bezier01", Domain::kOffice, scale) {}
+
+  void run(ExecutionContext& ctx) const override {
+    const std::size_t curves = scaled(88, 4);
+    const std::size_t steps = scaled(16, 4);
+    const std::size_t passes = scaled(4, 1);
+    auto control = ctx.alloc<float>(curves * 8);  // 4 (x,y) points per curve
+    auto out = ctx.alloc<float>(steps * 2);
+
+    for (std::size_t i = 0; i < curves * 8; ++i) {
+      control.poke(i, static_cast<float>(ctx.rng().uniform(0.0, 512.0)));
+    }
+
+    for (std::size_t p = 0; p < passes; ++p) {
+    for (std::size_t c = 0; c < curves; ++c) {
+      const std::size_t base = c * 8;
+      for (std::size_t s = 0; s < steps; ++s) {
+        const float t = static_cast<float>(s) / static_cast<float>(steps);
+        const float mt = 1.0f - t;
+        const float b0 = mt * mt * mt;
+        const float b1 = 3.0f * mt * mt * t;
+        const float b2 = 3.0f * mt * t * t;
+        const float b3 = t * t * t;
+        ctx.fp_op(12);
+        float x = b0 * control.load(base) + b1 * control.load(base + 2) +
+                  b2 * control.load(base + 4) + b3 * control.load(base + 6);
+        float y = b0 * control.load(base + 1) + b1 * control.load(base + 3) +
+                  b2 * control.load(base + 5) + b3 * control.load(base + 7);
+        ctx.fp_op(14);
+        ctx.branch(s + 1 < steps);
+        out.store(s * 2, x);
+        out.store(s * 2 + 1, y);
+      }
+    }
+    }
+  }
+};
+
+// text01: token scanning and keyword counting over a byte buffer — byte
+// streaming with a small hot dispatch table.
+class TextParse final : public KernelBase {
+ public:
+  explicit TextParse(double scale)
+      : KernelBase("text01", Domain::kOffice, scale) {}
+
+  void run(ExecutionContext& ctx) const override {
+    const std::size_t length = scaled(9000, 256);
+    const std::size_t trigram_bins = scaled(1600, 64);
+    auto text = ctx.alloc<std::uint8_t>(length);
+    auto char_class = ctx.alloc<std::uint8_t>(128);
+    auto token_hist = ctx.alloc<std::uint32_t>(64);
+    auto trigram_hist = ctx.alloc<std::uint32_t>(trigram_bins);
+
+    for (std::size_t i = 0; i < 128; ++i) {
+      // 0 = separator, 1 = alpha, 2 = digit, 3 = punct
+      const std::uint8_t cls =
+          (i >= 'a' && i <= 'z') || (i >= 'A' && i <= 'Z') ? 1
+          : (i >= '0' && i <= '9')                         ? 2
+          : (i == ' ' || i == '\n' || i == '\t')           ? 0
+                                                           : 3;
+      char_class.poke(i, cls);
+    }
+    for (std::size_t i = 0; i < length; ++i) {
+      // Biased toward letters and spaces, like real text.
+      const std::uint64_t roll = ctx.rng().below(100);
+      std::uint8_t ch;
+      if (roll < 70) {
+        ch = static_cast<std::uint8_t>('a' + ctx.rng().below(26));
+      } else if (roll < 85) {
+        ch = ' ';
+      } else if (roll < 93) {
+        ch = static_cast<std::uint8_t>('0' + ctx.rng().below(10));
+      } else {
+        ch = '.';
+      }
+      text.poke(i, ch);
+    }
+
+    std::uint32_t token_len = 0;
+    std::uint32_t hash = 0;
+    for (std::size_t i = 0; i < length; ++i) {
+      const std::uint8_t ch = text.load(i);
+      const std::uint8_t cls = char_class.load(ch & 0x7f);
+      ctx.int_op(1);
+      if (ctx.branch(cls == 0)) {
+        if (ctx.branch(token_len > 0)) {
+          const std::size_t bin = hash % 64u;
+          token_hist.store(bin, token_hist.load(bin) + 1u);
+          ctx.int_op(2);
+        }
+        token_len = 0;
+        hash = 0;
+      } else {
+        hash = hash * 31u + ch;
+        ++token_len;
+        ctx.int_op(3);
+        // Trigram index statistics (hot mid-sized table).
+        const std::size_t bin = hash % trigram_bins;
+        trigram_hist.store(bin, trigram_hist.load(bin) + 1u);
+        ctx.int_op(2);
+      }
+    }
+  }
+};
+
+// rotate01: 90-degree bitmap rotation — strided writes against sequential
+// reads; the transpose-like pattern stresses line size choice.
+class ImageRotate final : public KernelBase {
+ public:
+  explicit ImageRotate(double scale)
+      : KernelBase("rotate01", Domain::kOffice, scale) {}
+
+  void run(ExecutionContext& ctx) const override {
+    const std::size_t dim = scaled(52, 8);  // dim x dim bytes, twice
+    auto src = ctx.alloc<std::uint8_t>(dim * dim);
+    auto dst = ctx.alloc<std::uint8_t>(dim * dim);
+
+    for (std::size_t i = 0; i < dim * dim; ++i) {
+      src.poke(i, static_cast<std::uint8_t>(ctx.rng().below(256)));
+    }
+
+    const std::size_t passes = scaled(3, 1);
+    for (std::size_t p = 0; p < passes; ++p) {
+      for (std::size_t y = 0; y < dim; ++y) {
+        for (std::size_t x = 0; x < dim; ++x) {
+          const std::uint8_t v = src.load(y * dim + x);
+          dst.store(x * dim + (dim - 1 - y), v);
+          ctx.int_op(3);
+          ctx.branch(x + 1 < dim);
+        }
+      }
+    }
+  }
+};
+
+}  // namespace
+
+void append_office_kernels(std::vector<std::unique_ptr<Kernel>>& out,
+                           double scale) {
+  out.push_back(std::make_unique<BezierInterp>(scale));
+  out.push_back(std::make_unique<TextParse>(scale));
+  out.push_back(std::make_unique<ImageRotate>(scale));
+}
+
+}  // namespace hetsched

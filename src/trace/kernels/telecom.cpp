@@ -1,0 +1,232 @@
+// Telecom/DSP-style kernels, modelled after EEMBC TeleBench:
+// autocorrelation, convolutional encoding, Viterbi decoding and an FFT
+// butterfly pass.
+#include <cmath>
+#include <cstdint>
+
+#include "trace/kernels/kernel_base.hpp"
+
+namespace hetsched {
+namespace {
+
+// autcor: fixed-lag autocorrelation of a sample buffer — repeated
+// sequential sweeps over a mid-sized array.
+class Autocorrelation final : public KernelBase {
+ public:
+  explicit Autocorrelation(double scale)
+      : KernelBase("autcor", Domain::kTelecom, scale) {}
+
+  void run(ExecutionContext& ctx) const override {
+    const std::size_t samples = scaled(900, 64);
+    const std::size_t lags = scaled(24, 4);
+    auto input = ctx.alloc<std::int32_t>(samples);
+    auto output = ctx.alloc<std::int64_t>(lags);
+
+    for (std::size_t i = 0; i < samples; ++i) {
+      input.poke(i,
+                 static_cast<std::int32_t>(ctx.rng().normal(0.0, 1024.0)));
+    }
+
+    for (std::size_t lag = 0; lag < lags; ++lag) {
+      std::int64_t acc = 0;
+      for (std::size_t i = 0; i + lag < samples; ++i) {
+        acc += static_cast<std::int64_t>(input.load(i)) *
+               static_cast<std::int64_t>(input.load(i + lag));
+        ctx.int_op(3);
+      }
+      ctx.branch(lag + 1 < lags);
+      output.store(lag, acc);
+    }
+  }
+};
+
+// conven: rate-1/2 convolutional encoder — shift-register arithmetic over
+// a bit stream; minimal data footprint.
+class ConvEncoder final : public KernelBase {
+ public:
+  explicit ConvEncoder(double scale)
+      : KernelBase("conven", Domain::kTelecom, scale) {}
+
+  void run(ExecutionContext& ctx) const override {
+    const std::size_t bits = scaled(12000, 256);
+    auto input = ctx.alloc<std::uint8_t>(bits / 8);
+    auto output = ctx.alloc<std::uint8_t>(bits / 4);
+
+    for (std::size_t i = 0; i < bits / 8; ++i) {
+      input.poke(i, static_cast<std::uint8_t>(ctx.rng().below(256)));
+    }
+
+    std::uint32_t state = 0;
+    std::uint8_t out_byte = 0;
+    std::size_t out_bits = 0, out_index = 0;
+    for (std::size_t b = 0; b < bits; ++b) {
+      const std::uint8_t byte = input.load(b / 8);
+      const std::uint32_t bit = (byte >> (b % 8)) & 1u;
+      state = ((state << 1) | bit) & 0x3fu;
+      // Generator polynomials G1=0b101011, G2=0b111101 (constraint len 6).
+      const std::uint32_t g1 = __builtin_popcount(state & 0x2bu) & 1u;
+      const std::uint32_t g2 = __builtin_popcount(state & 0x3du) & 1u;
+      ctx.int_op(8);
+      out_byte = static_cast<std::uint8_t>((out_byte << 2) | (g1 << 1) | g2);
+      out_bits += 2;
+      if (ctx.branch(out_bits == 8)) {
+        output.store(out_index++, out_byte);
+        out_bits = 0;
+        out_byte = 0;
+      }
+    }
+  }
+};
+
+// viterb: Viterbi decoder over a 16-state trellis — dynamic programming
+// with a path-metric table and traceback array.
+class ViterbiDecoder final : public KernelBase {
+ public:
+  explicit ViterbiDecoder(double scale)
+      : KernelBase("viterb", Domain::kTelecom, scale) {}
+
+  void run(ExecutionContext& ctx) const override {
+    constexpr std::size_t kStates = 64;
+    const std::size_t steps = scaled(115, 16);
+    auto metric = ctx.alloc<std::uint32_t>(kStates * 2);  // ping-pong rows
+    auto traceback = ctx.alloc<std::uint8_t>(kStates * steps);
+    auto symbols = ctx.alloc<std::uint8_t>(steps);
+
+    for (std::size_t i = 0; i < steps; ++i) {
+      symbols.poke(i, static_cast<std::uint8_t>(ctx.rng().below(4)));
+    }
+    for (std::size_t s = 0; s < kStates; ++s) {
+      metric.poke(s, s == 0 ? 0u : 1000u);
+    }
+
+    std::size_t cur = 0;
+    for (std::size_t t = 0; t < steps; ++t) {
+      const std::size_t nxt = 1 - cur;
+      const std::uint8_t sym = symbols.load(t);
+      for (std::size_t s = 0; s < kStates; ++s) {
+        // Two predecessors per state in a shift-register trellis.
+        const std::size_t p0 = (s >> 1);
+        const std::size_t p1 = (s >> 1) | (kStates >> 1);
+        const std::uint32_t exp0 =
+            static_cast<std::uint32_t>((s ^ p0 ^ sym) & 3u);
+        const std::uint32_t exp1 =
+            static_cast<std::uint32_t>((s ^ p1 ^ sym) & 3u);
+        const std::uint32_t m0 = metric.load(cur * kStates + p0) + exp0;
+        const std::uint32_t m1 = metric.load(cur * kStates + p1) + exp1;
+        ctx.int_op(8);
+        if (ctx.branch(m0 <= m1)) {
+          metric.store(nxt * kStates + s, m0);
+          traceback.store(t * kStates + s, 0);
+        } else {
+          metric.store(nxt * kStates + s, m1);
+          traceback.store(t * kStates + s, 1);
+        }
+      }
+      cur = nxt;
+    }
+
+    // Traceback from the best final state.
+    std::size_t best = 0;
+    std::uint32_t best_m = 0xffffffffu;
+    for (std::size_t s = 0; s < kStates; ++s) {
+      const std::uint32_t m = metric.load(cur * kStates + s);
+      if (ctx.branch(m < best_m)) {
+        best_m = m;
+        best = s;
+      }
+    }
+    for (std::size_t t = steps; t-- > 0;) {
+      const std::uint8_t took = traceback.load(t * kStates + best);
+      best = (best >> 1) | (took ? (kStates >> 1) : 0);
+      ctx.int_op(3);
+    }
+  }
+};
+
+// fft00: radix-2 decimation-in-time FFT — bit-reversed permutation then
+// log2(n) butterfly passes with a resident twiddle table.
+class FftButterfly final : public KernelBase {
+ public:
+  explicit FftButterfly(double scale)
+      : KernelBase("fft00", Domain::kTelecom, scale) {}
+
+  void run(ExecutionContext& ctx) const override {
+    // Round the scaled size down to a power of two >= 64.
+    std::size_t n = 64;
+    while (n * 2 <= scaled(256, 64)) n *= 2;
+    auto re = ctx.alloc<float>(n);
+    auto im = ctx.alloc<float>(n);
+    auto tw_re = ctx.alloc<float>(n / 2);
+    auto tw_im = ctx.alloc<float>(n / 2);
+
+    for (std::size_t i = 0; i < n; ++i) {
+      re.poke(i, static_cast<float>(ctx.rng().normal(0.0, 1.0)));
+      im.poke(i, 0.0f);
+    }
+    for (std::size_t i = 0; i < n / 2; ++i) {
+      const double angle =
+          -2.0 * 3.14159265358979323846 * static_cast<double>(i) /
+          static_cast<double>(n);
+      tw_re.poke(i, static_cast<float>(std::cos(angle)));
+      tw_im.poke(i, static_cast<float>(std::sin(angle)));
+    }
+
+    // Bit-reversal permutation.
+    for (std::size_t i = 1, j = 0; i < n; ++i) {
+      std::size_t bit = n >> 1;
+      for (; j & bit; bit >>= 1) {
+        j ^= bit;
+        ctx.int_op(2);
+      }
+      j ^= bit;
+      ctx.int_op(2);
+      if (ctx.branch(i < j)) {
+        const float tr = re.load(i);
+        re.store(i, re.load(j));
+        re.store(j, tr);
+        const float ti = im.load(i);
+        im.store(i, im.load(j));
+        im.store(j, ti);
+      }
+    }
+
+    // Butterfly passes.
+    for (std::size_t len = 2; len <= n; len <<= 1) {
+      const std::size_t stride = n / len;
+      for (std::size_t start = 0; start < n; start += len) {
+        for (std::size_t k = 0; k < len / 2; ++k) {
+          const std::size_t even = start + k;
+          const std::size_t odd = even + len / 2;
+          const float wr = tw_re.load(k * stride);
+          const float wi = tw_im.load(k * stride);
+          const float orr = re.load(odd);
+          const float oii = im.load(odd);
+          const float xr = orr * wr - oii * wi;
+          const float xi = orr * wi + oii * wr;
+          ctx.fp_op(6);
+          const float er = re.load(even);
+          const float ei = im.load(even);
+          re.store(even, er + xr);
+          im.store(even, ei + xi);
+          re.store(odd, er - xr);
+          im.store(odd, ei - xi);
+          ctx.fp_op(4);
+          ctx.int_op(3);
+          ctx.branch(k + 1 < len / 2);
+        }
+      }
+    }
+  }
+};
+
+}  // namespace
+
+void append_telecom_kernels(std::vector<std::unique_ptr<Kernel>>& out,
+                            double scale) {
+  out.push_back(std::make_unique<Autocorrelation>(scale));
+  out.push_back(std::make_unique<ConvEncoder>(scale));
+  out.push_back(std::make_unique<ViterbiDecoder>(scale));
+  out.push_back(std::make_unique<FftButterfly>(scale));
+}
+
+}  // namespace hetsched

@@ -1,0 +1,22 @@
+// Memory-reference records: the unit of exchange between the synthetic
+// benchmark kernels (which emit them) and the cache simulator (which
+// consumes them). Equivalent to the load/store stream SimpleScalar's
+// sim-cache would derive from an EEMBC binary.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace hetsched {
+
+struct MemRef {
+  std::uint32_t address = 0;  // byte address in the benchmark's VA space
+  std::uint8_t size = 4;      // access width in bytes (1/2/4/8)
+  bool is_write = false;
+
+  friend bool operator==(const MemRef&, const MemRef&) = default;
+};
+
+using MemTrace = std::vector<MemRef>;
+
+}  // namespace hetsched

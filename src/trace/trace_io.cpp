@@ -1,0 +1,70 @@
+#include "trace/trace_io.hpp"
+
+#include <charconv>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+
+namespace hetsched {
+namespace {
+
+[[noreturn]] void fail(std::size_t line, const std::string& what) {
+  throw std::runtime_error("trace line " + std::to_string(line) + ": " +
+                           what);
+}
+
+}  // namespace
+
+void write_trace(std::ostream& out, const MemTrace& trace) {
+  out << std::hex;
+  for (const MemRef& ref : trace) {
+    out << (ref.is_write ? 'W' : 'R') << ' ' << ref.address << ' '
+        << std::dec << static_cast<unsigned>(ref.size) << std::hex << '\n';
+  }
+  out << std::dec;
+}
+
+MemTrace read_trace(std::istream& in) {
+  MemTrace trace;
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    // Strip leading whitespace; skip blanks and comments.
+    std::size_t pos = line.find_first_not_of(" \t\r");
+    if (pos == std::string::npos || line[pos] == '#') continue;
+
+    const char op = line[pos++];
+    if (op != 'R' && op != 'W' && op != 'r' && op != 'w') {
+      fail(line_number, "expected R or W");
+    }
+
+    pos = line.find_first_not_of(" \t", pos);
+    if (pos == std::string::npos) fail(line_number, "missing address");
+    std::uint32_t address = 0;
+    auto [addr_end, addr_err] = std::from_chars(
+        line.data() + pos, line.data() + line.size(), address, 16);
+    if (addr_err != std::errc{}) fail(line_number, "bad address");
+    pos = static_cast<std::size_t>(addr_end - line.data());
+
+    pos = line.find_first_not_of(" \t", pos);
+    if (pos == std::string::npos) fail(line_number, "missing size");
+    unsigned size = 0;
+    auto [size_end, size_err] = std::from_chars(
+        line.data() + pos, line.data() + line.size(), size, 10);
+    if (size_err != std::errc{} || size == 0 || size > 255) {
+      fail(line_number, "bad size");
+    }
+    pos = static_cast<std::size_t>(size_end - line.data());
+    if (line.find_first_not_of(" \t\r", pos) != std::string::npos) {
+      fail(line_number, "trailing garbage");
+    }
+
+    trace.push_back(MemRef{address, static_cast<std::uint8_t>(size),
+                           op == 'W' || op == 'w'});
+  }
+  return trace;
+}
+
+}  // namespace hetsched

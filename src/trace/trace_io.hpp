@@ -1,0 +1,26 @@
+// Memory-trace file I/O.
+//
+// Text format, one reference per line — the same shape as classic
+// trace-driven simulators (dinero/SimpleScalar EIO dumps) so externally
+// captured traces can be replayed through the cache simulator:
+//
+//     # comment / blank lines ignored
+//     R 1a40 4
+//     W 1a44 4
+//
+// (R = read, W = write; hexadecimal byte address; access size in bytes.)
+#pragma once
+
+#include <iosfwd>
+
+#include "trace/memref.hpp"
+
+namespace hetsched {
+
+void write_trace(std::ostream& out, const MemTrace& trace);
+
+// Parses a trace; throws std::runtime_error with a line number on
+// malformed input.
+MemTrace read_trace(std::istream& in);
+
+}  // namespace hetsched

@@ -1,0 +1,43 @@
+// Contract-checking macros used across hetsched.
+//
+// The simulator is a research instrument: silent state corruption is far
+// worse than a loud abort, so precondition checks stay on in all build
+// types. HETSCHED_ASSERT is for internal invariants and may be compiled
+// out with -DHETSCHED_DISABLE_ASSERTS for profiling runs.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace hetsched::detail {
+
+[[noreturn]] inline void contract_failure(const char* kind, const char* expr,
+                                          const char* file, int line) {
+  std::fprintf(stderr, "hetsched: %s failed: %s (%s:%d)\n", kind, expr, file,
+               line);
+  std::abort();
+}
+
+}  // namespace hetsched::detail
+
+// Precondition on a public API: always checked.
+#define HETSCHED_REQUIRE(expr)                                            \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      ::hetsched::detail::contract_failure("precondition", #expr,         \
+                                           __FILE__, __LINE__);           \
+    }                                                                     \
+  } while (false)
+
+// Internal invariant: checked unless explicitly disabled.
+#ifndef HETSCHED_DISABLE_ASSERTS
+#define HETSCHED_ASSERT(expr)                                             \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      ::hetsched::detail::contract_failure("invariant", #expr, __FILE__,  \
+                                           __LINE__);                     \
+    }                                                                     \
+  } while (false)
+#else
+#define HETSCHED_ASSERT(expr) ((void)0)
+#endif

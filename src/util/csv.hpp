@@ -1,0 +1,28 @@
+// Minimal CSV writer so benches can dump machine-readable series next to
+// their human-readable tables (one file per figure, consumed by plotting
+// scripts outside this repo).
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace hetsched {
+
+class CsvWriter {
+ public:
+  // Opens (truncates) `path` and writes the header row. Throws
+  // std::runtime_error if the file cannot be opened.
+  CsvWriter(const std::string& path, std::vector<std::string> header);
+
+  void add_row(const std::vector<std::string>& cells);
+
+  // Quotes a field if it contains separators/quotes.
+  static std::string escape(const std::string& field);
+
+ private:
+  std::ofstream out_;
+  std::size_t columns_;
+};
+
+}  // namespace hetsched

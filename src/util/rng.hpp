@@ -1,0 +1,134 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic behaviour in hetsched (arrival times, ANN weight
+// initialisation, bagging resamples, random cache replacement) draws from
+// an explicitly seeded Rng owned by the caller, so every experiment is
+// reproducible bit-for-bit from its seed. The generator is xoshiro256**
+// seeded through SplitMix64, both public-domain algorithms by Blackman &
+// Vigna; we implement them here rather than using <random> engines so the
+// stream is stable across standard-library implementations.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "util/contracts.hpp"
+
+namespace hetsched {
+
+// SplitMix64: used to expand a 64-bit seed into xoshiro state, and useful
+// on its own for cheap stateless hashing of ids into streams.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+// xoshiro256**: the workhorse generator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.next();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  result_type operator()() { return next(); }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  // Uniform double in [lo, hi).
+  double uniform(double lo, double hi) {
+    HETSCHED_REQUIRE(lo <= hi);
+    return lo + (hi - lo) * uniform();
+  }
+
+  // Uniform integer in [0, n). n must be positive. Uses rejection to avoid
+  // modulo bias (matters for reproducible statistics, not just aesthetics).
+  std::uint64_t below(std::uint64_t n);
+
+  // Uniform integer in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) {
+    HETSCHED_REQUIRE(lo <= hi);
+    return lo + static_cast<std::int64_t>(
+                    below(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  // Standard normal via Marsaglia polar method.
+  double normal();
+
+  // Normal with given mean and standard deviation.
+  double normal(double mean, double stddev) {
+    HETSCHED_REQUIRE(stddev >= 0.0);
+    return mean + stddev * normal();
+  }
+
+  bool bernoulli(double p) {
+    HETSCHED_REQUIRE(p >= 0.0 && p <= 1.0);
+    return uniform() < p;
+  }
+
+  // Exponential inter-arrival sample with the given rate (events/unit).
+  double exponential(double rate);
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    if (v.empty()) return;
+    for (std::size_t i = v.size() - 1; i > 0; --i) {
+      const std::size_t j = static_cast<std::size_t>(below(i + 1));
+      using std::swap;
+      swap(v[i], v[j]);
+    }
+  }
+
+  // k indices sampled with replacement from [0, n) — bagging resample.
+  std::vector<std::size_t> sample_with_replacement(std::size_t n,
+                                                   std::size_t k);
+
+  // Derive an independent child stream (e.g. one per bagged ANN) without
+  // perturbing this generator's sequence.
+  Rng split();
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+  bool has_spare_normal_ = false;
+  double spare_normal_ = 0.0;
+};
+
+}  // namespace hetsched

@@ -1,0 +1,123 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace hetsched {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double percentile(std::span<const double> values, double p) {
+  HETSCHED_REQUIRE(!values.empty());
+  HETSCHED_REQUIRE(p >= 0.0 && p <= 100.0);
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted.front();
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double mean(std::span<const double> values) {
+  RunningStats s;
+  for (double v : values) s.add(v);
+  return s.mean();
+}
+
+double stddev(std::span<const double> values) {
+  RunningStats s;
+  for (double v : values) s.add(v);
+  return s.stddev();
+}
+
+double pearson(std::span<const double> x, std::span<const double> y) {
+  HETSCHED_REQUIRE(x.size() == y.size());
+  if (x.size() < 2) return 0.0;
+  const double mx = mean(x);
+  const double my = mean(y);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0 || syy == 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+double geomean(std::span<const double> values) {
+  HETSCHED_REQUIRE(!values.empty());
+  double log_sum = 0.0;
+  for (double v : values) {
+    HETSCHED_REQUIRE(v > 0.0);
+    log_sum += std::log(v);
+  }
+  return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+Histogram Histogram::build(std::span<const double> values,
+                           std::size_t nbins) {
+  HETSCHED_REQUIRE(!values.empty());
+  HETSCHED_REQUIRE(nbins > 0);
+  Histogram h;
+  h.lo = *std::min_element(values.begin(), values.end());
+  h.hi = *std::max_element(values.begin(), values.end());
+  h.bins.assign(nbins, 0);
+  const double width = (h.hi - h.lo) / static_cast<double>(nbins);
+  for (double v : values) {
+    std::size_t idx;
+    if (width == 0.0) {
+      idx = 0;
+    } else {
+      idx = std::min(nbins - 1,
+                     static_cast<std::size_t>((v - h.lo) / width));
+    }
+    ++h.bins[idx];
+  }
+  return h;
+}
+
+}  // namespace hetsched

@@ -1,0 +1,60 @@
+// Strong unit wrappers for the quantities the simulator accounts in.
+//
+// Energy bookkeeping bugs (joules added to cycles, per-access confused with
+// per-cycle) are the classic failure mode of energy-model code, so the two
+// core quantities get distinct types with only the arithmetic that is
+// dimensionally meaningful.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+
+namespace hetsched {
+
+// Energy in nanojoules. Double-backed: magnitudes span ~9 orders.
+class NanoJoules {
+ public:
+  constexpr NanoJoules() = default;
+  constexpr explicit NanoJoules(double value) : value_(value) {}
+
+  constexpr double value() const { return value_; }
+  constexpr double joules() const { return value_ * 1e-9; }
+  constexpr double millijoules() const { return value_ * 1e-6; }
+
+  constexpr NanoJoules operator+(NanoJoules o) const {
+    return NanoJoules(value_ + o.value_);
+  }
+  constexpr NanoJoules operator-(NanoJoules o) const {
+    return NanoJoules(value_ - o.value_);
+  }
+  constexpr NanoJoules& operator+=(NanoJoules o) {
+    value_ += o.value_;
+    return *this;
+  }
+  constexpr NanoJoules& operator-=(NanoJoules o) {
+    value_ -= o.value_;
+    return *this;
+  }
+  constexpr NanoJoules operator*(double k) const {
+    return NanoJoules(value_ * k);
+  }
+  constexpr double operator/(NanoJoules o) const { return value_ / o.value_; }
+  constexpr NanoJoules operator/(double k) const {
+    return NanoJoules(value_ / k);
+  }
+  constexpr auto operator<=>(const NanoJoules&) const = default;
+
+ private:
+  double value_ = 0.0;
+};
+
+constexpr NanoJoules operator*(double k, NanoJoules e) { return e * k; }
+
+// Cycle counts. 64-bit unsigned: a 5000-job run reaches ~1e11 cycles.
+using Cycles = std::uint64_t;
+
+// Simulation timestamps are also measured in cycles but kept as a separate
+// alias for readability in the event queue.
+using SimTime = std::uint64_t;
+
+}  // namespace hetsched

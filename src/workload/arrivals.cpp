@@ -1,0 +1,81 @@
+#include "workload/arrivals.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace hetsched {
+
+std::vector<JobArrival> generate_arrivals(
+    const std::vector<std::size_t>& benchmark_ids,
+    const ArrivalOptions& options, Rng& rng) {
+  HETSCHED_REQUIRE(!benchmark_ids.empty());
+  HETSCHED_REQUIRE(options.count > 0);
+  HETSCHED_REQUIRE(options.mean_interarrival_cycles > 0.0);
+  HETSCHED_REQUIRE(options.burstiness >= 1.0);
+  HETSCHED_REQUIRE(options.phase_switch >= 0.0 &&
+                   options.phase_switch <= 1.0);
+
+  std::vector<JobArrival> arrivals;
+  arrivals.reserve(options.count);
+  double t = 0.0;
+  bool in_burst = true;
+  for (std::size_t i = 0; i < options.count; ++i) {
+    double mean = options.mean_interarrival_cycles;
+    if (options.burstiness > 1.0) {
+      // Gaps of mean/b in bursts and mean*(2 - 1/b) in quiet phases: with
+      // symmetric phase switching the phases are equally likely per
+      // arrival, so the arithmetic mean gap stays at `mean`.
+      mean = in_burst ? mean / options.burstiness
+                      : mean * (2.0 - 1.0 / options.burstiness);
+      if (rng.bernoulli(options.phase_switch)) in_burst = !in_burst;
+    }
+    double gap = 0.0;
+    switch (options.distribution) {
+      case InterarrivalDistribution::kUniform:
+        gap = rng.uniform(0.0, 2.0 * mean);
+        break;
+      case InterarrivalDistribution::kExponential:
+        gap = rng.exponential(1.0 / mean);
+        break;
+      case InterarrivalDistribution::kFixed:
+        gap = mean;
+        break;
+    }
+    t += gap;
+    JobArrival a;
+    a.benchmark_id =
+        benchmark_ids[rng.below(benchmark_ids.size())];
+    a.arrival = static_cast<SimTime>(std::llround(t));
+    arrivals.push_back(a);
+  }
+  // Already non-decreasing by construction, but stable-sort defensively in
+  // case of rounding collisions (order within a tie must be stable).
+  std::stable_sort(arrivals.begin(), arrivals.end(),
+                   [](const JobArrival& a, const JobArrival& b) {
+                     return a.arrival < b.arrival;
+                   });
+  return arrivals;
+}
+
+void assign_realtime_attributes(
+    std::vector<JobArrival>& arrivals,
+    const std::vector<Cycles>& reference_cycles_by_benchmark,
+    const RealtimeOptions& options, Rng& rng) {
+  HETSCHED_REQUIRE(options.slack_factor > 0.0);
+  HETSCHED_REQUIRE(options.priority_levels >= 1);
+  for (JobArrival& arrival : arrivals) {
+    HETSCHED_REQUIRE(arrival.benchmark_id <
+                     reference_cycles_by_benchmark.size());
+    const double reference = static_cast<double>(
+        reference_cycles_by_benchmark[arrival.benchmark_id]);
+    arrival.deadline =
+        arrival.arrival +
+        static_cast<SimTime>(std::llround(options.slack_factor * reference));
+    arrival.priority = static_cast<int>(
+        rng.below(static_cast<std::uint64_t>(options.priority_levels)));
+  }
+}
+
+}  // namespace hetsched

@@ -1,0 +1,65 @@
+// Arrival-stream generation (Section V: "5000 uniform distribution
+// arrival times ... On arrival, benchmarks were enqueued and processed on
+// a FIFO basis").
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace hetsched {
+
+struct JobArrival {
+  std::size_t benchmark_id = 0;  // index into the CharacterizedSuite
+  SimTime arrival = 0;
+  // Real-time extension (paper future work): priority level and absolute
+  // completion deadline. Defaults reproduce the paper's baseline
+  // best-effort workload.
+  int priority = 0;
+  std::optional<SimTime> deadline;
+};
+
+enum class InterarrivalDistribution { kUniform, kExponential, kFixed };
+
+struct ArrivalOptions {
+  std::size_t count = 5000;
+  // Mean inter-arrival gap in cycles. kUniform draws from
+  // [0, 2*mean] (mean-preserving), kExponential from Exp(1/mean).
+  double mean_interarrival_cycles = 55000.0;
+  InterarrivalDistribution distribution = InterarrivalDistribution::kUniform;
+
+  // Two-phase burstiness (a simple MMPP): when burstiness > 1, arrivals
+  // alternate between a burst phase with gaps mean/burstiness and a quiet
+  // phase with gaps mean*(2 - 1/burstiness), switching phase with
+  // probability `phase_switch` after each arrival. The mean gap is
+  // preserved; 1.0 disables bursts.
+  double burstiness = 1.0;
+  double phase_switch = 0.02;
+};
+
+// Draws `count` arrivals whose benchmark ids are sampled uniformly from
+// `benchmark_ids`; returns them sorted by arrival time.
+std::vector<JobArrival> generate_arrivals(
+    const std::vector<std::size_t>& benchmark_ids,
+    const ArrivalOptions& options, Rng& rng);
+
+// Real-time extension: deadline and priority assignment for an existing
+// stream. Each job's deadline becomes
+//   arrival + slack_factor * reference_cycles(benchmark)
+// where reference_cycles is supplied per benchmark id (typically the
+// base-configuration execution time). Priorities are drawn uniformly
+// from [0, priority_levels).
+struct RealtimeOptions {
+  double slack_factor = 4.0;   // tighter < looser
+  int priority_levels = 1;     // 1 = everyone priority 0
+};
+
+void assign_realtime_attributes(
+    std::vector<JobArrival>& arrivals,
+    const std::vector<Cycles>& reference_cycles_by_benchmark,
+    const RealtimeOptions& options, Rng& rng);
+
+}  // namespace hetsched

@@ -1,0 +1,167 @@
+#include "workload/characterization.hpp"
+
+#include <unordered_set>
+
+#include "util/contracts.hpp"
+
+namespace hetsched {
+
+const ConfigProfile& BenchmarkProfile::profile_for(
+    const CacheConfig& config) const {
+  const auto idx = DesignSpace::index_of(config);
+  HETSCHED_REQUIRE(idx.has_value());
+  HETSCHED_REQUIRE(*idx < per_config.size());
+  return per_config[*idx];
+}
+
+const ConfigProfile& BenchmarkProfile::best_overall() const {
+  HETSCHED_REQUIRE(!per_config.empty());
+  const ConfigProfile* best = &per_config.front();
+  for (const ConfigProfile& p : per_config) {
+    if (p.energy.total() < best->energy.total()) best = &p;
+  }
+  return *best;
+}
+
+const ConfigProfile& BenchmarkProfile::best_for_size(
+    std::uint32_t size_bytes) const {
+  const ConfigProfile* best = nullptr;
+  for (const ConfigProfile& p : per_config) {
+    if (p.config.size_bytes != size_bytes) continue;
+    if (best == nullptr || p.energy.total() < best->energy.total()) {
+      best = &p;
+    }
+  }
+  HETSCHED_REQUIRE(best != nullptr);
+  return *best;
+}
+
+std::uint32_t BenchmarkProfile::oracle_best_size() const {
+  return best_overall().config.size_bytes;
+}
+
+ExecutionStatistics compute_statistics(const RawCounters& counters,
+                                       const CacheSimResult& base_sim,
+                                       const EnergyBreakdown& base_energy,
+                                       const MemTrace& trace) {
+  ExecutionStatistics s;
+  s.total_instructions = static_cast<double>(counters.total_instructions());
+  s.cycles = static_cast<double>(base_energy.total_cycles);
+  s.loads = static_cast<double>(counters.loads);
+  s.stores = static_cast<double>(counters.stores);
+  s.branches = static_cast<double>(counters.branches);
+  s.taken_branches = static_cast<double>(counters.taken_branches);
+  s.int_ops = static_cast<double>(counters.int_ops);
+  s.fp_ops = static_cast<double>(counters.fp_ops);
+  s.l1_accesses = static_cast<double>(base_sim.stats.accesses);
+  s.l1_misses = static_cast<double>(base_sim.stats.misses);
+  s.l1_miss_rate = base_sim.stats.miss_rate();
+  s.compulsory_misses = static_cast<double>(base_sim.stats.compulsory_misses);
+  s.writebacks = static_cast<double>(base_sim.stats.writebacks);
+
+  // Working set at word (4-byte) granularity.
+  std::unordered_set<std::uint32_t> words;
+  for (const MemRef& ref : trace) {
+    const std::uint32_t first = ref.address / 4u;
+    const std::uint32_t last = (ref.address + ref.size - 1u) / 4u;
+    for (std::uint32_t w = first; w <= last; ++w) words.insert(w);
+  }
+  s.working_set_bytes = static_cast<double>(words.size()) * 4.0;
+
+  const double mem_refs = static_cast<double>(counters.memory_refs());
+  const double instructions = s.total_instructions;
+  s.load_fraction =
+      mem_refs > 0.0 ? static_cast<double>(counters.loads) / mem_refs : 0.0;
+  s.mem_intensity = instructions > 0.0 ? mem_refs / instructions : 0.0;
+  s.compute_intensity =
+      instructions > 0.0
+          ? static_cast<double>(counters.int_ops + counters.fp_ops) /
+                instructions
+          : 0.0;
+  s.branch_fraction =
+      instructions > 0.0
+          ? static_cast<double>(counters.branches) / instructions
+          : 0.0;
+  return s;
+}
+
+std::vector<std::unique_ptr<Kernel>> make_suite_kernels(
+    const SuiteOptions& options) {
+  auto kernels = make_standard_kernels(options.kernel_scale);
+  if (options.include_extended) {
+    for (auto& kernel : make_extended_kernels(options.kernel_scale)) {
+      kernels.push_back(std::move(kernel));
+    }
+  }
+  return kernels;
+}
+
+CharacterizedSuite CharacterizedSuite::build(const EnergyModel& model,
+                                             const SuiteOptions& options) {
+  HETSCHED_REQUIRE(options.variants_per_kernel >= 1);
+  const auto kernels = make_suite_kernels(options);
+  HETSCHED_REQUIRE(!kernels.empty());
+
+  CharacterizedSuite suite;
+  const auto& space = DesignSpace::all();
+  const auto base_index = DesignSpace::index_of(DesignSpace::base_config());
+  HETSCHED_REQUIRE(base_index.has_value());
+
+  for (std::size_t k = 0; k < kernels.size(); ++k) {
+    for (std::size_t v = 0; v < options.variants_per_kernel; ++v) {
+      BenchmarkProfile profile;
+      profile.instance.kernel_index = k;
+      profile.instance.data_seed =
+          options.seed_base + v * 7919 + k * 104729;
+      profile.instance.name =
+          kernels[k]->name() + "#" + std::to_string(v);
+      profile.instance.domain = kernels[k]->domain();
+
+      const KernelExecution exec =
+          execute(*kernels[k], profile.instance.data_seed);
+      profile.counters = exec.counters;
+      profile.footprint_bytes = exec.footprint_bytes;
+
+      profile.per_config.reserve(space.size());
+      for (const CacheConfig& config : space) {
+        ConfigProfile cp;
+        cp.config = config;
+        const CacheSimResult sim = simulate_trace(exec.trace, config);
+        cp.cache = sim.stats;
+        cp.energy = model.evaluate(exec.counters, sim);
+        profile.per_config.push_back(cp);
+      }
+
+      const ConfigProfile& base = profile.per_config[*base_index];
+      profile.base_statistics = compute_statistics(
+          exec.counters, CacheSimResult{base.config, base.cache},
+          base.energy, exec.trace);
+
+      suite.profiles_.push_back(std::move(profile));
+    }
+  }
+  return suite;
+}
+
+const BenchmarkProfile& CharacterizedSuite::benchmark(std::size_t id) const {
+  HETSCHED_REQUIRE(id < profiles_.size());
+  return profiles_[id];
+}
+
+std::vector<std::size_t> CharacterizedSuite::scheduling_ids() const {
+  std::vector<std::size_t> ids;
+  for (std::size_t i = 0; i < profiles_.size(); ++i) {
+    if (profiles_[i].instance.name.ends_with("#0")) ids.push_back(i);
+  }
+  return ids;
+}
+
+std::vector<std::size_t> CharacterizedSuite::training_ids() const {
+  std::vector<std::size_t> ids;
+  for (std::size_t i = 0; i < profiles_.size(); ++i) {
+    if (!profiles_[i].instance.name.ends_with("#0")) ids.push_back(i);
+  }
+  return ids;
+}
+
+}  // namespace hetsched

@@ -1,0 +1,101 @@
+// Benchmark characterisation: the SimpleScalar+CACTI phase of the paper.
+//
+// Every benchmark instance (kernel + input seed) is executed once to
+// obtain its trace and raw counters, then the trace is replayed through
+// the cache simulator in each of the 18 Table-1 configurations and priced
+// with the Figure-4 energy model. The multicore scheduling simulation
+// replays these characterised (cycles, energy) values — exactly how the
+// paper drives its MATLAB system simulation from SimpleScalar statistics.
+//
+// The characterisation is ground truth ("physics"): scheduler policies
+// may only learn it through executions recorded in the profiling table.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/cache.hpp"
+#include "energy/energy_model.hpp"
+#include "trace/kernel.hpp"
+
+namespace hetsched {
+
+// A benchmark instance: a kernel run on one concrete input (data seed).
+struct BenchmarkInstance {
+  std::string name;           // e.g. "a2time#0"
+  std::size_t kernel_index = 0;
+  std::uint64_t data_seed = 0;
+  Domain domain = Domain::kAutomotive;
+};
+
+// One (benchmark, configuration) characterisation.
+struct ConfigProfile {
+  CacheConfig config;
+  CacheStats cache;
+  EnergyBreakdown energy;
+};
+
+struct BenchmarkProfile {
+  BenchmarkInstance instance;
+  RawCounters counters;
+  std::uint32_t footprint_bytes = 0;
+  // Indexed parallel to DesignSpace::all().
+  std::vector<ConfigProfile> per_config;
+  // The 18 execution statistics gathered in the base configuration.
+  ExecutionStatistics base_statistics;
+
+  const ConfigProfile& profile_for(const CacheConfig& config) const;
+  // Lowest-total-energy configuration across the whole space.
+  const ConfigProfile& best_overall() const;
+  // Lowest-total-energy configuration with the given cache size.
+  const ConfigProfile& best_for_size(std::uint32_t size_bytes) const;
+  // Cache size of best_overall(): the oracle "best core" label.
+  std::uint32_t oracle_best_size() const;
+};
+
+struct SuiteOptions {
+  // Working-set scale passed to make_standard_kernels.
+  double kernel_scale = 1.0;
+  // Instances per kernel; seed v of kernel k uses data_seed = base + v.
+  std::size_t variants_per_kernel = 8;
+  std::uint64_t seed_base = 1000;
+  // Append the eight extended kernels to the standard nineteen.
+  bool include_extended = false;
+};
+
+// The kernel set a suite is built from: standard kernels plus, when
+// opted in, the extended pack. kernel_index in BenchmarkInstance indexes
+// this list.
+std::vector<std::unique_ptr<Kernel>> make_suite_kernels(
+    const SuiteOptions& options);
+
+// The characterised suite: all benchmark profiles plus the models used to
+// produce them.
+class CharacterizedSuite {
+ public:
+  // Runs every kernel variant through every configuration. Deterministic.
+  static CharacterizedSuite build(const EnergyModel& model,
+                                  const SuiteOptions& options = {});
+
+  std::size_t size() const { return profiles_.size(); }
+  const BenchmarkProfile& benchmark(std::size_t id) const;
+  const std::vector<BenchmarkProfile>& all() const { return profiles_; }
+
+  // Ids of the variant-0 instances (the scheduling workload) and of the
+  // variant>0 instances (ANN training data).
+  std::vector<std::size_t> scheduling_ids() const;
+  std::vector<std::size_t> training_ids() const;
+
+ private:
+  std::vector<BenchmarkProfile> profiles_;
+};
+
+// Derives the 18 execution statistics from the raw counters and the
+// base-configuration cache behaviour.
+ExecutionStatistics compute_statistics(const RawCounters& counters,
+                                       const CacheSimResult& base_sim,
+                                       const EnergyBreakdown& base_energy,
+                                       const MemTrace& trace);
+
+}  // namespace hetsched

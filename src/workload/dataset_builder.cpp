@@ -1,0 +1,64 @@
+#include "workload/dataset_builder.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace hetsched {
+
+double size_to_target(std::uint32_t size_bytes) {
+  switch (size_bytes) {
+    case 2048: return 1.0;
+    case 4096: return 2.0;
+    case 8192: return 3.0;
+    default: break;
+  }
+  HETSCHED_REQUIRE(false && "unknown cache size");
+  return 0.0;
+}
+
+std::uint32_t target_to_size(double target) {
+  const double snapped = std::clamp(std::round(target), 1.0, 3.0);
+  return 1024u << static_cast<std::uint32_t>(snapped);
+}
+
+std::span<const double> size_target_classes() {
+  static constexpr std::array<double, 3> kClasses = {1.0, 2.0, 3.0};
+  return kClasses;
+}
+
+double transform_statistic(std::size_t index, double value) {
+  HETSCHED_REQUIRE(index < kNumExecutionStatistics);
+  constexpr std::size_t kFirstRatioStatistic = 14;  // load_fraction
+  if (index >= kFirstRatioStatistic) return value;
+  // Counts are non-negative; miss *rates* (index 10) are already small but
+  // log1p is monotone and harmless there too.
+  return std::log1p(value);
+}
+
+Dataset build_ann_dataset(const CharacterizedSuite& suite,
+                          const std::vector<std::size_t>& ids) {
+  std::vector<std::size_t> rows = ids;
+  if (rows.empty()) {
+    rows.resize(suite.size());
+    for (std::size_t i = 0; i < rows.size(); ++i) rows[i] = i;
+  }
+  Dataset data;
+  data.features = Matrix(rows.size(), kNumExecutionStatistics);
+  data.targets = Matrix(rows.size(), 1);
+  data.groups.reserve(rows.size());
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    const BenchmarkProfile& profile = suite.benchmark(rows[r]);
+    data.groups.push_back(profile.instance.kernel_index);
+    const auto vec = profile.base_statistics.to_vector();
+    for (std::size_t c = 0; c < vec.size(); ++c) {
+      data.features.at(r, c) = transform_statistic(c, vec[c]);
+    }
+    data.targets.at(r, 0) = size_to_target(profile.oracle_best_size());
+  }
+  return data;
+}
+
+}  // namespace hetsched

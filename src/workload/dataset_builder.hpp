@@ -1,0 +1,33 @@
+// Builds the ANN training dataset from a characterised suite.
+//
+// Each row: the 18 execution statistics gathered in the base configuration
+// (Section IV.D); target: log2 of the oracle best cache size in KB
+// (2KB→1, 4KB→2, 8KB→3), the regression encoding the {10,18,5,1} net's
+// single output predicts.
+#pragma once
+
+#include <vector>
+
+#include "ann/dataset.hpp"
+#include "workload/characterization.hpp"
+
+namespace hetsched {
+
+// Encoding between cache size and the ANN target value.
+double size_to_target(std::uint32_t size_bytes);
+std::uint32_t target_to_size(double target);
+// The target classes {1, 2, 3} for snapping.
+std::span<const double> size_target_classes();
+
+// Feature transform applied to statistic column `index` before it enters
+// the ANN: count-valued statistics (columns 0-13) are log1p-compressed so
+// their orders-of-magnitude spread does not swamp the standardiser; ratio
+// statistics (14-17) pass through.
+double transform_statistic(std::size_t index, double value);
+
+// Dataset over the given benchmark ids (one row per id). Falls back to all
+// benchmarks when `ids` is empty. Features are transform_statistic()-ed.
+Dataset build_ann_dataset(const CharacterizedSuite& suite,
+                          const std::vector<std::size_t>& ids);
+
+}  // namespace hetsched

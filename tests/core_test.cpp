@@ -1,0 +1,310 @@
+// Tests for src/core data structures and algorithms: system configuration,
+// profiling table, Figure-5 tuning heuristic (scripted energy landscapes),
+// and the Section IV.E energy-advantage decision.
+#include <gtest/gtest.h>
+
+#include "core/energy_decision.hpp"
+#include "util/rng.hpp"
+#include "core/profiling_table.hpp"
+#include "core/system_config.hpp"
+#include "core/tuning_heuristic.hpp"
+
+namespace hetsched {
+namespace {
+
+Observation obs(double total) {
+  return Observation{NanoJoules(total), NanoJoules(total / 2), 1000};
+}
+
+// ---------------- SystemConfig ----------------
+
+TEST(SystemConfigTest, PaperQuadcoreShape) {
+  const SystemConfig system = SystemConfig::paper_quadcore();
+  ASSERT_EQ(system.core_count(), 4u);
+  EXPECT_EQ(system.cores[0].cache_size_bytes, 2048u);
+  EXPECT_EQ(system.cores[1].cache_size_bytes, 4096u);
+  EXPECT_EQ(system.cores[2].cache_size_bytes, 8192u);
+  EXPECT_EQ(system.cores[3].cache_size_bytes, 8192u);
+  EXPECT_TRUE(system.cores[2].can_profile);
+  EXPECT_TRUE(system.cores[3].can_profile);
+  EXPECT_FALSE(system.cores[0].can_profile);
+  EXPECT_EQ(system.primary_profiling_core, 3u);
+  EXPECT_EQ(system.secondary_profiling_core, 2u);
+  EXPECT_TRUE(system.valid());
+}
+
+TEST(SystemConfigTest, FixedBaseIsHomogeneous) {
+  const SystemConfig system = SystemConfig::fixed_base(4);
+  for (const CoreSpec& core : system.cores) {
+    EXPECT_EQ(core.initial_config, DesignSpace::base_config());
+    EXPECT_FALSE(core.can_profile);
+  }
+  EXPECT_TRUE(system.valid());
+}
+
+TEST(SystemConfigTest, CoresWithSize) {
+  const SystemConfig system = SystemConfig::paper_quadcore();
+  EXPECT_EQ(system.cores_with_size(2048),
+            (std::vector<std::size_t>{0}));
+  EXPECT_EQ(system.cores_with_size(8192),
+            (std::vector<std::size_t>{2, 3}));
+  EXPECT_TRUE(system.cores_with_size(16384).empty());
+}
+
+TEST(SystemConfigTest, ValidityChecks) {
+  SystemConfig system = SystemConfig::paper_quadcore();
+  system.cores[0].initial_config = CacheConfig{4096, 1, 16};  // size clash
+  EXPECT_FALSE(system.valid());
+  system = SystemConfig::paper_quadcore();
+  system.primary_profiling_core = 9;
+  EXPECT_FALSE(system.valid());
+  system = SystemConfig{};
+  EXPECT_FALSE(system.valid());
+}
+
+// ---------------- ProfilingTable ----------------
+
+TEST(ProfilingTableTest, RecordAndFind) {
+  ProfilingTable table(3);
+  const CacheConfig config{4096, 2, 32};
+  EXPECT_EQ(table.entry(1).find(config), nullptr);
+  table.record(1, config, obs(50));
+  ASSERT_NE(table.entry(1).find(config), nullptr);
+  EXPECT_DOUBLE_EQ(table.entry(1).find(config)->total_energy.value(), 50);
+  EXPECT_EQ(table.entry(0).find(config), nullptr) << "entries independent";
+  // Overwrite.
+  table.record(1, config, obs(40));
+  EXPECT_DOUBLE_EQ(table.entry(1).find(config)->total_energy.value(), 40);
+}
+
+TEST(ProfilingTableTest, ObservedCountsAndFullExploration) {
+  ProfilingTable table(1);
+  ProfilingTable::Entry& entry = table.entry(0);
+  EXPECT_EQ(entry.observed_count(), 0u);
+  EXPECT_FALSE(entry.fully_explored());
+  double energy = 100;
+  for (const CacheConfig& config : DesignSpace::all()) {
+    table.record(0, config, obs(energy));
+    energy -= 1;
+  }
+  EXPECT_TRUE(entry.fully_explored());
+  EXPECT_EQ(entry.observed_count_for_size(8192), 9u);
+  EXPECT_EQ(entry.observed_count_for_size(2048), 3u);
+}
+
+TEST(ProfilingTableTest, BestObservedTracksMinimum) {
+  ProfilingTable table(1);
+  ProfilingTable::Entry& entry = table.entry(0);
+  EXPECT_FALSE(entry.best_observed().has_value());
+  table.record(0, CacheConfig{2048, 1, 16}, obs(80));
+  table.record(0, CacheConfig{8192, 4, 64}, obs(30));
+  table.record(0, CacheConfig{4096, 1, 32}, obs(55));
+  EXPECT_EQ(entry.best_observed()->name(), "8KB_4W_64B");
+  EXPECT_EQ(entry.best_observed_for_size(4096)->name(), "4KB_1W_32B");
+  EXPECT_FALSE(entry.best_observed_for_size(4096).has_value() &&
+               entry.best_observed_for_size(4096)->size_bytes != 4096);
+}
+
+TEST(ProfilingTableTest, NextUnexploredWalksCanonicalOrder) {
+  ProfilingTable table(1);
+  ProfilingTable::Entry& entry = table.entry(0);
+  EXPECT_EQ(entry.next_unexplored_for_size(2048)->name(), "2KB_1W_16B");
+  table.record(0, CacheConfig{2048, 1, 16}, obs(10));
+  EXPECT_EQ(entry.next_unexplored_for_size(2048)->name(), "2KB_1W_32B");
+  table.record(0, CacheConfig{2048, 1, 32}, obs(10));
+  table.record(0, CacheConfig{2048, 1, 64}, obs(10));
+  EXPECT_FALSE(entry.next_unexplored_for_size(2048).has_value());
+}
+
+// ---------------- TuningHeuristic (Figure 5) ----------------
+
+class TuningHeuristicTest : public ::testing::Test {
+ protected:
+  ProfilingTable table_{1};
+
+  // Executes the heuristic's next suggestion against a scripted energy
+  // function, returning the sequence of visited configuration names.
+  template <typename EnergyFn>
+  std::vector<std::string> drive(std::uint32_t size, EnergyFn&& energy) {
+    std::vector<std::string> visited;
+    while (auto next = TuningHeuristic::next_config(table_.entry(0), size)) {
+      visited.push_back(next->name());
+      table_.record(0, *next, obs(energy(*next)));
+    }
+    return visited;
+  }
+};
+
+TEST_F(TuningHeuristicTest, AssociativityThenLineSizeOnImprovement) {
+  // Energy improves with both higher associativity and longer lines.
+  const auto energy = [](const CacheConfig& c) {
+    return 100.0 - 10.0 * c.associativity -
+           0.1 * static_cast<double>(c.line_bytes);
+  };
+  const auto visited = drive(8192, energy);
+  EXPECT_EQ(visited,
+            (std::vector<std::string>{"8KB_1W_16B", "8KB_2W_16B",
+                                      "8KB_4W_16B", "8KB_4W_32B",
+                                      "8KB_4W_64B"}));
+  EXPECT_TRUE(TuningHeuristic::complete(table_.entry(0), 8192));
+  EXPECT_EQ(TuningHeuristic::best_known(table_.entry(0), 8192).name(),
+            "8KB_4W_64B");
+  EXPECT_EQ(TuningHeuristic::explored_count(table_.entry(0), 8192), 5u);
+}
+
+TEST_F(TuningHeuristicTest, StopsWhenAssociativityWorsens) {
+  // 2-way worsens; line 32 worsens: minimal exploration (3 configs).
+  const auto energy = [](const CacheConfig& c) {
+    return 10.0 * c.associativity +
+           0.5 * static_cast<double>(c.line_bytes);
+  };
+  const auto visited = drive(8192, energy);
+  EXPECT_EQ(visited,
+            (std::vector<std::string>{"8KB_1W_16B", "8KB_2W_16B",
+                                      "8KB_1W_32B"}));
+  EXPECT_EQ(TuningHeuristic::best_known(table_.entry(0), 8192).name(),
+            "8KB_1W_16B");
+}
+
+TEST_F(TuningHeuristicTest, MidWalkWorseningFreezesAssociativity) {
+  // 2-way improves, 4-way worsens; then line 32 improves, 64 worsens.
+  const auto energy = [](const CacheConfig& c) {
+    double e = 100.0;
+    e += (c.associativity == 2) ? -20.0 : (c.associativity == 4 ? 5.0 : 0.0);
+    e += (c.line_bytes == 32) ? -10.0 : (c.line_bytes == 64 ? 5.0 : 0.0);
+    return e;
+  };
+  const auto visited = drive(8192, energy);
+  EXPECT_EQ(visited,
+            (std::vector<std::string>{"8KB_1W_16B", "8KB_2W_16B",
+                                      "8KB_4W_16B", "8KB_2W_32B",
+                                      "8KB_2W_64B"}));
+  EXPECT_EQ(TuningHeuristic::best_known(table_.entry(0), 8192).name(),
+            "8KB_2W_32B");
+}
+
+TEST_F(TuningHeuristicTest, SingleAssocSizeSkipsPhaseOne) {
+  // 2KB has only 1-way in Table 1: goes straight to line exploration.
+  const auto energy = [](const CacheConfig& c) {
+    return 100.0 - static_cast<double>(c.line_bytes);
+  };
+  const auto visited = drive(2048, energy);
+  EXPECT_EQ(visited,
+            (std::vector<std::string>{"2KB_1W_16B", "2KB_1W_32B",
+                                      "2KB_1W_64B"}));
+  EXPECT_EQ(TuningHeuristic::best_known(table_.entry(0), 2048).name(),
+            "2KB_1W_64B");
+}
+
+TEST_F(TuningHeuristicTest, ExplorationBoundsAcrossLandscapes) {
+  // Property: for any energy landscape the heuristic executes at least 2
+  // and at most 5 configurations on the 8KB core (1+2 assoc steps + 2 line
+  // steps), and the walk is restartable (stateless over the table).
+  Rng rng(17);
+  for (int trial = 0; trial < 200; ++trial) {
+    ProfilingTable table(1);
+    std::array<double, 18> script{};
+    for (auto& v : script) v = rng.uniform(10.0, 100.0);
+    std::size_t executed = 0;
+    while (auto next =
+               TuningHeuristic::next_config(table.entry(0), 8192)) {
+      table.record(0, *next,
+                   obs(script[*DesignSpace::index_of(*next)]));
+      ++executed;
+      ASSERT_LE(executed, 5u);
+    }
+    EXPECT_GE(executed, 2u);
+    // Converged best must be one of the explored configs and no worse
+    // than the first (1W,16B) config.
+    const CacheConfig best =
+        TuningHeuristic::best_known(table.entry(0), 8192);
+    const auto* best_obs = table.entry(0).find(best);
+    ASSERT_NE(best_obs, nullptr);
+    EXPECT_LE(best_obs->total_energy.value(),
+              script[*DesignSpace::index_of(CacheConfig{8192, 1, 16})]);
+  }
+}
+
+TEST_F(TuningHeuristicTest, ResumesAcrossInterruptions) {
+  // The heuristic must continue where it left off when observations
+  // arrive one at a time with other work in between (Section IV.F).
+  const auto energy = [](const CacheConfig& c) {
+    return 100.0 - 10.0 * c.associativity;
+  };
+  const auto first = TuningHeuristic::next_config(table_.entry(0), 8192);
+  ASSERT_TRUE(first.has_value());
+  table_.record(0, *first, obs(energy(*first)));
+  // "Interruption": a fresh heuristic query over the same table must pick
+  // up at the second step, not restart.
+  const auto second = TuningHeuristic::next_config(table_.entry(0), 8192);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->name(), "8KB_2W_16B");
+  EXPECT_NE(*first, *second);
+}
+
+// ---------------- Energy-advantage decision (Section IV.E) ----------------
+
+TEST(EnergyDecisionTest, NoCandidatesMeansStall) {
+  EnergyAdvantageInput input;
+  input.energy_on_best = NanoJoules(100);
+  input.wait_cycles = 1000;
+  const EnergyAdvantageResult result = evaluate_energy_advantage(input);
+  EXPECT_FALSE(result.run_on_non_best);
+}
+
+TEST(EnergyDecisionTest, RunsWhenStallCostExceedsRunCost) {
+  EnergyAdvantageInput input;
+  input.energy_on_best = NanoJoules(100);
+  input.wait_cycles = 1000;
+  input.candidates.push_back({2, NanoJoules(120), NanoJoules(0.05)});
+  // stall cost = 100 + 0.05*1000 = 150 > 120 -> run on core 2.
+  const EnergyAdvantageResult result = evaluate_energy_advantage(input);
+  EXPECT_TRUE(result.run_on_non_best);
+  EXPECT_EQ(result.chosen_core, 2u);
+  EXPECT_DOUBLE_EQ(result.stall_cost.value(), 150.0);
+  EXPECT_DOUBLE_EQ(result.run_cost.value(), 120.0);
+}
+
+TEST(EnergyDecisionTest, StallsWhenWaitingIsCheap) {
+  EnergyAdvantageInput input;
+  input.energy_on_best = NanoJoules(100);
+  input.wait_cycles = 100;  // short wait
+  input.candidates.push_back({1, NanoJoules(140), NanoJoules(0.05)});
+  // stall cost = 100 + 5 = 105 < 140 -> stall.
+  const EnergyAdvantageResult result = evaluate_energy_advantage(input);
+  EXPECT_FALSE(result.run_on_non_best);
+}
+
+TEST(EnergyDecisionTest, PicksTheBestOfSeveralCandidates) {
+  EnergyAdvantageInput input;
+  input.energy_on_best = NanoJoules(100);
+  input.wait_cycles = 2000;
+  input.candidates.push_back({1, NanoJoules(190), NanoJoules(0.05)});
+  input.candidates.push_back({2, NanoJoules(150), NanoJoules(0.05)});
+  input.candidates.push_back({3, NanoJoules(170), NanoJoules(0.05)});
+  const EnergyAdvantageResult result = evaluate_energy_advantage(input);
+  EXPECT_TRUE(result.run_on_non_best);
+  EXPECT_EQ(result.chosen_core, 2u) << "largest margin wins";
+}
+
+TEST(EnergyDecisionTest, ZeroWaitNeverRunsOnWorseCore) {
+  // If the best core frees up immediately, a non-best core that costs
+  // more energy can never be advantageous.
+  EnergyAdvantageInput input;
+  input.energy_on_best = NanoJoules(100);
+  input.wait_cycles = 0;
+  input.candidates.push_back({1, NanoJoules(100.01), NanoJoules(10.0)});
+  EXPECT_FALSE(evaluate_energy_advantage(input).run_on_non_best);
+}
+
+TEST(EnergyDecisionTest, EqualCostTiesResolveToStall) {
+  EnergyAdvantageInput input;
+  input.energy_on_best = NanoJoules(100);
+  input.wait_cycles = 0;
+  input.candidates.push_back({1, NanoJoules(100), NanoJoules(0.0)});
+  // margin == 0: prose says run "if stall energy is greater" (strict).
+  EXPECT_FALSE(evaluate_energy_advantage(input).run_on_non_best);
+}
+
+}  // namespace
+}  // namespace hetsched

@@ -1,0 +1,132 @@
+// Tests for the schedule observer: slice integrity against the
+// simulator's own accounting, overlap invariants, and CSV export.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/realtime_policy.hpp"
+#include "core/schedule_log.hpp"
+#include "core/simulator.hpp"
+#include "experiment/experiment.hpp"
+
+namespace hetsched {
+namespace {
+
+struct LogFixture {
+  EnergyModel energy{CactiModel{}};
+  CharacterizedSuite suite;
+  std::vector<JobArrival> arrivals;
+
+  LogFixture() {
+    SuiteOptions options;
+    options.kernel_scale = 0.25;
+    options.variants_per_kernel = 1;
+    suite = CharacterizedSuite::build(energy, options);
+    Rng rng(77);
+    ArrivalOptions arrival_options;
+    arrival_options.count = 250;
+    arrival_options.mean_interarrival_cycles = 40000.0;
+    arrivals =
+        generate_arrivals(suite.scheduling_ids(), arrival_options, rng);
+  }
+};
+
+TEST(ScheduleLogTest, SlicesMatchSimulatorAccounting) {
+  LogFixture f;
+  OracleSizePredictor predictor(f.suite);
+  ProposedPolicy policy(predictor);
+  MulticoreSimulator sim(SystemConfig::paper_quadcore(), f.suite, f.energy,
+                         policy);
+  ScheduleLog log;
+  sim.set_observer(&log);
+  const SimulationResult result = sim.run(f.arrivals);
+
+  EXPECT_TRUE(log.well_formed());
+  // One completed slice per job (no preemption under this policy).
+  std::size_t completed = 0;
+  for (const ScheduledSlice& slice : log.slices()) {
+    if (slice.completed) ++completed;
+  }
+  EXPECT_EQ(completed, result.completed_jobs);
+
+  // Busy cycles reconstructed from slices equal the simulator's own sums.
+  const auto busy = log.busy_cycles(4);
+  for (std::size_t core = 0; core < 4; ++core) {
+    EXPECT_EQ(busy[core], result.per_core[core].busy_cycles);
+  }
+}
+
+TEST(ScheduleLogTest, PreemptedSlicesAreMarked) {
+  LogFixture f;
+  // Tight deadlines + heavy load to force preemptions.
+  std::vector<Cycles> reference(f.suite.size(), 0);
+  for (std::size_t id = 0; id < f.suite.size(); ++id) {
+    reference[id] = f.suite.benchmark(id)
+                        .profile_for(DesignSpace::base_config())
+                        .energy.total_cycles;
+  }
+  Rng rng(9);
+  ArrivalOptions arrival_options;
+  arrival_options.count = 400;
+  arrival_options.mean_interarrival_cycles = 8000.0;
+  auto arrivals =
+      generate_arrivals(f.suite.scheduling_ids(), arrival_options, rng);
+  RealtimeOptions rt;
+  rt.slack_factor = 1.5;
+  assign_realtime_attributes(arrivals, reference, rt, rng);
+
+  OracleSizePredictor predictor(f.suite);
+  RealtimeEdfPolicy policy(predictor, true);
+  MulticoreSimulator sim(SystemConfig::paper_quadcore(), f.suite, f.energy,
+                         policy, QueueDiscipline::kEdf);
+  ScheduleLog log;
+  sim.set_observer(&log);
+  const SimulationResult result = sim.run(arrivals);
+
+  ASSERT_GT(result.preemptions, 0u);
+  EXPECT_TRUE(log.well_formed());
+  std::size_t preempted_slices = 0;
+  for (const ScheduledSlice& slice : log.slices()) {
+    if (!slice.completed) ++preempted_slices;
+  }
+  EXPECT_EQ(preempted_slices, result.preemptions);
+}
+
+TEST(ScheduleLogTest, CsvExportHasHeaderAndRows) {
+  LogFixture f;
+  BasePolicy policy;
+  MulticoreSimulator sim(SystemConfig::fixed_base(4), f.suite, f.energy,
+                         policy);
+  ScheduleLog log;
+  sim.set_observer(&log);
+  sim.run(f.arrivals);
+
+  std::stringstream out;
+  log.write_csv(out);
+  std::string line;
+  ASSERT_TRUE(std::getline(out, line));
+  EXPECT_EQ(line, "job,benchmark,core,start,end,config,kind,completed");
+  std::size_t rows = 0;
+  while (std::getline(out, line)) ++rows;
+  EXPECT_EQ(rows, log.slices().size());
+  EXPECT_EQ(rows, f.arrivals.size());
+}
+
+TEST(ScheduleLogTest, WellFormedDetectsOverlap) {
+  ScheduleLog log;
+  log.on_slice(ScheduledSlice{0, 0, 0, 100, 200, {2048, 1, 16},
+                              ExecutionKind::kNormal, true});
+  log.on_slice(ScheduledSlice{1, 0, 0, 150, 250, {2048, 1, 16},
+                              ExecutionKind::kNormal, true});
+  EXPECT_FALSE(log.well_formed());
+}
+
+TEST(ScheduleLogTest, WellFormedDetectsEmptySlice) {
+  ScheduleLog log;
+  log.on_slice(ScheduledSlice{0, 0, 0, 100, 100, {2048, 1, 16},
+                              ExecutionKind::kNormal, true});
+  EXPECT_FALSE(log.well_formed());
+}
+
+}  // namespace
+}  // namespace hetsched

@@ -1,0 +1,128 @@
+// Tests for predictor persistence: bit-exact round trips, prediction
+// equivalence, and rejection of malformed inputs.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/serialization.hpp"
+#include "experiment/experiment.hpp"
+
+namespace hetsched {
+namespace {
+
+struct Trained {
+  CharacterizedSuite suite;
+  std::unique_ptr<BestSizePredictor> predictor;
+};
+
+const Trained& trained() {
+  static const Trained t = [] {
+    SuiteOptions suite_options;
+    suite_options.kernel_scale = 0.25;
+    suite_options.variants_per_kernel = 3;
+    Trained out;
+    out.suite =
+        CharacterizedSuite::build(EnergyModel{CactiModel{}}, suite_options);
+    const Dataset data = build_ann_dataset(out.suite, {});
+    PredictorConfig config;
+    config.ensemble_size = 4;
+    config.trainer.max_epochs = 120;
+    Rng rng(21);
+    out.predictor =
+        std::make_unique<BestSizePredictor>(data, config, rng);
+    return out;
+  }();
+  return t;
+}
+
+TEST(SerializationTest, SnapshotMatchesLivePredictor) {
+  const Trained& t = trained();
+  const PredictorSnapshot snapshot = PredictorSnapshot::from(*t.predictor);
+  EXPECT_EQ(snapshot.member_count(), 4u);
+  for (std::size_t id = 0; id < t.suite.size(); ++id) {
+    const auto& stats = t.suite.benchmark(id).base_statistics;
+    EXPECT_DOUBLE_EQ(snapshot.predict_raw(stats),
+                     t.predictor->predict_raw(stats));
+    EXPECT_EQ(snapshot.predict(id, stats),
+              t.predictor->predict_size_bytes(stats));
+  }
+}
+
+TEST(SerializationTest, SaveLoadRoundTripIsBitExact) {
+  const Trained& t = trained();
+  const PredictorSnapshot snapshot = PredictorSnapshot::from(*t.predictor);
+
+  std::stringstream stream;
+  snapshot.save(stream);
+  const PredictorSnapshot loaded = PredictorSnapshot::load(stream);
+
+  EXPECT_EQ(loaded.member_count(), snapshot.member_count());
+  EXPECT_EQ(loaded.selected_features().indices,
+            snapshot.selected_features().indices);
+  for (std::size_t id = 0; id < t.suite.size(); ++id) {
+    const auto& stats = t.suite.benchmark(id).base_statistics;
+    EXPECT_DOUBLE_EQ(loaded.predict_raw(stats),
+                     snapshot.predict_raw(stats))
+        << t.suite.benchmark(id).instance.name;
+  }
+}
+
+TEST(SerializationTest, SecondSaveIsByteIdentical) {
+  const Trained& t = trained();
+  const PredictorSnapshot snapshot = PredictorSnapshot::from(*t.predictor);
+  std::stringstream a, b;
+  snapshot.save(a);
+  PredictorSnapshot::load(a).save(b);
+  EXPECT_EQ(a.str(), b.str());
+}
+
+TEST(SerializationTest, RejectsBadHeader) {
+  std::stringstream in("not-a-predictor v1\n");
+  EXPECT_THROW(PredictorSnapshot::load(in), std::runtime_error);
+  std::stringstream wrong_version("hetsched-predictor v999\n");
+  EXPECT_THROW(PredictorSnapshot::load(wrong_version), std::runtime_error);
+}
+
+TEST(SerializationTest, RejectsTruncatedStream) {
+  const Trained& t = trained();
+  std::stringstream full;
+  PredictorSnapshot::from(*t.predictor).save(full);
+  const std::string text = full.str();
+  std::stringstream truncated(text.substr(0, text.size() / 2));
+  EXPECT_THROW(PredictorSnapshot::load(truncated), std::runtime_error);
+}
+
+TEST(SerializationTest, RejectsOutOfRangeFeatureIndex) {
+  std::stringstream in("hetsched-predictor v1\nfeatures 1 99\n");
+  EXPECT_THROW(PredictorSnapshot::load(in), std::runtime_error);
+}
+
+TEST(SerializationTest, LoadedSnapshotDrivesTheScheduler) {
+  const Trained& t = trained();
+  std::stringstream stream;
+  PredictorSnapshot::from(*t.predictor).save(stream);
+  const PredictorSnapshot loaded = PredictorSnapshot::load(stream);
+
+  Rng rng(33);
+  ArrivalOptions arrival_options;
+  arrival_options.count = 150;
+  arrival_options.mean_interarrival_cycles = 50000.0;
+  const auto arrivals =
+      generate_arrivals(t.suite.scheduling_ids(), arrival_options, rng);
+
+  const EnergyModel energy{CactiModel{}};
+  auto run = [&](const SizePredictor& predictor) {
+    ProposedPolicy policy(predictor);
+    MulticoreSimulator sim(SystemConfig::paper_quadcore(), t.suite, energy,
+                           policy);
+    return sim.run(arrivals);
+  };
+  const SimulationResult live = run(*t.predictor);
+  const SimulationResult from_snapshot = run(loaded);
+  EXPECT_DOUBLE_EQ(live.total_energy().value(),
+                   from_snapshot.total_energy().value());
+  EXPECT_EQ(live.makespan, from_snapshot.makespan);
+}
+
+}  // namespace
+}  // namespace hetsched

@@ -1,0 +1,110 @@
+// Tests for the two-level (L1+L2) energy model extension.
+#include <gtest/gtest.h>
+
+#include "energy/two_level_model.hpp"
+#include "trace/kernel.hpp"
+
+namespace hetsched {
+namespace {
+
+TEST(TwoLevelModelTest, StallCyclesSplitByLevel) {
+  const TwoLevelEnergyModel model{CactiModel{}};
+  const CacheConfig l1{4096, 2, 32};
+  const auto& p = model.l1_model().params();
+  const Cycles l1_beats = l1.line_bytes / p.beat_bytes;
+  const Cycles l2_beats =
+      model.two_level().l2_config.line_bytes / p.beat_bytes;
+  const Cycles expected_l2 =
+      model.two_level().l2_hit_latency + l1_beats;
+  const Cycles expected_offchip =
+      p.miss_latency + l2_beats * p.bandwidth_cycles_per_beat;
+  EXPECT_EQ(model.stall_cycles(l1, 10, 0), 10 * expected_l2);
+  EXPECT_EQ(model.stall_cycles(l1, 0, 10), 10 * expected_offchip);
+  EXPECT_EQ(model.stall_cycles(l1, 3, 2),
+            3 * expected_l2 + 2 * expected_offchip);
+}
+
+TEST(TwoLevelModelTest, L2ServedMissIsMuchCheaperThanOffchip) {
+  const TwoLevelEnergyModel model{CactiModel{}};
+  const CacheConfig l1{8192, 4, 64};
+  EXPECT_LT(model.stall_cycles(l1, 1, 0) * 5, model.stall_cycles(l1, 0, 1));
+  EXPECT_LT(model.l2_access_energy().value() * 3,
+            model.offchip_miss_energy().value());
+}
+
+TEST(TwoLevelModelTest, StaticIncludesL2Leakage) {
+  const TwoLevelEnergyModel model{CactiModel{}};
+  const CacheConfig l1{2048, 1, 16};
+  EXPECT_GT(model.static_per_cycle(l1).value(),
+            model.l1_model().static_per_cycle(l1).value());
+}
+
+TEST(TwoLevelModelTest, EvaluateIsCheaperThanFigure4ForReusyWorkload) {
+  // A benchmark whose working set exceeds L1 but fits L2: most L1 misses
+  // hit in L2, so the two-level model must price it below the Figure-4
+  // every-miss-goes-off-chip model.
+  const auto kernels = make_standard_kernels(0.5);
+  const Kernel* big = nullptr;
+  for (const auto& k : kernels) {
+    if (k->name() == "matrix01") big = k.get();
+  }
+  ASSERT_NE(big, nullptr);
+  const KernelExecution exec = execute(*big, 7);
+  const CacheConfig l1{2048, 1, 16};
+
+  const HierarchyStats stats = simulate_hierarchy(exec.trace, l1);
+  ASSERT_GT(stats.l1.misses, 0u);
+  ASSERT_LT(stats.global_miss_rate(), stats.l1.miss_rate());
+
+  const TwoLevelEnergyModel two_level{CactiModel{}};
+  const EnergyModel fig4{CactiModel{}};
+  const EnergyBreakdown with_l2 =
+      two_level.evaluate(exec.counters, stats, l1);
+  const EnergyBreakdown without =
+      fig4.evaluate(exec.counters,
+                    CacheSimResult{l1, stats.l1});
+  EXPECT_LT(with_l2.miss_cycles, without.miss_cycles);
+  EXPECT_LT(with_l2.dynamic_energy.value(), without.dynamic_energy.value());
+}
+
+TEST(TwoLevelModelTest, EvaluateDecomposes) {
+  const TwoLevelEnergyModel model{CactiModel{}};
+  RawCounters counters;
+  counters.loads = 1000;
+  counters.int_ops = 1000;
+  HierarchyStats stats;
+  stats.l1.accesses = 1000;
+  stats.l1.hits = 900;
+  stats.l1.misses = 100;
+  stats.l2.accesses = 100;
+  stats.l2.hits = 80;
+  stats.l2.misses = 20;
+  const CacheConfig l1{4096, 1, 16};
+  const EnergyBreakdown out = model.evaluate(counters, stats, l1);
+  EXPECT_EQ(out.miss_cycles, model.stall_cycles(l1, 80, 20));
+  EXPECT_EQ(out.total_cycles, 2000 + out.miss_cycles);
+  EXPECT_GT(out.dynamic_energy.value(), 0.0);
+  EXPECT_NEAR(out.static_energy.value(),
+              model.static_per_cycle(l1).value() *
+                  static_cast<double>(out.total_cycles),
+              1e-9);
+}
+
+TEST(TwoLevelModelTest, ClampsInconsistentL2Misses) {
+  // Degenerate stats with more L2 misses than L1 misses (possible via
+  // writeback traffic) must not underflow.
+  const TwoLevelEnergyModel model{CactiModel{}};
+  RawCounters counters;
+  counters.loads = 10;
+  HierarchyStats stats;
+  stats.l1.accesses = 10;
+  stats.l1.hits = 9;
+  stats.l1.misses = 1;
+  stats.l2.misses = 5;
+  const EnergyBreakdown out =
+      model.evaluate(counters, stats, CacheConfig{2048, 1, 16});
+  EXPECT_GT(out.total_cycles, 0u);
+}
+
+}  // namespace
+}  // namespace hetsched

@@ -1,0 +1,316 @@
+// hetsched command-line driver.
+//
+//   hetsched_cli compare   [common options]
+//       run all four Section-V systems over one stream and print the
+//       Figure-6-style comparison
+//   hetsched_cli run       --system <base|optimal|energy-centric|proposed|
+//                                    realtime> [common options]
+//       run one system and print its full accounting
+//   hetsched_cli characterize [--kernel <name>]
+//       print the Table-1 characterisation (optionally one kernel's
+//       per-configuration sweep)
+//   hetsched_cli train     --save <file> [common options]
+//       train the ANN predictor and persist it
+//
+// Common options:
+//   --arrivals N         number of jobs              (default 5000)
+//   --gap CYCLES         mean inter-arrival gap      (default 55000)
+//   --seed N             experiment seed             (default 42)
+//   --scale X            kernel working-set scale    (default 1.0)
+//   --discipline D       fifo | edf | priority       (default fifo)
+//   --slack X            deadline slack factor; assigns deadlines when set
+//   --load FILE          use a saved predictor snapshot instead of training
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "core/realtime_policy.hpp"
+#include "core/serialization.hpp"
+#include "experiment/experiment.hpp"
+#include "util/table_printer.hpp"
+
+namespace {
+
+using namespace hetsched;
+
+struct CliOptions {
+  std::string command;
+  std::string system = "proposed";
+  std::string kernel;
+  std::string save_path;
+  std::string load_path;
+  std::string discipline = "fifo";
+  std::optional<double> slack;
+  ExperimentOptions experiment;
+};
+
+[[noreturn]] void usage(const std::string& error = "") {
+  if (!error.empty()) std::cerr << "error: " << error << "\n\n";
+  std::cerr <<
+      "usage: hetsched_cli <compare|run|characterize|train> [options]\n"
+      "  --system S      base|optimal|energy-centric|proposed|realtime\n"
+      "  --arrivals N    jobs in the stream (default 5000)\n"
+      "  --gap CYCLES    mean inter-arrival gap (default 55000)\n"
+      "  --seed N        experiment seed (default 42)\n"
+      "  --scale X       kernel working-set scale (default 1.0)\n"
+      "  --discipline D  fifo|edf|priority ready-queue order\n"
+      "  --slack X       assign deadlines = arrival + X*base cycles\n"
+      "  --kernel NAME   (characterize) single-kernel sweep\n"
+      "  --save FILE     (train) persist the predictor snapshot\n"
+      "  --load FILE     use a saved predictor snapshot\n";
+  std::exit(2);
+}
+
+CliOptions parse(int argc, char** argv) {
+  if (argc < 2) usage();
+  CliOptions options;
+  options.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage("missing value for " + flag);
+      return argv[++i];
+    };
+    if (flag == "--system") {
+      options.system = next();
+    } else if (flag == "--arrivals") {
+      options.experiment.arrivals.count =
+          static_cast<std::size_t>(std::stoull(next()));
+    } else if (flag == "--gap") {
+      options.experiment.arrivals.mean_interarrival_cycles =
+          std::stod(next());
+    } else if (flag == "--seed") {
+      options.experiment.seed = std::stoull(next());
+    } else if (flag == "--scale") {
+      options.experiment.suite.kernel_scale = std::stod(next());
+    } else if (flag == "--discipline") {
+      options.discipline = next();
+    } else if (flag == "--slack") {
+      options.slack = std::stod(next());
+    } else if (flag == "--kernel") {
+      options.kernel = next();
+    } else if (flag == "--save") {
+      options.save_path = next();
+    } else if (flag == "--load") {
+      options.load_path = next();
+    } else {
+      usage("unknown flag " + flag);
+    }
+  }
+  return options;
+}
+
+QueueDiscipline parse_discipline(const std::string& name) {
+  if (name == "fifo") return QueueDiscipline::kFifo;
+  if (name == "edf") return QueueDiscipline::kEdf;
+  if (name == "priority") return QueueDiscipline::kPriority;
+  usage("unknown discipline " + name);
+}
+
+void print_result(const std::string& name, const SimulationResult& r) {
+  TablePrinter table({"metric", "value"});
+  table.add_row({"total energy",
+                 TablePrinter::num(r.total_energy().millijoules(), 2) +
+                     " mJ"});
+  table.add_row({"  idle",
+                 TablePrinter::num(r.idle_energy.millijoules(), 2) + " mJ"});
+  table.add_row({"  dynamic",
+                 TablePrinter::num(r.dynamic_energy.millijoules(), 2) +
+                     " mJ"});
+  table.add_row({"  busy static",
+                 TablePrinter::num(r.busy_static_energy.millijoules(), 2) +
+                     " mJ"});
+  table.add_row({"  cpu",
+                 TablePrinter::num(r.cpu_energy.millijoules(), 2) + " mJ"});
+  table.add_row({"  reconfig",
+                 TablePrinter::num(r.reconfig_energy.millijoules(), 2) +
+                     " mJ"});
+  table.add_row({"makespan", std::to_string(r.makespan) + " cycles"});
+  table.add_row({"execution cycles",
+                 std::to_string(r.total_execution_cycles)});
+  table.add_row({"completed jobs", std::to_string(r.completed_jobs)});
+  table.add_row({"stalls", std::to_string(r.stall_events)});
+  table.add_row({"profiling runs", std::to_string(r.profiling_runs)});
+  table.add_row({"tuning runs", std::to_string(r.tuning_runs)});
+  table.add_row({"reconfigurations", std::to_string(r.reconfigurations)});
+  if (r.jobs_with_deadline > 0) {
+    table.add_row({"deadline misses",
+                   std::to_string(r.deadline_misses) + " / " +
+                       std::to_string(r.jobs_with_deadline)});
+    table.add_row({"preemptions", std::to_string(r.preemptions)});
+  }
+  std::cout << "=== " << name << " ===\n";
+  table.print(std::cout);
+}
+
+int cmd_characterize(const CliOptions& options) {
+  Experiment experiment(options.experiment);
+  const CharacterizedSuite& suite = experiment.suite();
+  if (!options.kernel.empty()) {
+    // Single-kernel per-configuration sweep.
+    for (std::size_t id : experiment.scheduling_ids()) {
+      const BenchmarkProfile& b = suite.benchmark(id);
+      if (!b.instance.name.starts_with(options.kernel)) continue;
+      TablePrinter table({"config", "miss rate", "cycles", "total nJ"});
+      for (const ConfigProfile& cp : b.per_config) {
+        table.add_row({cp.config.name(),
+                       TablePrinter::num(cp.cache.miss_rate(), 4),
+                       std::to_string(cp.energy.total_cycles),
+                       TablePrinter::num(cp.energy.total().value(), 0)});
+      }
+      std::cout << b.instance.name << " ("
+                << to_string(b.instance.domain) << ", oracle best "
+                << b.best_overall().config.name() << ")\n";
+      table.print(std::cout);
+      return 0;
+    }
+    std::cerr << "kernel '" << options.kernel << "' not found\n";
+    return 1;
+  }
+  TablePrinter table({"benchmark", "domain", "refs", "oracle best",
+                      "best/base energy"});
+  for (std::size_t id : experiment.scheduling_ids()) {
+    const BenchmarkProfile& b = suite.benchmark(id);
+    const ConfigProfile& base =
+        b.profile_for(DesignSpace::base_config());
+    table.add_row({b.instance.name, std::string(to_string(b.instance.domain)),
+                   std::to_string(b.counters.memory_refs()),
+                   b.best_overall().config.name(),
+                   TablePrinter::num(
+                       b.best_overall().energy.total() / base.energy.total(),
+                       3)});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_train(const CliOptions& options) {
+  if (options.save_path.empty()) usage("train requires --save FILE");
+  Experiment experiment(options.experiment);
+  const PredictorReport& report = experiment.predictor().report();
+  std::cout << "trained on " << report.dataset_rows << " rows; test accuracy "
+            << TablePrinter::num(report.test_accuracy * 100.0, 1) << "%\n";
+  std::ofstream out(options.save_path);
+  if (!out) {
+    std::cerr << "cannot open " << options.save_path << "\n";
+    return 1;
+  }
+  PredictorSnapshot::from(experiment.predictor()).save(out);
+  std::cout << "predictor snapshot written to " << options.save_path
+            << "\n";
+  return 0;
+}
+
+int cmd_run_or_compare(const CliOptions& options) {
+  Experiment experiment(options.experiment);
+
+  // Optional deadline assignment.
+  std::vector<JobArrival> arrivals = experiment.arrivals();
+  if (options.slack.has_value()) {
+    std::vector<Cycles> reference(experiment.suite().size(), 0);
+    for (std::size_t id = 0; id < experiment.suite().size(); ++id) {
+      reference[id] = experiment.suite()
+                          .benchmark(id)
+                          .profile_for(DesignSpace::base_config())
+                          .energy.total_cycles;
+    }
+    RealtimeOptions rt;
+    rt.slack_factor = *options.slack;
+    rt.priority_levels = 3;
+    Rng rng(options.experiment.seed ^ 0x5151);
+    assign_realtime_attributes(arrivals, reference, rt, rng);
+  }
+
+  // Optional snapshot predictor.
+  std::optional<PredictorSnapshot> snapshot;
+  if (!options.load_path.empty()) {
+    std::ifstream in(options.load_path);
+    if (!in) {
+      std::cerr << "cannot open " << options.load_path << "\n";
+      return 1;
+    }
+    snapshot = PredictorSnapshot::load(in);
+    std::cout << "loaded predictor snapshot (" << snapshot->member_count()
+              << " nets) from " << options.load_path << "\n";
+  }
+  const SizePredictor& predictor =
+      snapshot.has_value()
+          ? static_cast<const SizePredictor&>(*snapshot)
+          : static_cast<const SizePredictor&>(experiment.predictor());
+
+  const QueueDiscipline discipline = parse_discipline(options.discipline);
+  auto run_system = [&](const std::string& name) -> SimulationResult {
+    auto simulate = [&](SchedulerPolicy& policy,
+                        const SystemConfig& system) {
+      MulticoreSimulator sim(system, experiment.suite(),
+                             experiment.energy(), policy, discipline);
+      return sim.run(arrivals);
+    };
+    if (name == "base") {
+      BasePolicy policy;
+      return simulate(policy, SystemConfig::fixed_base(4));
+    }
+    if (name == "optimal") {
+      OptimalPolicy policy;
+      return simulate(policy, SystemConfig::paper_quadcore());
+    }
+    if (name == "energy-centric") {
+      EnergyCentricPolicy policy(predictor);
+      return simulate(policy, SystemConfig::paper_quadcore());
+    }
+    if (name == "proposed") {
+      ProposedPolicy policy(predictor);
+      return simulate(policy, SystemConfig::paper_quadcore());
+    }
+    if (name == "realtime") {
+      RealtimeEdfPolicy policy(predictor);
+      return simulate(policy, SystemConfig::paper_quadcore());
+    }
+    usage("unknown system " + name);
+  };
+
+  if (options.command == "run") {
+    print_result(options.system, run_system(options.system));
+    return 0;
+  }
+
+  // compare
+  const SimulationResult base = run_system("base");
+  TablePrinter table({"system", "idle", "dynamic", "total", "cycles"});
+  auto add = [&](const std::string& name, const SimulationResult& r) {
+    const NormalizedEnergy n = normalize(r, base);
+    table.add_row({name, TablePrinter::num(n.idle, 2),
+                   TablePrinter::num(n.dynamic, 2),
+                   TablePrinter::num(n.total, 2),
+                   TablePrinter::num(n.cycles, 2)});
+  };
+  add("base", base);
+  add("optimal", run_system("optimal"));
+  add("energy-centric", run_system("energy-centric"));
+  add("proposed", run_system("proposed"));
+  std::cout << "normalised to the base system ("
+            << arrivals.size() << " arrivals, seed "
+            << options.experiment.seed << "):\n";
+  table.print(std::cout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliOptions options = parse(argc, argv);
+  try {
+    if (options.command == "characterize") return cmd_characterize(options);
+    if (options.command == "train") return cmd_train(options);
+    if (options.command == "run" || options.command == "compare") {
+      return cmd_run_or_compare(options);
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  usage("unknown command " + options.command);
+}
