@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_bagging.dir/bench_ablation_bagging.cpp.o"
+  "CMakeFiles/bench_ablation_bagging.dir/bench_ablation_bagging.cpp.o.d"
+  "bench_ablation_bagging"
+  "bench_ablation_bagging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_bagging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_ml.dir/bench_ablation_ml.cpp.o"
+  "CMakeFiles/bench_ablation_ml.dir/bench_ablation_ml.cpp.o.d"
+  "bench_ablation_ml"
+  "bench_ablation_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_realtime.dir/bench_ext_realtime.cpp.o"
+  "CMakeFiles/bench_ext_realtime.dir/bench_ext_realtime.cpp.o.d"
+  "bench_ext_realtime"
+  "bench_ext_realtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_realtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_tuning_heuristic.dir/bench_fig5_tuning_heuristic.cpp.o"
+  "CMakeFiles/bench_fig5_tuning_heuristic.dir/bench_fig5_tuning_heuristic.cpp.o.d"
+  "bench_fig5_tuning_heuristic"
+  "bench_fig5_tuning_heuristic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_tuning_heuristic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

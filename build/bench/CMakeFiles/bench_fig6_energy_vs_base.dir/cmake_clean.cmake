@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_energy_vs_base.dir/bench_fig6_energy_vs_base.cpp.o"
+  "CMakeFiles/bench_fig6_energy_vs_base.dir/bench_fig6_energy_vs_base.cpp.o.d"
+  "bench_fig6_energy_vs_base"
+  "bench_fig6_energy_vs_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_energy_vs_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

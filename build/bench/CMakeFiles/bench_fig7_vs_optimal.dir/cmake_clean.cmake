@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_vs_optimal.dir/bench_fig7_vs_optimal.cpp.o"
+  "CMakeFiles/bench_fig7_vs_optimal.dir/bench_fig7_vs_optimal.cpp.o.d"
+  "bench_fig7_vs_optimal"
+  "bench_fig7_vs_optimal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_vs_optimal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

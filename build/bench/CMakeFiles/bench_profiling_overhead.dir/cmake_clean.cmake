@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_profiling_overhead.dir/bench_profiling_overhead.cpp.o"
+  "CMakeFiles/bench_profiling_overhead.dir/bench_profiling_overhead.cpp.o.d"
+  "bench_profiling_overhead"
+  "bench_profiling_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_profiling_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ann/activations.cpp" "src/ann/CMakeFiles/hetsched_ann.dir/activations.cpp.o" "gcc" "src/ann/CMakeFiles/hetsched_ann.dir/activations.cpp.o.d"
+  "/root/repo/src/ann/bagging.cpp" "src/ann/CMakeFiles/hetsched_ann.dir/bagging.cpp.o" "gcc" "src/ann/CMakeFiles/hetsched_ann.dir/bagging.cpp.o.d"
+  "/root/repo/src/ann/dataset.cpp" "src/ann/CMakeFiles/hetsched_ann.dir/dataset.cpp.o" "gcc" "src/ann/CMakeFiles/hetsched_ann.dir/dataset.cpp.o.d"
+  "/root/repo/src/ann/decision_tree.cpp" "src/ann/CMakeFiles/hetsched_ann.dir/decision_tree.cpp.o" "gcc" "src/ann/CMakeFiles/hetsched_ann.dir/decision_tree.cpp.o.d"
+  "/root/repo/src/ann/feature_selection.cpp" "src/ann/CMakeFiles/hetsched_ann.dir/feature_selection.cpp.o" "gcc" "src/ann/CMakeFiles/hetsched_ann.dir/feature_selection.cpp.o.d"
+  "/root/repo/src/ann/knn.cpp" "src/ann/CMakeFiles/hetsched_ann.dir/knn.cpp.o" "gcc" "src/ann/CMakeFiles/hetsched_ann.dir/knn.cpp.o.d"
+  "/root/repo/src/ann/matrix.cpp" "src/ann/CMakeFiles/hetsched_ann.dir/matrix.cpp.o" "gcc" "src/ann/CMakeFiles/hetsched_ann.dir/matrix.cpp.o.d"
+  "/root/repo/src/ann/metrics.cpp" "src/ann/CMakeFiles/hetsched_ann.dir/metrics.cpp.o" "gcc" "src/ann/CMakeFiles/hetsched_ann.dir/metrics.cpp.o.d"
+  "/root/repo/src/ann/mlp.cpp" "src/ann/CMakeFiles/hetsched_ann.dir/mlp.cpp.o" "gcc" "src/ann/CMakeFiles/hetsched_ann.dir/mlp.cpp.o.d"
+  "/root/repo/src/ann/mlp_regressor.cpp" "src/ann/CMakeFiles/hetsched_ann.dir/mlp_regressor.cpp.o" "gcc" "src/ann/CMakeFiles/hetsched_ann.dir/mlp_regressor.cpp.o.d"
+  "/root/repo/src/ann/ridge.cpp" "src/ann/CMakeFiles/hetsched_ann.dir/ridge.cpp.o" "gcc" "src/ann/CMakeFiles/hetsched_ann.dir/ridge.cpp.o.d"
+  "/root/repo/src/ann/trainer.cpp" "src/ann/CMakeFiles/hetsched_ann.dir/trainer.cpp.o" "gcc" "src/ann/CMakeFiles/hetsched_ann.dir/trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/hetsched_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

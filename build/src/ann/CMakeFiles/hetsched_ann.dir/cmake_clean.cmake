@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetsched_ann.dir/activations.cpp.o"
+  "CMakeFiles/hetsched_ann.dir/activations.cpp.o.d"
+  "CMakeFiles/hetsched_ann.dir/bagging.cpp.o"
+  "CMakeFiles/hetsched_ann.dir/bagging.cpp.o.d"
+  "CMakeFiles/hetsched_ann.dir/dataset.cpp.o"
+  "CMakeFiles/hetsched_ann.dir/dataset.cpp.o.d"
+  "CMakeFiles/hetsched_ann.dir/decision_tree.cpp.o"
+  "CMakeFiles/hetsched_ann.dir/decision_tree.cpp.o.d"
+  "CMakeFiles/hetsched_ann.dir/feature_selection.cpp.o"
+  "CMakeFiles/hetsched_ann.dir/feature_selection.cpp.o.d"
+  "CMakeFiles/hetsched_ann.dir/knn.cpp.o"
+  "CMakeFiles/hetsched_ann.dir/knn.cpp.o.d"
+  "CMakeFiles/hetsched_ann.dir/matrix.cpp.o"
+  "CMakeFiles/hetsched_ann.dir/matrix.cpp.o.d"
+  "CMakeFiles/hetsched_ann.dir/metrics.cpp.o"
+  "CMakeFiles/hetsched_ann.dir/metrics.cpp.o.d"
+  "CMakeFiles/hetsched_ann.dir/mlp.cpp.o"
+  "CMakeFiles/hetsched_ann.dir/mlp.cpp.o.d"
+  "CMakeFiles/hetsched_ann.dir/mlp_regressor.cpp.o"
+  "CMakeFiles/hetsched_ann.dir/mlp_regressor.cpp.o.d"
+  "CMakeFiles/hetsched_ann.dir/ridge.cpp.o"
+  "CMakeFiles/hetsched_ann.dir/ridge.cpp.o.d"
+  "CMakeFiles/hetsched_ann.dir/trainer.cpp.o"
+  "CMakeFiles/hetsched_ann.dir/trainer.cpp.o.d"
+  "libhetsched_ann.a"
+  "libhetsched_ann.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetsched_ann.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetsched_cache.dir/cache.cpp.o"
+  "CMakeFiles/hetsched_cache.dir/cache.cpp.o.d"
+  "CMakeFiles/hetsched_cache.dir/cache_config.cpp.o"
+  "CMakeFiles/hetsched_cache.dir/cache_config.cpp.o.d"
+  "CMakeFiles/hetsched_cache.dir/cache_tuner.cpp.o"
+  "CMakeFiles/hetsched_cache.dir/cache_tuner.cpp.o.d"
+  "CMakeFiles/hetsched_cache.dir/hierarchy.cpp.o"
+  "CMakeFiles/hetsched_cache.dir/hierarchy.cpp.o.d"
+  "libhetsched_cache.a"
+  "libhetsched_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetsched_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

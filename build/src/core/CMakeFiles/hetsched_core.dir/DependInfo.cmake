@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/energy_decision.cpp" "src/core/CMakeFiles/hetsched_core.dir/energy_decision.cpp.o" "gcc" "src/core/CMakeFiles/hetsched_core.dir/energy_decision.cpp.o.d"
+  "/root/repo/src/core/model_predictor.cpp" "src/core/CMakeFiles/hetsched_core.dir/model_predictor.cpp.o" "gcc" "src/core/CMakeFiles/hetsched_core.dir/model_predictor.cpp.o.d"
+  "/root/repo/src/core/policies.cpp" "src/core/CMakeFiles/hetsched_core.dir/policies.cpp.o" "gcc" "src/core/CMakeFiles/hetsched_core.dir/policies.cpp.o.d"
+  "/root/repo/src/core/predictor.cpp" "src/core/CMakeFiles/hetsched_core.dir/predictor.cpp.o" "gcc" "src/core/CMakeFiles/hetsched_core.dir/predictor.cpp.o.d"
+  "/root/repo/src/core/profiling_table.cpp" "src/core/CMakeFiles/hetsched_core.dir/profiling_table.cpp.o" "gcc" "src/core/CMakeFiles/hetsched_core.dir/profiling_table.cpp.o.d"
+  "/root/repo/src/core/realtime_policy.cpp" "src/core/CMakeFiles/hetsched_core.dir/realtime_policy.cpp.o" "gcc" "src/core/CMakeFiles/hetsched_core.dir/realtime_policy.cpp.o.d"
+  "/root/repo/src/core/schedule_log.cpp" "src/core/CMakeFiles/hetsched_core.dir/schedule_log.cpp.o" "gcc" "src/core/CMakeFiles/hetsched_core.dir/schedule_log.cpp.o.d"
+  "/root/repo/src/core/serialization.cpp" "src/core/CMakeFiles/hetsched_core.dir/serialization.cpp.o" "gcc" "src/core/CMakeFiles/hetsched_core.dir/serialization.cpp.o.d"
+  "/root/repo/src/core/simulator.cpp" "src/core/CMakeFiles/hetsched_core.dir/simulator.cpp.o" "gcc" "src/core/CMakeFiles/hetsched_core.dir/simulator.cpp.o.d"
+  "/root/repo/src/core/system_config.cpp" "src/core/CMakeFiles/hetsched_core.dir/system_config.cpp.o" "gcc" "src/core/CMakeFiles/hetsched_core.dir/system_config.cpp.o.d"
+  "/root/repo/src/core/tuning_heuristic.cpp" "src/core/CMakeFiles/hetsched_core.dir/tuning_heuristic.cpp.o" "gcc" "src/core/CMakeFiles/hetsched_core.dir/tuning_heuristic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/hetsched_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/hetsched_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/hetsched_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/hetsched_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/ann/CMakeFiles/hetsched_ann.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/hetsched_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

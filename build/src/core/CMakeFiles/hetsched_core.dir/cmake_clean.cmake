@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetsched_core.dir/energy_decision.cpp.o"
+  "CMakeFiles/hetsched_core.dir/energy_decision.cpp.o.d"
+  "CMakeFiles/hetsched_core.dir/model_predictor.cpp.o"
+  "CMakeFiles/hetsched_core.dir/model_predictor.cpp.o.d"
+  "CMakeFiles/hetsched_core.dir/policies.cpp.o"
+  "CMakeFiles/hetsched_core.dir/policies.cpp.o.d"
+  "CMakeFiles/hetsched_core.dir/predictor.cpp.o"
+  "CMakeFiles/hetsched_core.dir/predictor.cpp.o.d"
+  "CMakeFiles/hetsched_core.dir/profiling_table.cpp.o"
+  "CMakeFiles/hetsched_core.dir/profiling_table.cpp.o.d"
+  "CMakeFiles/hetsched_core.dir/realtime_policy.cpp.o"
+  "CMakeFiles/hetsched_core.dir/realtime_policy.cpp.o.d"
+  "CMakeFiles/hetsched_core.dir/schedule_log.cpp.o"
+  "CMakeFiles/hetsched_core.dir/schedule_log.cpp.o.d"
+  "CMakeFiles/hetsched_core.dir/serialization.cpp.o"
+  "CMakeFiles/hetsched_core.dir/serialization.cpp.o.d"
+  "CMakeFiles/hetsched_core.dir/simulator.cpp.o"
+  "CMakeFiles/hetsched_core.dir/simulator.cpp.o.d"
+  "CMakeFiles/hetsched_core.dir/system_config.cpp.o"
+  "CMakeFiles/hetsched_core.dir/system_config.cpp.o.d"
+  "CMakeFiles/hetsched_core.dir/tuning_heuristic.cpp.o"
+  "CMakeFiles/hetsched_core.dir/tuning_heuristic.cpp.o.d"
+  "libhetsched_core.a"
+  "libhetsched_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetsched_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

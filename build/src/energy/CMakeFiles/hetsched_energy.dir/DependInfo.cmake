@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/energy/cacti.cpp" "src/energy/CMakeFiles/hetsched_energy.dir/cacti.cpp.o" "gcc" "src/energy/CMakeFiles/hetsched_energy.dir/cacti.cpp.o.d"
+  "/root/repo/src/energy/energy_model.cpp" "src/energy/CMakeFiles/hetsched_energy.dir/energy_model.cpp.o" "gcc" "src/energy/CMakeFiles/hetsched_energy.dir/energy_model.cpp.o.d"
+  "/root/repo/src/energy/two_level_model.cpp" "src/energy/CMakeFiles/hetsched_energy.dir/two_level_model.cpp.o" "gcc" "src/energy/CMakeFiles/hetsched_energy.dir/two_level_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/hetsched_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/hetsched_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/hetsched_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetsched_energy.dir/cacti.cpp.o"
+  "CMakeFiles/hetsched_energy.dir/cacti.cpp.o.d"
+  "CMakeFiles/hetsched_energy.dir/energy_model.cpp.o"
+  "CMakeFiles/hetsched_energy.dir/energy_model.cpp.o.d"
+  "CMakeFiles/hetsched_energy.dir/two_level_model.cpp.o"
+  "CMakeFiles/hetsched_energy.dir/two_level_model.cpp.o.d"
+  "libhetsched_energy.a"
+  "libhetsched_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetsched_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

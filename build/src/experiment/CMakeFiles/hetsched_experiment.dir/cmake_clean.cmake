@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetsched_experiment.dir/experiment.cpp.o"
+  "CMakeFiles/hetsched_experiment.dir/experiment.cpp.o.d"
+  "libhetsched_experiment.a"
+  "libhetsched_experiment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetsched_experiment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

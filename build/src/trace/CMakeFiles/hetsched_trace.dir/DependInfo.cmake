@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/counters.cpp" "src/trace/CMakeFiles/hetsched_trace.dir/counters.cpp.o" "gcc" "src/trace/CMakeFiles/hetsched_trace.dir/counters.cpp.o.d"
+  "/root/repo/src/trace/kernel.cpp" "src/trace/CMakeFiles/hetsched_trace.dir/kernel.cpp.o" "gcc" "src/trace/CMakeFiles/hetsched_trace.dir/kernel.cpp.o.d"
+  "/root/repo/src/trace/kernels/automotive.cpp" "src/trace/CMakeFiles/hetsched_trace.dir/kernels/automotive.cpp.o" "gcc" "src/trace/CMakeFiles/hetsched_trace.dir/kernels/automotive.cpp.o.d"
+  "/root/repo/src/trace/kernels/consumer.cpp" "src/trace/CMakeFiles/hetsched_trace.dir/kernels/consumer.cpp.o" "gcc" "src/trace/CMakeFiles/hetsched_trace.dir/kernels/consumer.cpp.o.d"
+  "/root/repo/src/trace/kernels/extended.cpp" "src/trace/CMakeFiles/hetsched_trace.dir/kernels/extended.cpp.o" "gcc" "src/trace/CMakeFiles/hetsched_trace.dir/kernels/extended.cpp.o.d"
+  "/root/repo/src/trace/kernels/networking.cpp" "src/trace/CMakeFiles/hetsched_trace.dir/kernels/networking.cpp.o" "gcc" "src/trace/CMakeFiles/hetsched_trace.dir/kernels/networking.cpp.o.d"
+  "/root/repo/src/trace/kernels/office.cpp" "src/trace/CMakeFiles/hetsched_trace.dir/kernels/office.cpp.o" "gcc" "src/trace/CMakeFiles/hetsched_trace.dir/kernels/office.cpp.o.d"
+  "/root/repo/src/trace/kernels/telecom.cpp" "src/trace/CMakeFiles/hetsched_trace.dir/kernels/telecom.cpp.o" "gcc" "src/trace/CMakeFiles/hetsched_trace.dir/kernels/telecom.cpp.o.d"
+  "/root/repo/src/trace/trace_io.cpp" "src/trace/CMakeFiles/hetsched_trace.dir/trace_io.cpp.o" "gcc" "src/trace/CMakeFiles/hetsched_trace.dir/trace_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/hetsched_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

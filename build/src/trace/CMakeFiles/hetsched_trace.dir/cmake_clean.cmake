@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetsched_trace.dir/counters.cpp.o"
+  "CMakeFiles/hetsched_trace.dir/counters.cpp.o.d"
+  "CMakeFiles/hetsched_trace.dir/kernel.cpp.o"
+  "CMakeFiles/hetsched_trace.dir/kernel.cpp.o.d"
+  "CMakeFiles/hetsched_trace.dir/kernels/automotive.cpp.o"
+  "CMakeFiles/hetsched_trace.dir/kernels/automotive.cpp.o.d"
+  "CMakeFiles/hetsched_trace.dir/kernels/consumer.cpp.o"
+  "CMakeFiles/hetsched_trace.dir/kernels/consumer.cpp.o.d"
+  "CMakeFiles/hetsched_trace.dir/kernels/extended.cpp.o"
+  "CMakeFiles/hetsched_trace.dir/kernels/extended.cpp.o.d"
+  "CMakeFiles/hetsched_trace.dir/kernels/networking.cpp.o"
+  "CMakeFiles/hetsched_trace.dir/kernels/networking.cpp.o.d"
+  "CMakeFiles/hetsched_trace.dir/kernels/office.cpp.o"
+  "CMakeFiles/hetsched_trace.dir/kernels/office.cpp.o.d"
+  "CMakeFiles/hetsched_trace.dir/kernels/telecom.cpp.o"
+  "CMakeFiles/hetsched_trace.dir/kernels/telecom.cpp.o.d"
+  "CMakeFiles/hetsched_trace.dir/trace_io.cpp.o"
+  "CMakeFiles/hetsched_trace.dir/trace_io.cpp.o.d"
+  "libhetsched_trace.a"
+  "libhetsched_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetsched_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

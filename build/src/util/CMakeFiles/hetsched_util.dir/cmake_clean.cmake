@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetsched_util.dir/csv.cpp.o"
+  "CMakeFiles/hetsched_util.dir/csv.cpp.o.d"
+  "CMakeFiles/hetsched_util.dir/rng.cpp.o"
+  "CMakeFiles/hetsched_util.dir/rng.cpp.o.d"
+  "CMakeFiles/hetsched_util.dir/stats.cpp.o"
+  "CMakeFiles/hetsched_util.dir/stats.cpp.o.d"
+  "CMakeFiles/hetsched_util.dir/table_printer.cpp.o"
+  "CMakeFiles/hetsched_util.dir/table_printer.cpp.o.d"
+  "libhetsched_util.a"
+  "libhetsched_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetsched_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

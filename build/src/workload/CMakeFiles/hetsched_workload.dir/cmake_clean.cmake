@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetsched_workload.dir/arrivals.cpp.o"
+  "CMakeFiles/hetsched_workload.dir/arrivals.cpp.o.d"
+  "CMakeFiles/hetsched_workload.dir/characterization.cpp.o"
+  "CMakeFiles/hetsched_workload.dir/characterization.cpp.o.d"
+  "CMakeFiles/hetsched_workload.dir/dataset_builder.cpp.o"
+  "CMakeFiles/hetsched_workload.dir/dataset_builder.cpp.o.d"
+  "libhetsched_workload.a"
+  "libhetsched_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetsched_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

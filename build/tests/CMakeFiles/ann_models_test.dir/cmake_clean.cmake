@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ann_models_test.dir/ann_models_test.cpp.o"
+  "CMakeFiles/ann_models_test.dir/ann_models_test.cpp.o.d"
+  "ann_models_test"
+  "ann_models_test.pdb"
+  "ann_models_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ann_models_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

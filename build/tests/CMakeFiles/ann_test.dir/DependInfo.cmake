@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ann_test.cpp" "tests/CMakeFiles/ann_test.dir/ann_test.cpp.o" "gcc" "tests/CMakeFiles/ann_test.dir/ann_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/experiment/CMakeFiles/hetsched_experiment.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hetsched_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/hetsched_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/ann/CMakeFiles/hetsched_ann.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/hetsched_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/hetsched_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/hetsched_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hetsched_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cache_options_test.dir/cache_options_test.cpp.o"
+  "CMakeFiles/cache_options_test.dir/cache_options_test.cpp.o.d"
+  "cache_options_test"
+  "cache_options_test.pdb"
+  "cache_options_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cache_options_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

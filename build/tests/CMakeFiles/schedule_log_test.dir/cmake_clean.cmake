@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schedule_log_test.dir/schedule_log_test.cpp.o"
+  "CMakeFiles/schedule_log_test.dir/schedule_log_test.cpp.o.d"
+  "schedule_log_test"
+  "schedule_log_test.pdb"
+  "schedule_log_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schedule_log_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_test[1]_include.cmake")
+include("/root/repo/build/tests/cache_test[1]_include.cmake")
+include("/root/repo/build/tests/energy_test[1]_include.cmake")
+include("/root/repo/build/tests/ann_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/simulator_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/realtime_test[1]_include.cmake")
+include("/root/repo/build/tests/ann_models_test[1]_include.cmake")
+include("/root/repo/build/tests/serialization_test[1]_include.cmake")
+include("/root/repo/build/tests/two_level_test[1]_include.cmake")
+include("/root/repo/build/tests/cache_options_test[1]_include.cmake")
+include("/root/repo/build/tests/schedule_log_test[1]_include.cmake")
+include("/root/repo/build/tests/extended_suite_test[1]_include.cmake")
+include("/root/repo/build/tests/golden_model_test[1]_include.cmake")

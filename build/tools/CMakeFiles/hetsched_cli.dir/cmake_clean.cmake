@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetsched_cli.dir/hetsched_cli.cpp.o"
+  "CMakeFiles/hetsched_cli.dir/hetsched_cli.cpp.o.d"
+  "hetsched_cli"
+  "hetsched_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetsched_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
