@@ -1,6 +1,7 @@
 #include "core/policies.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "core/energy_decision.hpp"
 #include "core/tuning_heuristic.hpp"
@@ -19,7 +20,7 @@ std::optional<Decision> profiling_decision(const Job& job,
   const std::size_t primary = view.system().primary_profiling_core;
   const std::size_t secondary = view.system().secondary_profiling_core;
   for (std::size_t core : {primary, secondary}) {
-    if (!view.core(core).busy && view.core(core).spec.can_profile) {
+    if (view.available(core) && view.core(core).spec.can_profile) {
       return Decision::run(core, DesignSpace::base_config(),
                            ExecutionKind::kProfiling);
     }
@@ -41,21 +42,70 @@ Decision run_with_heuristic(std::size_t core, std::uint32_t size_bytes,
 
 std::uint32_t clamp_to_available(const SystemView& view,
                                  std::uint32_t size_bytes) {
-  std::uint32_t best = 0;
-  std::uint64_t best_distance = ~0ULL;
+  // Two passes: prefer sizes some online core offers; when every core is
+  // offline (transient mass failure) fall back to all sizes so the stored
+  // prediction is still meaningful once cores recover.
+  for (const bool online_only : {true, false}) {
+    std::uint32_t best = 0;
+    std::uint64_t best_distance = ~0ULL;
+    for (std::size_t i = 0; i < view.core_count(); ++i) {
+      if (online_only && !view.core(i).online) continue;
+      const std::uint32_t size = view.core(i).spec.cache_size_bytes;
+      const std::uint64_t distance =
+          size >= size_bytes ? size - size_bytes : size_bytes - size;
+      // Nearest wins; on a tie prefer the larger size (never slower).
+      if (distance < best_distance ||
+          (distance == best_distance && size > best)) {
+        best_distance = distance;
+        best = size;
+      }
+    }
+    if (best != 0) return best;
+  }
+  HETSCHED_ASSERT(false && "system has no cores");
+  return size_bytes;
+}
+
+std::uint32_t clamp_to_online(const SystemView& view,
+                              std::uint32_t size_bytes) {
   for (std::size_t i = 0; i < view.core_count(); ++i) {
-    const std::uint32_t size = view.core(i).spec.cache_size_bytes;
-    const std::uint64_t distance =
-        size >= size_bytes ? size - size_bytes : size_bytes - size;
-    // Nearest wins; on a tie prefer the larger size (never slower).
-    if (distance < best_distance ||
-        (distance == best_distance && size > best)) {
-      best_distance = distance;
-      best = size;
+    if (view.core(i).online &&
+        view.core(i).spec.cache_size_bytes == size_bytes) {
+      return size_bytes;
     }
   }
-  HETSCHED_ASSERT(best != 0);
-  return best;
+  // Every core of the predicted size is offline; waiting for one could
+  // stall the job forever. Retarget the nearest size an online core
+  // offers.
+  return clamp_to_available(view, size_bytes);
+}
+
+std::uint32_t predict_best_size(const SizePredictor& predictor,
+                                std::size_t benchmark_id,
+                                const ProfilingTable::Entry& entry,
+                                SystemView& view) {
+  // Sanity guard (degraded mode): corrupted counters or a predictor
+  // snapshot gone wrong must not poison scheduling. Any non-finite
+  // feature, or a predicted size outside the legal design space, falls
+  // back to the base configuration's size.
+  bool sane = true;
+  for (const double v : entry.statistics.to_vector()) {
+    if (!std::isfinite(v)) {
+      sane = false;
+      break;
+    }
+  }
+  std::uint32_t predicted = 0;
+  if (sane) {
+    predicted = predictor.predict(benchmark_id, entry.statistics);
+    const auto& legal = DesignSpace::sizes();
+    sane = std::find(legal.begin(), legal.end(), predicted) != legal.end();
+  }
+  if (!sane) {
+    view.note_prediction_fallback();
+    predicted = DesignSpace::base_config().size_bytes;
+  }
+  return clamp_to_available(view, predicted);
 }
 
 }  // namespace policy_detail
@@ -69,7 +119,7 @@ using policy_detail::run_with_heuristic;
 Decision BasePolicy::decide(const Job& job, SystemView& view) {
   (void)job;
   for (std::size_t i = 0; i < view.core_count(); ++i) {
-    if (!view.core(i).busy) {
+    if (view.available(i)) {
       return Decision::run(i, view.core(i).spec.initial_config,
                            ExecutionKind::kNormal);
     }
@@ -132,8 +182,8 @@ Decision OptimalPolicy::decide(const Job& job, SystemView& view) {
 void EnergyCentricPolicy::on_profiled(std::size_t benchmark_id,
                                       SystemView& view) {
   ProfilingTable::Entry& entry = view.table().entry(benchmark_id);
-  entry.predicted_best_size_bytes = policy_detail::clamp_to_available(
-      view, predictor_->predict(benchmark_id, entry.statistics));
+  entry.predicted_best_size_bytes = policy_detail::predict_best_size(
+      *predictor_, benchmark_id, entry, view);
 }
 
 Decision EnergyCentricPolicy::decide(const Job& job, SystemView& view) {
@@ -142,10 +192,11 @@ Decision EnergyCentricPolicy::decide(const Job& job, SystemView& view) {
   }
   const ProfilingTable::Entry& entry = view.table().entry(job.benchmark_id);
   HETSCHED_ASSERT(entry.predicted_best_size_bytes.has_value());
-  const std::uint32_t best_size = *entry.predicted_best_size_bytes;
+  const std::uint32_t best_size = policy_detail::clamp_to_online(
+      view, *entry.predicted_best_size_bytes);
 
   for (std::size_t core : view.system().cores_with_size(best_size)) {
-    if (!view.core(core).busy) {
+    if (view.available(core)) {
       return run_with_heuristic(core, best_size, entry);
     }
   }
@@ -157,8 +208,8 @@ Decision EnergyCentricPolicy::decide(const Job& job, SystemView& view) {
 void ProposedPolicy::on_profiled(std::size_t benchmark_id,
                                  SystemView& view) {
   ProfilingTable::Entry& entry = view.table().entry(benchmark_id);
-  entry.predicted_best_size_bytes = policy_detail::clamp_to_available(
-      view, predictor_->predict(benchmark_id, entry.statistics));
+  entry.predicted_best_size_bytes = policy_detail::predict_best_size(
+      *predictor_, benchmark_id, entry, view);
 }
 
 Decision ProposedPolicy::decide(const Job& job, SystemView& view) {
@@ -167,14 +218,15 @@ Decision ProposedPolicy::decide(const Job& job, SystemView& view) {
   }
   const ProfilingTable::Entry& entry = view.table().entry(job.benchmark_id);
   HETSCHED_ASSERT(entry.predicted_best_size_bytes.has_value());
-  const std::uint32_t best_size = *entry.predicted_best_size_bytes;
+  const std::uint32_t best_size = policy_detail::clamp_to_online(
+      view, *entry.predicted_best_size_bytes);
 
   // Best core idle → schedule there (best-known config, or continue the
   // Figure-5 exploration).
   const std::vector<std::size_t> best_cores =
       view.system().cores_with_size(best_size);
   for (std::size_t core : best_cores) {
-    if (!view.core(core).busy) {
+    if (view.available(core)) {
       return run_with_heuristic(core, best_size, entry);
     }
   }
@@ -207,10 +259,13 @@ Decision ProposedPolicy::decide(const Job& job, SystemView& view) {
   HETSCHED_ASSERT(best_obs != nullptr);
   input.energy_on_best = best_obs->total_energy;
 
-  // Wait until the soonest best core frees up.
+  // Wait until the soonest best core frees up. Offline best cores are
+  // not coming back on any known schedule — they must not make the wait
+  // look free.
   Cycles wait = 0;
   bool first = true;
   for (std::size_t core : best_cores) {
+    if (!view.core(core).online) continue;
     const Cycles remaining = view.remaining_cycles(core);
     if (first || remaining < wait) {
       wait = remaining;

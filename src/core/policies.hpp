@@ -72,10 +72,26 @@ Decision run_with_heuristic(std::size_t core, std::uint32_t size_bytes,
                             const ProfilingTable::Entry& entry);
 
 // Snaps a predicted cache size onto a size this machine actually offers
-// (nearest available, ties upward). Custom machines need not provide
-// every Table-1 size.
+// (nearest available, ties upward; sizes offered only by offline cores
+// are a last resort). Custom machines need not provide every Table-1
+// size.
 std::uint32_t clamp_to_available(const SystemView& view,
                                  std::uint32_t size_bytes);
+
+// Keeps `size_bytes` if at least one online core offers it; otherwise
+// retargets to the nearest size an online core does offer, so a job is
+// never pinned to a failed core.
+std::uint32_t clamp_to_online(const SystemView& view,
+                              std::uint32_t size_bytes);
+
+// ANN prediction behind a sanity guard: non-finite profiled statistics
+// or a predicted size outside DesignSpace::sizes() fall back to the base
+// configuration's size (counted via SystemView::note_prediction_fallback),
+// then the result is clamped to the machine's sizes.
+std::uint32_t predict_best_size(const SizePredictor& predictor,
+                                std::size_t benchmark_id,
+                                const ProfilingTable::Entry& entry,
+                                SystemView& view);
 
 }  // namespace policy_detail
 

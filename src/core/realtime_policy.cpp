@@ -11,8 +11,8 @@ namespace hetsched {
 void RealtimeEdfPolicy::on_profiled(std::size_t benchmark_id,
                                     SystemView& view) {
   ProfilingTable::Entry& entry = view.table().entry(benchmark_id);
-  entry.predicted_best_size_bytes = policy_detail::clamp_to_available(
-      view, predictor_->predict(benchmark_id, entry.statistics));
+  entry.predicted_best_size_bytes = policy_detail::predict_best_size(
+      *predictor_, benchmark_id, entry, view);
 }
 
 Decision RealtimeEdfPolicy::decide(const Job& job, SystemView& view) {
@@ -21,11 +21,12 @@ Decision RealtimeEdfPolicy::decide(const Job& job, SystemView& view) {
   }
   const ProfilingTable::Entry& entry = view.table().entry(job.benchmark_id);
   HETSCHED_ASSERT(entry.predicted_best_size_bytes.has_value());
-  const std::uint32_t best_size = *entry.predicted_best_size_bytes;
+  const std::uint32_t best_size = policy_detail::clamp_to_online(
+      view, *entry.predicted_best_size_bytes);
 
   // Idle best core first (fastest known placement for this job).
   for (std::size_t core : view.system().cores_with_size(best_size)) {
-    if (!view.core(core).busy) {
+    if (view.available(core)) {
       return policy_detail::run_with_heuristic(core, best_size, entry);
     }
   }

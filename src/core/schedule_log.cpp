@@ -44,4 +44,23 @@ void ScheduleLog::write_csv(std::ostream& out) const {
   }
 }
 
+std::string_view to_string(FaultRecord::Kind kind) {
+  switch (kind) {
+    case FaultRecord::Kind::kCoreFailure: return "core-failure";
+    case FaultRecord::Kind::kCoreRecovery: return "core-recovery";
+    case FaultRecord::Kind::kReconfigFailure: return "reconfig-failure";
+    case FaultRecord::Kind::kCounterCorruption: return "counter-corruption";
+    case FaultRecord::Kind::kWatchdogFire: return "watchdog-fire";
+  }
+  return "unknown";
+}
+
+void ScheduleLog::write_fault_csv(std::ostream& out) const {
+  out << "time,core,job,kind\n";
+  for (const FaultRecord& record : faults_) {
+    out << record.time << ',' << record.core << ',' << record.job_id << ','
+        << to_string(record.kind) << '\n';
+  }
+}
+
 }  // namespace hetsched

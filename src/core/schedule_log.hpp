@@ -25,10 +25,30 @@ struct ScheduledSlice {
   bool completed = true;
 };
 
+// One fault the simulator applied (fault-injection runs only).
+struct FaultRecord {
+  enum class Kind {
+    kCoreFailure,
+    kCoreRecovery,
+    kReconfigFailure,
+    kCounterCorruption,
+    kWatchdogFire,
+  };
+
+  SimTime time = 0;
+  std::size_t core = 0;         // meaningless for counter corruption
+  std::uint64_t job_id = 0;     // 0 when no job was involved
+  Kind kind = Kind::kCoreFailure;
+};
+
+std::string_view to_string(FaultRecord::Kind kind);
+
 class ScheduleObserver {
  public:
   virtual ~ScheduleObserver() = default;
   virtual void on_slice(const ScheduledSlice& slice) = 0;
+  // Fault notifications are optional; the default ignores them.
+  virtual void on_fault(const FaultRecord& record) { (void)record; }
 };
 
 class ScheduleLog final : public ScheduleObserver {
@@ -36,8 +56,12 @@ class ScheduleLog final : public ScheduleObserver {
   void on_slice(const ScheduledSlice& slice) override {
     slices_.push_back(slice);
   }
+  void on_fault(const FaultRecord& record) override {
+    faults_.push_back(record);
+  }
 
   const std::vector<ScheduledSlice>& slices() const { return slices_; }
+  const std::vector<FaultRecord>& faults() const { return faults_; }
 
   // Schedule invariants: every slice well-formed, and no two slices on
   // the same core overlap in time.
@@ -49,8 +73,12 @@ class ScheduleLog final : public ScheduleObserver {
   // CSV: job,benchmark,core,start,end,config,kind,completed
   void write_csv(std::ostream& out) const;
 
+  // CSV: time,core,job,kind — one row per injected fault.
+  void write_fault_csv(std::ostream& out) const;
+
  private:
   std::vector<ScheduledSlice> slices_;
+  std::vector<FaultRecord> faults_;
 };
 
 }  // namespace hetsched

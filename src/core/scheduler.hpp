@@ -23,6 +23,9 @@ struct CoreRuntime {
   CoreSpec spec;
   CacheConfig current_config;
   bool busy = false;
+  // False while the core is failed (powered off): it runs nothing,
+  // accrues no idle energy, and policies must not schedule onto it.
+  bool online = true;
   SimTime busy_until = 0;
   std::uint64_t running_job_id = 0;
   std::size_t running_benchmark = 0;
@@ -34,24 +37,51 @@ struct CoreRuntime {
   std::uint64_t executions = 0;
 };
 
+// Fault-injection and degraded-mode accounting for one run. Lives inside
+// SimulationResult; policies reach it through SystemView to report
+// prediction-sanity fallbacks.
+struct FaultStats {
+  std::uint64_t injected = 0;  // total faults applied, all classes
+  std::uint64_t core_failures = 0;
+  std::uint64_t core_recoveries = 0;
+  std::uint64_t jobs_requeued = 0;  // by core failure or watchdog
+  std::uint64_t counter_corruptions = 0;
+  std::uint64_t reconfig_failures = 0;  // individual failed attempts
+  std::uint64_t reconfig_retries = 0;   // backoff retries taken
+  std::uint64_t degraded_executions = 0;  // ran in a stale configuration
+  std::uint64_t prediction_fallbacks = 0;  // sanity guard chose base
+  std::uint64_t watchdog_fires = 0;
+
+  bool any() const {
+    return injected != 0 || prediction_fallbacks != 0 ||
+           degraded_executions != 0;
+  }
+};
+
 class SystemView {
  public:
   SystemView(SimTime now, const SystemConfig& system,
              std::span<const CoreRuntime> cores, ProfilingTable& table,
              const EnergyModel& energy,
-             std::span<const Job> running_jobs = {})
+             std::span<const Job> running_jobs = {},
+             FaultStats* faults = nullptr)
       : now_(now), system_(&system), cores_(cores), table_(&table),
-        energy_(&energy), running_jobs_(running_jobs) {}
+        energy_(&energy), running_jobs_(running_jobs), faults_(faults) {}
 
   SimTime now() const { return now_; }
   const SystemConfig& system() const { return *system_; }
   std::size_t core_count() const { return cores_.size(); }
   const CoreRuntime& core(std::size_t i) const { return cores_[i]; }
 
+  // A core a job can be dispatched to right now: online and not busy.
+  bool available(std::size_t i) const {
+    return cores_[i].online && !cores_[i].busy;
+  }
+
   std::vector<std::size_t> idle_cores() const {
     std::vector<std::size_t> idle;
     for (std::size_t i = 0; i < cores_.size(); ++i) {
-      if (!cores_[i].busy) idle.push_back(i);
+      if (available(i)) idle.push_back(i);
     }
     return idle;
   }
@@ -73,6 +103,13 @@ class SystemView {
     return &running_jobs_[i];
   }
 
+  // Degraded-mode channel: a policy whose prediction sanity guard
+  // rejected the ANN output (non-finite features or an illegal size)
+  // reports the fallback here.
+  void note_prediction_fallback() const {
+    if (faults_ != nullptr) ++faults_->prediction_fallbacks;
+  }
+
  private:
   SimTime now_;
   const SystemConfig* system_;
@@ -80,6 +117,7 @@ class SystemView {
   ProfilingTable* table_;
   const EnergyModel* energy_;
   std::span<const Job> running_jobs_;
+  FaultStats* faults_ = nullptr;
 };
 
 // What the policy wants done with the job at the head of the ready queue.

@@ -1,5 +1,6 @@
 #include "core/serialization.hpp"
 
+#include <cmath>
 #include <istream>
 #include <ostream>
 #include <cstdlib>
@@ -14,6 +15,17 @@ namespace {
 
 constexpr std::string_view kMagic = "hetsched-predictor";
 constexpr int kVersion = 1;
+
+// FNV-1a over the snapshot body, written as a trailing "checksum" line so
+// truncated or bit-flipped files are rejected at load time.
+std::uint64_t fnv1a(std::string_view data) {
+  std::uint64_t hash = 14695981039346656037ull;
+  for (const unsigned char c : data) {
+    hash ^= c;
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
 
 void write_double(std::ostream& out, double v) {
   out << std::hexfloat << v << std::defaultfloat;
@@ -48,6 +60,7 @@ Matrix read_matrix(std::istream& in, std::size_t rows, std::size_t cols) {
   Matrix m(rows, cols);
   for (double& v : m.flat()) {
     v = read_value<double>(in, "matrix element");
+    if (!std::isfinite(v)) fail("non-finite network parameter");
   }
   return m;
 }
@@ -67,7 +80,10 @@ PredictorSnapshot PredictorSnapshot::from(
   return snapshot;
 }
 
-void PredictorSnapshot::save(std::ostream& out) const {
+void PredictorSnapshot::save(std::ostream& raw_out) const {
+  // The body is built in memory so a checksum over its exact bytes can
+  // be appended; load() verifies it when present.
+  std::ostringstream out;
   out << kMagic << " v" << kVersion << "\n";
 
   out << "features " << selected_.indices.size();
@@ -104,9 +120,38 @@ void PredictorSnapshot::save(std::ostream& out) const {
       out << "\n";
     }
   }
+
+  const std::string body = out.str();
+  raw_out << body << "checksum " << std::hex << fnv1a(body) << std::dec
+          << "\n";
 }
 
-PredictorSnapshot PredictorSnapshot::load(std::istream& in) {
+PredictorSnapshot PredictorSnapshot::load(std::istream& raw_in) {
+  // Slurp the stream: the optional trailing checksum line covers the
+  // exact bytes of everything before it, so it must be split off (and
+  // verified) before token-level parsing. Files from before the checksum
+  // was introduced simply lack the line and are still accepted.
+  std::ostringstream slurp;
+  slurp << raw_in.rdbuf();
+  std::string content = slurp.str();
+
+  const std::string::size_type mark = content.rfind("\nchecksum ");
+  if (mark != std::string::npos) {
+    const std::string body = content.substr(0, mark + 1);
+    std::istringstream tail(content.substr(mark + 1));
+    std::string token, rest;
+    std::uint64_t stored = 0;
+    if (!(tail >> token >> std::hex >> stored) || token != "checksum") {
+      fail("malformed checksum line");
+    }
+    if (tail >> rest) fail("trailing garbage after checksum");
+    if (stored != fnv1a(body)) {
+      fail("checksum mismatch (truncated or corrupted snapshot)");
+    }
+    content = body;
+  }
+
+  std::istringstream in(std::move(content));
   std::string magic, version;
   if (!(in >> magic >> version) || magic != kMagic ||
       version != "v" + std::to_string(kVersion)) {
@@ -134,8 +179,16 @@ PredictorSnapshot PredictorSnapshot::load(std::istream& in) {
   const auto d = read_value<std::size_t>(in, "scaler width");
   if (d != n_features) fail("scaler width mismatch");
   std::vector<double> means(d), stds(d);
-  for (auto& v : means) v = read_value<double>(in, "scaler mean");
-  for (auto& v : stds) v = read_value<double>(in, "scaler stddev");
+  for (auto& v : means) {
+    v = read_value<double>(in, "scaler mean");
+    if (!std::isfinite(v)) fail("non-finite scaler mean");
+  }
+  for (auto& v : stds) {
+    v = read_value<double>(in, "scaler stddev");
+    if (!std::isfinite(v) || v <= 0.0) {
+      fail("scaler stddev not finite and positive");
+    }
+  }
   snapshot.scaler_ =
       StandardScaler::from_moments(std::move(means), std::move(stds));
 
@@ -172,6 +225,7 @@ PredictorSnapshot PredictorSnapshot::load(std::istream& in) {
     snapshot.members_.push_back(Mlp::from_parameters(
         std::move(config), std::move(weights), std::move(biases)));
   }
+  if (in >> token) fail("trailing garbage after last member");
   return snapshot;
 }
 

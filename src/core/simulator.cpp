@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <stdexcept>
+#include <string>
 
 #include "util/contracts.hpp"
 
@@ -35,11 +37,33 @@ MulticoreSimulator::MulticoreSimulator(const SystemConfig& system,
   }
   running_jobs_.resize(cores_.size());
   started_at_.resize(cores_.size(), 0);
+  hung_.resize(cores_.size(), 0);
   result_.per_core.resize(cores_.size());
 }
 
+void MulticoreSimulator::set_fault_injector(FaultInjector* injector,
+                                            ResilienceConfig resilience) {
+  HETSCHED_REQUIRE(!ran_);
+  if (injector != nullptr) {
+    for (const CoreFaultEvent& event : injector->plan().core_events) {
+      HETSCHED_REQUIRE(event.core < cores_.size());
+    }
+  }
+  injector_ = injector;
+  resilience_ = resilience;
+}
+
 SystemView MulticoreSimulator::make_view(SimTime now) {
-  return SystemView(now, system_, cores_, table_, energy_, running_jobs_);
+  return SystemView(now, system_, cores_, table_, energy_, running_jobs_,
+                    &result_.faults);
+}
+
+void MulticoreSimulator::record_fault(FaultRecord::Kind kind, SimTime now,
+                                      std::size_t core,
+                                      std::uint64_t job_id) {
+  if (observer_ != nullptr) {
+    observer_->on_fault(FaultRecord{now, core, job_id, kind});
+  }
 }
 
 void MulticoreSimulator::accrue_idle(std::size_t core, SimTime until) {
@@ -53,12 +77,62 @@ void MulticoreSimulator::accrue_idle(std::size_t core, SimTime until) {
   }
 }
 
+Cycles MulticoreSimulator::reconfigure_with_retries(
+    std::size_t core_index, const CacheConfig& wanted,
+    std::uint64_t job_id, SimTime now) {
+  CoreRuntime& core = cores_[core_index];
+  // Each attempt drives the tuner: charge write-back traffic for (on
+  // average) half the lines being dirty.
+  const auto charge_flush = [&] {
+    const double flushed =
+        static_cast<double>(core.current_config.num_lines()) / 2.0;
+    result_.reconfig_energy +=
+        energy_.writeback_energy(core.current_config) * flushed;
+  };
+
+  if (injector_ == nullptr ||
+      injector_->plan().reconfig_failure_rate <= 0.0) {
+    charge_flush();
+    ++result_.reconfigurations;
+    core.current_config = wanted;
+    return 0;
+  }
+
+  // Injected reconfiguration failures leave the cache stuck in its
+  // previous configuration; retry with exponential backoff, then degrade
+  // to running as-is.
+  Cycles backoff = 0;
+  Cycles wait = resilience_.reconfig_backoff_base;
+  for (std::uint32_t attempt = 0;
+       attempt <= resilience_.reconfig_max_retries; ++attempt) {
+    charge_flush();
+    if (!injector_->reconfig_fails(core_index, job_id,
+                                   static_cast<int>(attempt))) {
+      ++result_.reconfigurations;
+      core.current_config = wanted;
+      return backoff;
+    }
+    ++result_.faults.injected;
+    ++result_.faults.reconfig_failures;
+    record_fault(FaultRecord::Kind::kReconfigFailure, now, core_index,
+                 job_id);
+    if (attempt < resilience_.reconfig_max_retries) {
+      backoff += wait;
+      wait *= 2;
+      ++result_.faults.reconfig_retries;
+    }
+  }
+  ++result_.faults.degraded_executions;
+  return backoff;
+}
+
 void MulticoreSimulator::start_execution(const Job& job,
                                          const Decision& decision,
                                          SimTime now) {
   HETSCHED_REQUIRE(decision.core < cores_.size());
   CoreRuntime& core = cores_[decision.core];
   HETSCHED_REQUIRE(!core.busy);
+  HETSCHED_REQUIRE(core.online);
   HETSCHED_REQUIRE(decision.config.valid());
   HETSCHED_REQUIRE(decision.config.size_bytes ==
                    core.spec.cache_size_bytes);
@@ -70,33 +144,52 @@ void MulticoreSimulator::start_execution(const Job& job,
   // Close the idle interval under the outgoing configuration.
   accrue_idle(decision.core, now);
 
-  // Reconfigure the L1 if the decision asks for a different shape. The
-  // tuner flushes: charge write-back traffic for (on average) half the
-  // lines being dirty.
+  // Reconfigure the L1 if the decision asks for a different shape; under
+  // injected failures this may stall (backoff) or leave the previous
+  // configuration in place (degraded execution).
+  Cycles backoff = 0;
   if (!(core.current_config == decision.config)) {
-    const double flushed =
-        static_cast<double>(core.current_config.num_lines()) / 2.0;
-    result_.reconfig_energy +=
-        energy_.writeback_energy(core.current_config) * flushed;
-    ++result_.reconfigurations;
-    core.current_config = decision.config;
+    backoff = reconfigure_with_retries(decision.core, decision.config,
+                                       job.job_id, now);
+    if (backoff > 0) {
+      // The core sits waiting between retry attempts.
+      result_.idle_energy += energy_.idle_per_cycle(core.current_config) *
+                             static_cast<double>(backoff);
+    }
   }
 
+  // The execution replays the configuration actually in effect — the
+  // stale one when reconfiguration degraded.
   const BenchmarkProfile& profile = suite_.benchmark(job.benchmark_id);
-  const ConfigProfile& cp = profile.profile_for(decision.config);
+  const ConfigProfile& cp = profile.profile_for(core.current_config);
   const auto duration = std::max<Cycles>(
       1, static_cast<Cycles>(std::llround(
              job.remaining_fraction *
              static_cast<double>(cp.energy.total_cycles))));
 
+  // Stuck-job injection: the execution wedges and holds the core until
+  // the watchdog timeout instead of completing. Jobs whose watchdog
+  // retry budget is spent are dispatched normally.
+  bool hangs = false;
+  if (injector_ != nullptr && injector_->plan().stuck_job_rate > 0.0) {
+    const auto it = watchdog_counts_.find(job.job_id);
+    const std::uint32_t fires =
+        it == watchdog_counts_.end() ? 0 : it->second;
+    if (fires < resilience_.watchdog_max_retries) {
+      hangs = injector_->job_hangs(job.job_id);
+    }
+  }
+
   core.busy = true;
-  core.busy_until = now + duration;
+  core.busy_until = hangs ? now + resilience_.watchdog_timeout
+                          : now + backoff + duration;
   core.running_job_id = job.job_id;
   core.running_benchmark = job.benchmark_id;
   core.running_kind = decision.exec;
   ++core.executions;
   running_jobs_[decision.core] = job;
-  started_at_[decision.core] = now;
+  started_at_[decision.core] = hangs ? now : now + backoff;
+  hung_[decision.core] = hangs ? 1 : 0;
 
   completions_.push(Completion{core.busy_until, decision.core, job.job_id});
 }
@@ -109,7 +202,11 @@ double MulticoreSimulator::settle_execution(std::size_t core_index,
       suite_.benchmark(core.running_benchmark);
   const ConfigProfile& cp = profile.profile_for(core.current_config);
 
-  const Cycles executed = now - started_at_[core_index];
+  // `started_at` can still lie ahead of `now` if the execution is cut
+  // down during a reconfiguration-retry backoff window: nothing ran yet.
+  const Cycles executed = now > started_at_[core_index]
+                              ? now - started_at_[core_index]
+                              : 0;
   const double portion = static_cast<double>(executed) /
                          static_cast<double>(cp.energy.total_cycles);
 
@@ -172,6 +269,16 @@ void MulticoreSimulator::finish_execution(std::size_t core_index,
     ProfilingTable::Entry& entry = table_.entry(benchmark);
     entry.profiled = true;
     entry.statistics = profile.base_statistics;
+    // Counter corruption: the recorded statistics — the only channel to
+    // the policy — may be noisy or garbage. The policy's sanity guard is
+    // responsible for surviving this.
+    if (injector_ != nullptr &&
+        injector_->corrupt_statistics(benchmark, entry.statistics)) {
+      ++result_.faults.injected;
+      ++result_.faults.counter_corruptions;
+      record_fault(FaultRecord::Kind::kCounterCorruption, now, core_index,
+                   job.job_id);
+    }
   }
 
   if (observer_ != nullptr && now > started_at_[core_index]) {
@@ -198,6 +305,22 @@ void MulticoreSimulator::preempt_execution(std::size_t core_index,
   HETSCHED_REQUIRE(core.running_kind != ExecutionKind::kProfiling &&
                    "profiling runs cannot be preempted");
 
+  if (hung_[core_index]) {
+    // Preempting a wedged execution: no progress to settle; the stuck
+    // window burned idle power. The victim re-queues unprogressed.
+    if (now > started_at_[core_index]) {
+      result_.idle_energy +=
+          energy_.idle_per_cycle(core.current_config) *
+          static_cast<double>(now - started_at_[core_index]);
+    }
+    ready_.push_front(running_jobs_[core_index]);
+    ++result_.preemptions;
+    hung_[core_index] = 0;
+    core.busy = false;
+    core.idle_since = now;
+    return;
+  }
+
   const double portion = settle_execution(core_index, now);
   Job victim = running_jobs_[core_index];
   victim.remaining_fraction =
@@ -221,6 +344,87 @@ void MulticoreSimulator::preempt_execution(std::size_t core_index,
   core.idle_since = now;
   // The stale completion entry for this execution is skipped via job_id
   // validation when it surfaces.
+}
+
+void MulticoreSimulator::apply_core_event(const CoreFaultEvent& event,
+                                          SimTime now) {
+  CoreRuntime& core = cores_[event.core];
+  if (event.fail) {
+    if (!core.online) return;  // already down: redundant event
+    ++result_.faults.injected;
+    ++result_.faults.core_failures;
+    std::uint64_t victim_id = 0;
+    if (core.busy) {
+      // The core dies mid-execution: settle the running job pro-rata
+      // (the preemption model) and re-queue it to resume elsewhere.
+      Job victim = running_jobs_[event.core];
+      victim_id = victim.job_id;
+      if (hung_[event.core]) {
+        // A wedged execution made no progress; the stuck window burned
+        // idle power.
+        if (now > started_at_[event.core]) {
+          result_.idle_energy +=
+              energy_.idle_per_cycle(core.current_config) *
+              static_cast<double>(now - started_at_[event.core]);
+        }
+        hung_[event.core] = 0;
+      } else {
+        const double portion = settle_execution(event.core, now);
+        victim.remaining_fraction =
+            std::max(1e-9, victim.remaining_fraction - portion);
+        if (observer_ != nullptr && now > started_at_[event.core]) {
+          observer_->on_slice(ScheduledSlice{
+              victim.job_id, victim.benchmark_id, event.core,
+              started_at_[event.core], now, core.current_config,
+              core.running_kind, false});
+        }
+      }
+      ready_.push_front(victim);
+      ++result_.faults.jobs_requeued;
+      core.busy = false;
+      // The stale completion entry is discarded via the liveness check
+      // when it surfaces.
+    } else {
+      // Close the idle interval: a powered-off core stops leaking.
+      accrue_idle(event.core, now);
+    }
+    core.online = false;
+    record_fault(FaultRecord::Kind::kCoreFailure, now, event.core,
+                 victim_id);
+  } else {
+    if (core.online) return;  // redundant recovery
+    ++result_.faults.core_recoveries;
+    core.online = true;
+    core.idle_since = now;
+    record_fault(FaultRecord::Kind::kCoreRecovery, now, event.core, 0);
+  }
+}
+
+void MulticoreSimulator::expire_watchdog(std::size_t core_index,
+                                         SimTime now) {
+  CoreRuntime& core = cores_[core_index];
+  HETSCHED_ASSERT(core.busy && hung_[core_index]);
+  const Job& victim = running_jobs_[core_index];
+
+  ++result_.faults.injected;
+  ++result_.faults.watchdog_fires;
+  ++result_.faults.jobs_requeued;
+  ++watchdog_counts_[victim.job_id];
+
+  // The wedged core burned idle power for the whole stuck window; the
+  // job made no progress and re-queues at the front for re-dispatch.
+  if (now > started_at_[core_index]) {
+    result_.idle_energy +=
+        energy_.idle_per_cycle(core.current_config) *
+        static_cast<double>(now - started_at_[core_index]);
+  }
+  ready_.push_front(victim);
+  record_fault(FaultRecord::Kind::kWatchdogFire, now, core_index,
+               victim.job_id);
+
+  hung_[core_index] = 0;
+  core.busy = false;
+  core.idle_since = now;
 }
 
 void MulticoreSimulator::apply_discipline() {
@@ -254,8 +458,9 @@ void MulticoreSimulator::try_schedule(SimTime now) {
   bool any_started = false;
   while (attempts-- > 0 && !ready_.empty()) {
     const bool has_idle =
-        std::any_of(cores_.begin(), cores_.end(),
-                    [](const CoreRuntime& c) { return !c.busy; });
+        std::any_of(cores_.begin(), cores_.end(), [](const CoreRuntime& c) {
+          return !c.busy && c.online;
+        });
     if (!has_idle && !policy_.can_preempt()) break;
 
     Job job = ready_.front();
@@ -283,8 +488,11 @@ void MulticoreSimulator::try_schedule(SimTime now) {
 
   // Liveness: with every core idle a sound policy must schedule something
   // (its best core is idle by definition), otherwise the simulation could
-  // deadlock with no future event.
-  if (!ready_.empty() && completions_.empty()) {
+  // deadlock with no future event. Under fault injection a stall can be
+  // legitimate (e.g. every profiling core offline until its scheduled
+  // recovery); the run loop then advances to the next fault event or
+  // reports the deadlock.
+  if (!ready_.empty() && completions_.empty() && injector_ == nullptr) {
     HETSCHED_REQUIRE(any_started);
   }
 }
@@ -305,21 +513,32 @@ SimulationResult MulticoreSimulator::run(
 
   while (next_arrival < arrivals.size() || !completions_.empty() ||
          !ready_.empty()) {
-    // Next event time: earliest completion or arrival.
-    SimTime now;
+    // Next event time: earliest completion, arrival or fault event (a
+    // scheduled recovery can be the only event able to unblock queued
+    // work).
     const bool have_completion = !completions_.empty();
     const bool have_arrival = next_arrival < arrivals.size();
-    HETSCHED_ASSERT(have_completion || have_arrival);
-    if (have_completion &&
-        (!have_arrival ||
-         completions_.top().time <= arrivals[next_arrival].arrival)) {
-      now = completions_.top().time;
-    } else {
-      now = arrivals[next_arrival].arrival;
+    const std::optional<SimTime> fault_time =
+        injector_ != nullptr ? injector_->next_core_event_time()
+                             : std::nullopt;
+    if (!have_completion && !have_arrival && !fault_time.has_value()) {
+      // Only reachable under fault injection: the liveness guard in
+      // try_schedule forbids this state in fault-free runs.
+      HETSCHED_ASSERT(injector_ != nullptr);
+      throw std::runtime_error(
+          "MulticoreSimulator: deadlock — " +
+          std::to_string(ready_.size()) +
+          " job(s) pending with every event source exhausted (cores "
+          "offline without a scheduled recovery?)");
     }
+    SimTime now = std::numeric_limits<SimTime>::max();
+    if (have_completion) now = std::min(now, completions_.top().time);
+    if (have_arrival) now = std::min(now, arrivals[next_arrival].arrival);
+    if (fault_time.has_value()) now = std::min(now, *fault_time);
 
     // Retire every live completion at `now` (deterministic core order);
-    // entries orphaned by preemption are discarded.
+    // entries orphaned by preemption or core failure are discarded, and
+    // hung executions surface as watchdog expiries.
     while (!completions_.empty() && completions_.top().time == now) {
       const Completion completion = completions_.top();
       completions_.pop();
@@ -328,7 +547,18 @@ SimulationResult MulticoreSimulator::run(
                         core.running_job_id == completion.job_id &&
                         core.busy_until == completion.time;
       if (live) {
-        finish_execution(completion.core, now);
+        if (hung_[completion.core]) {
+          expire_watchdog(completion.core, now);
+        } else {
+          finish_execution(completion.core, now);
+        }
+      }
+    }
+    // Apply every due core failure/recovery (jobs finishing exactly at
+    // the failure cycle above still completed).
+    if (injector_ != nullptr) {
+      for (const CoreFaultEvent& event : injector_->take_core_events(now)) {
+        apply_core_event(event, now);
       }
     }
     // Admit every arrival at `now`.
@@ -347,10 +577,11 @@ SimulationResult MulticoreSimulator::run(
     try_schedule(now);
   }
 
-  // Close every core's trailing idle interval at the makespan.
+  // Close every core's trailing idle interval at the makespan; cores
+  // still offline at the end accrued nothing since their failure.
   for (std::size_t i = 0; i < cores_.size(); ++i) {
     HETSCHED_ASSERT(!cores_[i].busy);
-    accrue_idle(i, result_.makespan);
+    if (cores_[i].online) accrue_idle(i, result_.makespan);
   }
 
   for (std::size_t i = 0; i < cores_.size(); ++i) {

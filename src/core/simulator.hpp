@@ -14,6 +14,16 @@
 // cycles for the portion it executed), returns to the front of the ready
 // queue carrying its remaining fraction, and resumes under whatever
 // configuration the policy next assigns.
+//
+// Fault model (optional, attach with set_fault_injector): scheduled core
+// failures settle the running job pro-rata via the preemption machinery
+// and re-queue it; offline cores are powered off (no idle energy, skipped
+// by policies) until their recovery event. Stuck executions are cleared
+// by a watchdog that re-dispatches the job after a timeout, with a
+// bounded retry budget per job. Failed reconfigurations retry with
+// exponential backoff and finally degrade to running in the stale
+// configuration. A zero-fault plan is bit-identical to running without
+// an injector.
 #pragma once
 
 #include <deque>
@@ -23,6 +33,7 @@
 
 #include "core/schedule_log.hpp"
 #include "core/scheduler.hpp"
+#include "fault/fault_injector.hpp"
 #include "workload/arrivals.hpp"
 #include "workload/characterization.hpp"
 
@@ -65,6 +76,10 @@ struct SimulationResult {
   std::uint64_t deadline_misses = 0;
   Cycles total_response_cycles = 0;  // sum of (completion - arrival)
 
+  // Fault-injection and degraded-mode accounting (all zero when no
+  // injector was attached or the plan was empty).
+  FaultStats faults;
+
   // Response-time accounting split by priority level.
   struct PriorityStats {
     std::uint64_t completed = 0;
@@ -103,6 +118,21 @@ struct SimulationResult {
   }
 };
 
+// How the simulated system reacts to injected faults.
+struct ResilienceConfig {
+  // Cycles a stuck execution occupies its core before the watchdog
+  // clears it and re-queues the job.
+  Cycles watchdog_timeout = 200000;
+  // Watchdog re-dispatches per job before hangs are no longer injected
+  // (bounds how long one pathological job can thrash).
+  std::uint32_t watchdog_max_retries = 3;
+  // Reconfiguration retry budget after a failed attempt; exhausting it
+  // degrades the execution to the core's current (stale) configuration.
+  std::uint32_t reconfig_max_retries = 3;
+  // First retry waits this many cycles; each further retry doubles it.
+  Cycles reconfig_backoff_base = 1000;
+};
+
 class MulticoreSimulator {
  public:
   MulticoreSimulator(const SystemConfig& system,
@@ -121,6 +151,11 @@ class MulticoreSimulator {
   // Optional schedule observer (e.g. a ScheduleLog); receives every
   // executed slice. Must outlive run(). Set before run().
   void set_observer(ScheduleObserver* observer) { observer_ = observer; }
+
+  // Optional fault injector; must outlive run(). Set before run(). With
+  // a zero-fault plan the run is bit-identical to an injector-free run.
+  void set_fault_injector(FaultInjector* injector,
+                          ResilienceConfig resilience = {});
 
  private:
   struct Completion {
@@ -145,6 +180,20 @@ class MulticoreSimulator {
   void accrue_idle(std::size_t core, SimTime until);
   SystemView make_view(SimTime now);
 
+  // Fault machinery (no-ops unless an injector is attached).
+  // Reconfigures towards `wanted` with retry/backoff under injected
+  // failures; returns the backoff delay spent before the execution can
+  // start (0 on first-try success).
+  Cycles reconfigure_with_retries(std::size_t core_index,
+                                  const CacheConfig& wanted,
+                                  std::uint64_t job_id, SimTime now);
+  void apply_core_event(const CoreFaultEvent& event, SimTime now);
+  // Clears a hung execution: charges idle energy for the stuck window,
+  // re-queues the job unprogressed, and counts the watchdog fire.
+  void expire_watchdog(std::size_t core_index, SimTime now);
+  void record_fault(FaultRecord::Kind kind, SimTime now, std::size_t core,
+                    std::uint64_t job_id);
+
   const SystemConfig system_;
   const CharacterizedSuite& suite_;
   const EnergyModel& energy_;
@@ -162,6 +211,10 @@ class MulticoreSimulator {
 
   SimulationResult result_;
   ScheduleObserver* observer_ = nullptr;
+  FaultInjector* injector_ = nullptr;
+  ResilienceConfig resilience_;
+  std::vector<char> hung_;  // per core: current execution is stuck
+  std::map<std::uint64_t, std::uint32_t> watchdog_counts_;  // per job
   bool ran_ = false;
 };
 

@@ -1,0 +1,63 @@
+// Fault injector: the runtime side of a FaultPlan.
+//
+// The simulator owns one injector per run (attach with
+// MulticoreSimulator::set_fault_injector). Scheduled core events are
+// consumed in time order through next_core_event_time()/take_core_events();
+// rate-driven faults are decided by pure hashes of
+// (plan seed, fault stream, identifiers) so the same plan produces the
+// same faults on every run, independent of how many decisions were made
+// before — determinism the tests rely on.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_set>
+#include <vector>
+
+#include "fault/fault_plan.hpp"
+#include "trace/counters.hpp"
+
+namespace hetsched {
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan);
+
+  const FaultPlan& plan() const { return plan_; }
+
+  // ---- scheduled core events -------------------------------------
+  // Time of the earliest unconsumed core event, if any.
+  std::optional<SimTime> next_core_event_time() const;
+  // Consumes and returns every unconsumed event with at <= now, in
+  // (time, core) order.
+  std::vector<CoreFaultEvent> take_core_events(SimTime now);
+
+  // ---- rate-driven faults ----------------------------------------
+  // Whether reconfiguration attempt `attempt` on `core` fails for this
+  // job (the cache then stays in its previous configuration).
+  bool reconfig_fails(std::size_t core, std::uint64_t job_id, int attempt);
+
+  // Whether this job's next execution hangs. A job hangs at most once:
+  // the fault models a transient wedge that a watchdog re-dispatch
+  // clears.
+  bool job_hangs(std::uint64_t job_id);
+
+  // Applies the plan's counter-corruption mode to freshly profiled
+  // statistics; returns true when they were corrupted.
+  bool corrupt_statistics(std::size_t benchmark_id,
+                          ExecutionStatistics& stats);
+
+ private:
+  // Pure uniform draw in [0, 1) from (seed, stream, a, b).
+  double hash_uniform(std::uint64_t stream, std::uint64_t a,
+                      std::uint64_t b) const;
+  // Pure standard-normal draw (Box-Muller over two hash uniforms).
+  double hash_normal(std::uint64_t stream, std::uint64_t a,
+                     std::uint64_t b) const;
+
+  FaultPlan plan_;
+  std::size_t cursor_ = 0;  // into plan_.core_events (sorted)
+  std::unordered_set<std::uint64_t> jobs_hung_;
+};
+
+}  // namespace hetsched

@@ -1,0 +1,144 @@
+#include "fault/fault_plan.hpp"
+
+#include <cmath>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace hetsched {
+namespace {
+
+[[noreturn]] void parse_fail(std::size_t line, const std::string& what) {
+  throw std::runtime_error("fault plan line " + std::to_string(line) +
+                           ": " + what);
+}
+
+bool valid_rate(double p) { return std::isfinite(p) && p >= 0.0 && p <= 1.0; }
+
+}  // namespace
+
+std::string_view to_string(FaultPlan::CounterMode mode) {
+  switch (mode) {
+    case FaultPlan::CounterMode::kGaussian: return "gaussian";
+    case FaultPlan::CounterMode::kNaN: return "nan";
+    case FaultPlan::CounterMode::kZero: return "zero";
+    case FaultPlan::CounterMode::kSaturate: return "saturate";
+  }
+  return "unknown";
+}
+
+bool FaultPlan::empty() const {
+  return core_events.empty() && reconfig_failure_rate == 0.0 &&
+         stuck_job_rate == 0.0 && counter_corruption_rate == 0.0;
+}
+
+void FaultPlan::validate() const {
+  if (!valid_rate(reconfig_failure_rate) || !valid_rate(stuck_job_rate) ||
+      !valid_rate(counter_corruption_rate)) {
+    throw std::invalid_argument(
+        "FaultPlan: fault rates must be finite and within [0, 1]");
+  }
+  if (!std::isfinite(counter_noise_stddev) || counter_noise_stddev < 0.0) {
+    throw std::invalid_argument(
+        "FaultPlan: counter noise stddev must be finite and >= 0");
+  }
+}
+
+FaultPlan FaultPlan::uniform(double rate, std::uint64_t seed) {
+  FaultPlan plan;
+  plan.seed = seed;
+  plan.reconfig_failure_rate = rate;
+  plan.stuck_job_rate = rate;
+  plan.counter_corruption_rate = rate;
+  plan.validate();
+  return plan;
+}
+
+FaultPlan FaultPlan::parse(std::istream& in) {
+  FaultPlan plan;
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    std::istringstream tokens(line);
+    std::string directive;
+    if (!(tokens >> directive) || directive[0] == '#') continue;
+
+    auto read_rate = [&](double& out) {
+      if (!(tokens >> out) || !valid_rate(out)) {
+        parse_fail(line_number,
+                   "'" + directive + "' expects a probability in [0, 1]");
+      }
+    };
+    auto read_event = [&](bool fail) {
+      CoreFaultEvent ev;
+      ev.fail = fail;
+      if (!(tokens >> ev.core >> ev.at)) {
+        parse_fail(line_number,
+                   "'" + directive + "' expects CORE and CYCLE");
+      }
+      plan.core_events.push_back(ev);
+    };
+
+    if (directive == "seed") {
+      if (!(tokens >> plan.seed)) {
+        parse_fail(line_number, "'seed' expects an integer");
+      }
+    } else if (directive == "fail") {
+      read_event(true);
+    } else if (directive == "recover") {
+      read_event(false);
+    } else if (directive == "reconfig-failure-rate") {
+      read_rate(plan.reconfig_failure_rate);
+    } else if (directive == "stuck-rate") {
+      read_rate(plan.stuck_job_rate);
+    } else if (directive == "counter-corruption-rate") {
+      read_rate(plan.counter_corruption_rate);
+    } else if (directive == "counter-noise") {
+      if (!(tokens >> plan.counter_noise_stddev) ||
+          !std::isfinite(plan.counter_noise_stddev) ||
+          plan.counter_noise_stddev < 0.0) {
+        parse_fail(line_number, "'counter-noise' expects a finite value >= 0");
+      }
+    } else if (directive == "counter-mode") {
+      std::string mode;
+      if (!(tokens >> mode)) parse_fail(line_number, "missing counter mode");
+      if (mode == "gaussian") {
+        plan.counter_mode = CounterMode::kGaussian;
+      } else if (mode == "nan") {
+        plan.counter_mode = CounterMode::kNaN;
+      } else if (mode == "zero") {
+        plan.counter_mode = CounterMode::kZero;
+      } else if (mode == "saturate") {
+        plan.counter_mode = CounterMode::kSaturate;
+      } else {
+        parse_fail(line_number, "unknown counter mode '" + mode + "'");
+      }
+    } else {
+      parse_fail(line_number, "unknown directive '" + directive + "'");
+    }
+
+    std::string trailing;
+    if (tokens >> trailing && trailing[0] != '#') {
+      parse_fail(line_number, "trailing garbage '" + trailing + "'");
+    }
+  }
+  return plan;
+}
+
+void FaultPlan::save(std::ostream& out) const {
+  out << "seed " << seed << "\n";
+  for (const CoreFaultEvent& ev : core_events) {
+    out << (ev.fail ? "fail " : "recover ") << ev.core << ' ' << ev.at
+        << "\n";
+  }
+  out << "reconfig-failure-rate " << reconfig_failure_rate << "\n";
+  out << "stuck-rate " << stuck_job_rate << "\n";
+  out << "counter-corruption-rate " << counter_corruption_rate << "\n";
+  out << "counter-mode " << to_string(counter_mode) << "\n";
+  out << "counter-noise " << counter_noise_stddev << "\n";
+}
+
+}  // namespace hetsched

@@ -1,0 +1,87 @@
+// Fault plan: a declarative, seed-driven description of the faults to
+// inject into one simulation run.
+//
+// Two kinds of faults coexist:
+//   * scheduled core events — a core fails (goes offline, its running job
+//     is settled pro-rata and re-queued) or recovers at a given cycle;
+//   * rate-driven faults — reconfiguration failures, stuck-job hangs and
+//     hardware-counter corruption, each decided per occurrence by a
+//     deterministic hash of (seed, fault stream, identifiers), so a plan
+//     replays bit-identically regardless of call order.
+//
+// A default-constructed plan is the zero-fault plan: attaching it to a
+// simulator produces bit-identical results to running without an
+// injector at all (pay-for-what-you-use).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string_view>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace hetsched {
+
+// One scheduled core failure or recovery.
+struct CoreFaultEvent {
+  SimTime at = 0;
+  std::size_t core = 0;
+  bool fail = true;  // false = recovery
+
+  friend bool operator==(const CoreFaultEvent&,
+                         const CoreFaultEvent&) = default;
+};
+
+struct FaultPlan {
+  // How counter corruption mangles the profiled statistics.
+  enum class CounterMode {
+    kGaussian,  // multiplicative Gaussian noise on every statistic
+    kNaN,       // one statistic replaced by NaN
+    kZero,      // all statistics zeroed
+    kSaturate,  // all statistics saturated to a huge magnitude
+  };
+
+  std::uint64_t seed = 1;
+  std::vector<CoreFaultEvent> core_events;
+
+  // Probability that one reconfiguration attempt fails, leaving the
+  // cache stuck in its previous configuration.
+  double reconfig_failure_rate = 0.0;
+  // Probability that a job's execution hangs (at most once per job; the
+  // watchdog re-dispatches it).
+  double stuck_job_rate = 0.0;
+  // Probability that a profiling run's counter statistics are corrupted.
+  double counter_corruption_rate = 0.0;
+  CounterMode counter_mode = CounterMode::kGaussian;
+  // Relative noise for CounterMode::kGaussian (0.1 = 10% stddev).
+  double counter_noise_stddev = 0.1;
+
+  // True for the zero-fault plan (no events, all rates zero).
+  bool empty() const;
+  // Rates in [0,1], finite noise, events sorted check not required (the
+  // injector sorts); throws std::invalid_argument when violated.
+  void validate() const;
+
+  // Shorthand used by benches and the CLI: applies `rate` to every
+  // rate-driven fault class (reconfiguration failures, stuck jobs and
+  // counter corruption).
+  static FaultPlan uniform(double rate, std::uint64_t seed);
+
+  // Text format, one directive per line ('#' comments allowed):
+  //   seed N
+  //   fail CORE CYCLE
+  //   recover CORE CYCLE
+  //   reconfig-failure-rate P
+  //   stuck-rate P
+  //   counter-corruption-rate P
+  //   counter-mode gaussian|nan|zero|saturate
+  //   counter-noise X
+  // parse() throws std::runtime_error with the offending line number.
+  static FaultPlan parse(std::istream& in);
+  void save(std::ostream& out) const;
+};
+
+std::string_view to_string(FaultPlan::CounterMode mode);
+
+}  // namespace hetsched

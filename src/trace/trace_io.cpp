@@ -56,6 +56,16 @@ MemTrace read_trace(std::istream& in) {
     if (size_err != std::errc{} || size == 0 || size > 255) {
       fail(line_number, "bad size");
     }
+    // Accesses are power-of-two sized (1..128): the cache model indexes
+    // lines by address arithmetic that a 3-byte access would corrupt.
+    if ((size & (size - 1)) != 0) {
+      fail(line_number,
+           "size " + std::to_string(size) + " is not a power of two");
+    }
+    // The access must fit the 32-bit address space end inclusive.
+    if (address > 0xffffffffu - (size - 1)) {
+      fail(line_number, "address + size overflows the 32-bit space");
+    }
     pos = static_cast<std::size_t>(size_end - line.data());
     if (line.find_first_not_of(" \t\r", pos) != std::string::npos) {
       fail(line_number, "trailing garbage");

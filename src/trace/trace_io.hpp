@@ -8,7 +8,8 @@
 //     R 1a40 4
 //     W 1a44 4
 //
-// (R = read, W = write; hexadecimal byte address; access size in bytes.)
+// (R = read, W = write; hexadecimal byte address; access size in bytes —
+// a power of two, with address + size fitting the 32-bit address space.)
 #pragma once
 
 #include <iosfwd>

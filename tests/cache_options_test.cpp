@@ -129,9 +129,12 @@ TEST(TraceIoTest, RoundTripsArbitraryTraces) {
   Rng rng(4);
   MemTrace trace;
   for (int i = 0; i < 5000; ++i) {
-    trace.push_back(MemRef{static_cast<std::uint32_t>(rng.next()),
-                           static_cast<std::uint8_t>(1 + rng.below(8)),
-                           rng.bernoulli(0.4)});
+    // Power-of-two sizes 1..8, addresses clear of the 32-bit end so
+    // address + size stays representable (the reader rejects both).
+    trace.push_back(
+        MemRef{static_cast<std::uint32_t>(rng.next()) & 0x7fffffffu,
+               static_cast<std::uint8_t>(1u << rng.below(4)),
+               rng.bernoulli(0.4)});
   }
   std::stringstream stream;
   write_trace(stream, trace);
@@ -157,7 +160,11 @@ TEST(TraceIoTest, ParsesCommentsAndBlanksAndCase) {
 
 TEST(TraceIoTest, RejectsMalformedLines) {
   for (const char* bad :
-       {"X 10 4\n", "R zz 4\n", "R 10\n", "R 10 0\n", "R 10 4 extra\n"}) {
+       {"X 10 4\n", "R zz 4\n", "R 10\n", "R 10 0\n", "R 10 4 extra\n",
+        // non-power-of-two sizes
+        "R 10 3\n", "W 10 6\n", "R 10 100\n",
+        // address + size overflows the 32-bit space
+        "R fffffffe 4\n", "W ffffffff 2\n"}) {
     std::stringstream in(bad);
     EXPECT_THROW(read_trace(in), std::runtime_error) << bad;
   }

@@ -97,6 +97,72 @@ TEST(SerializationTest, RejectsOutOfRangeFeatureIndex) {
   EXPECT_THROW(PredictorSnapshot::load(in), std::runtime_error);
 }
 
+TEST(SerializationTest, SaveAppendsChecksumLine) {
+  const Trained& t = trained();
+  std::stringstream out;
+  PredictorSnapshot::from(*t.predictor).save(out);
+  EXPECT_NE(out.str().find("\nchecksum "), std::string::npos);
+}
+
+TEST(SerializationTest, RejectsChecksumMismatch) {
+  const Trained& t = trained();
+  std::stringstream out;
+  PredictorSnapshot::from(*t.predictor).save(out);
+  std::string text = out.str();
+  // An extra space is invisible to token-level parsing — only the
+  // checksum can catch this byte-level corruption.
+  text.insert(text.find('\n') + 1, " ");
+  std::stringstream corrupted(text);
+  try {
+    PredictorSnapshot::load(corrupted);
+    FAIL() << "corrupted snapshot accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("checksum"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(SerializationTest, AcceptsLegacySnapshotWithoutChecksum) {
+  const Trained& t = trained();
+  const PredictorSnapshot snapshot = PredictorSnapshot::from(*t.predictor);
+  std::stringstream out;
+  snapshot.save(out);
+  std::string text = out.str();
+  const auto mark = text.rfind("\nchecksum ");
+  ASSERT_NE(mark, std::string::npos);
+  std::stringstream legacy(text.substr(0, mark + 1));
+  const PredictorSnapshot loaded = PredictorSnapshot::load(legacy);
+  const auto& stats = t.suite.benchmark(0).base_statistics;
+  EXPECT_DOUBLE_EQ(loaded.predict_raw(stats), snapshot.predict_raw(stats));
+}
+
+TEST(SerializationTest, RejectsNonFiniteParameters) {
+  // A structurally valid snapshot whose first weight is NaN; strtod
+  // happily parses "nan", so an explicit finiteness check must reject it.
+  const std::string nan_weight(
+      "hetsched-predictor v1\n"
+      "features 2 0 1\n"
+      "scaler 2 0x0p+0 0x0p+0 0x1p+0 0x1p+0\n"
+      "members 1\n"
+      "mlp 3 2 2 1 0 0\n"
+      "nan 0x0p+0 0x0p+0 0x0p+0 0x0p+0 0x0p+0\n"
+      "0x0p+0 0x0p+0 0x0p+0\n");
+  std::stringstream weights(nan_weight);
+  EXPECT_THROW(PredictorSnapshot::load(weights), std::runtime_error);
+
+  std::stringstream scaler_mean(
+      "hetsched-predictor v1\n"
+      "features 2 0 1\n"
+      "scaler 2 inf 0x0p+0 0x1p+0 0x1p+0\n");
+  EXPECT_THROW(PredictorSnapshot::load(scaler_mean), std::runtime_error);
+
+  std::stringstream scaler_stddev(
+      "hetsched-predictor v1\n"
+      "features 2 0 1\n"
+      "scaler 2 0x0p+0 0x0p+0 0x0p+0 0x1p+0\n");
+  EXPECT_THROW(PredictorSnapshot::load(scaler_stddev), std::runtime_error);
+}
+
 TEST(SerializationTest, LoadedSnapshotDrivesTheScheduler) {
   const Trained& t = trained();
   std::stringstream stream;

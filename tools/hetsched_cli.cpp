@@ -20,16 +20,23 @@
 //   --discipline D       fifo | edf | priority       (default fifo)
 //   --slack X            deadline slack factor; assigns deadlines when set
 //   --load FILE          use a saved predictor snapshot instead of training
+//   --fault-plan FILE    inject faults from a fault-plan file
+//   --fault-rate P       uniform fault rate for all rate-driven faults
+//   --fault-seed N       fault-decision seed (default 1)
+#include <charconv>
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <map>
 #include <optional>
+#include <sstream>
 #include <string>
 
 #include "core/realtime_policy.hpp"
 #include "core/serialization.hpp"
 #include "experiment/experiment.hpp"
+#include "fault/fault_injector.hpp"
 #include "util/table_printer.hpp"
 
 namespace {
@@ -44,6 +51,9 @@ struct CliOptions {
   std::string load_path;
   std::string discipline = "fifo";
   std::optional<double> slack;
+  std::string fault_plan_path;
+  std::optional<double> fault_rate;
+  std::optional<std::uint64_t> fault_seed;
   ExperimentOptions experiment;
 };
 
@@ -60,8 +70,45 @@ struct CliOptions {
       "  --slack X       assign deadlines = arrival + X*base cycles\n"
       "  --kernel NAME   (characterize) single-kernel sweep\n"
       "  --save FILE     (train) persist the predictor snapshot\n"
-      "  --load FILE     use a saved predictor snapshot\n";
+      "  --load FILE     use a saved predictor snapshot\n"
+      "  --fault-plan F  inject faults from a fault-plan file\n"
+      "  --fault-rate P  uniform rate in [0,1] for reconfig failures,\n"
+      "                  stuck jobs and counter corruption\n"
+      "  --fault-seed N  fault-decision seed (default 1)\n";
   std::exit(2);
+}
+
+// Flag-value parsing that rejects garbage instead of silently truncating
+// it (std::stoull("12abc") == 12): the whole token must parse, and the
+// value must lie in the flag's legal range.
+std::uint64_t parse_count(const std::string& flag, const std::string& text,
+                          std::uint64_t min_value) {
+  std::uint64_t value = 0;
+  const char* begin = text.c_str();
+  const char* end = begin + text.size();
+  const auto [parsed_end, err] = std::from_chars(begin, end, value, 10);
+  if (text.empty() || err != std::errc{} || parsed_end != end) {
+    usage(flag + " expects a non-negative integer, got '" + text + "'");
+  }
+  if (value < min_value) {
+    usage(flag + " must be at least " + std::to_string(min_value) +
+          ", got '" + text + "'");
+  }
+  return value;
+}
+
+double parse_real(const std::string& flag, const std::string& text,
+                  double min_value, double max_value) {
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (text.empty() || end != text.c_str() + text.size() ||
+      !std::isfinite(value) || value < min_value || value > max_value) {
+    std::ostringstream range;
+    range << "[" << min_value << ", " << max_value << "]";
+    usage(flag + " expects a number in " + range.str() + ", got '" + text +
+          "'");
+  }
+  return value;
 }
 
 CliOptions parse(int argc, char** argv) {
@@ -78,24 +125,31 @@ CliOptions parse(int argc, char** argv) {
       options.system = next();
     } else if (flag == "--arrivals") {
       options.experiment.arrivals.count =
-          static_cast<std::size_t>(std::stoull(next()));
+          static_cast<std::size_t>(parse_count(flag, next(), 1));
     } else if (flag == "--gap") {
       options.experiment.arrivals.mean_interarrival_cycles =
-          std::stod(next());
+          parse_real(flag, next(), 1.0, 1e15);
     } else if (flag == "--seed") {
-      options.experiment.seed = std::stoull(next());
+      options.experiment.seed = parse_count(flag, next(), 0);
     } else if (flag == "--scale") {
-      options.experiment.suite.kernel_scale = std::stod(next());
+      options.experiment.suite.kernel_scale =
+          parse_real(flag, next(), 1e-6, 1e6);
     } else if (flag == "--discipline") {
       options.discipline = next();
     } else if (flag == "--slack") {
-      options.slack = std::stod(next());
+      options.slack = parse_real(flag, next(), 1e-6, 1e6);
     } else if (flag == "--kernel") {
       options.kernel = next();
     } else if (flag == "--save") {
       options.save_path = next();
     } else if (flag == "--load") {
       options.load_path = next();
+    } else if (flag == "--fault-plan") {
+      options.fault_plan_path = next();
+    } else if (flag == "--fault-rate") {
+      options.fault_rate = parse_real(flag, next(), 0.0, 1.0);
+    } else if (flag == "--fault-seed") {
+      options.fault_seed = parse_count(flag, next(), 0);
     } else {
       usage("unknown flag " + flag);
     }
@@ -141,6 +195,27 @@ void print_result(const std::string& name, const SimulationResult& r) {
                    std::to_string(r.deadline_misses) + " / " +
                        std::to_string(r.jobs_with_deadline)});
     table.add_row({"preemptions", std::to_string(r.preemptions)});
+  }
+  if (r.faults.any()) {
+    table.add_row({"injected faults", std::to_string(r.faults.injected)});
+    table.add_row({"  core failures",
+                   std::to_string(r.faults.core_failures) + " (" +
+                       std::to_string(r.faults.core_recoveries) +
+                       " recovered)"});
+    table.add_row({"  reconfig failures",
+                   std::to_string(r.faults.reconfig_failures) + " (" +
+                       std::to_string(r.faults.reconfig_retries) +
+                       " retries)"});
+    table.add_row({"  counter corruptions",
+                   std::to_string(r.faults.counter_corruptions)});
+    table.add_row({"  watchdog fires",
+                   std::to_string(r.faults.watchdog_fires)});
+    table.add_row({"jobs re-queued by faults",
+                   std::to_string(r.faults.jobs_requeued)});
+    table.add_row({"degraded executions",
+                   std::to_string(r.faults.degraded_executions)});
+    table.add_row({"prediction fallbacks",
+                   std::to_string(r.faults.prediction_fallbacks)});
   }
   std::cout << "=== " << name << " ===\n";
   table.print(std::cout);
@@ -241,12 +316,41 @@ int cmd_run_or_compare(const CliOptions& options) {
           ? static_cast<const SizePredictor&>(*snapshot)
           : static_cast<const SizePredictor&>(experiment.predictor());
 
+  // Optional fault plan: a plan file, a uniform rate, or a file with its
+  // rates/seed overridden from the command line.
+  std::optional<FaultPlan> fault_plan;
+  if (!options.fault_plan_path.empty()) {
+    std::ifstream in(options.fault_plan_path);
+    if (!in) {
+      std::cerr << "cannot open " << options.fault_plan_path << "\n";
+      return 1;
+    }
+    fault_plan = FaultPlan::parse(in);
+  }
+  if (options.fault_rate.has_value()) {
+    if (!fault_plan.has_value()) fault_plan.emplace();
+    fault_plan->reconfig_failure_rate = *options.fault_rate;
+    fault_plan->stuck_job_rate = *options.fault_rate;
+    fault_plan->counter_corruption_rate = *options.fault_rate;
+  }
+  if (options.fault_seed.has_value()) {
+    if (!fault_plan.has_value()) fault_plan.emplace();
+    fault_plan->seed = *options.fault_seed;
+  }
+
   const QueueDiscipline discipline = parse_discipline(options.discipline);
   auto run_system = [&](const std::string& name) -> SimulationResult {
     auto simulate = [&](SchedulerPolicy& policy,
                         const SystemConfig& system) {
       MulticoreSimulator sim(system, experiment.suite(),
                              experiment.energy(), policy, discipline);
+      // Each run gets a fresh injector so fault decisions cannot leak
+      // between the systems of a compare.
+      std::optional<FaultInjector> injector;
+      if (fault_plan.has_value()) {
+        injector.emplace(*fault_plan);
+        sim.set_fault_injector(&*injector);
+      }
       return sim.run(arrivals);
     };
     if (name == "base") {

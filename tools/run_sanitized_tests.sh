@@ -1,0 +1,23 @@
+#!/usr/bin/env sh
+# Builds the test suite under AddressSanitizer and UBSan (one build tree
+# per sanitizer) and runs ctest in each. Any sanitizer report fails the
+# run (-fno-sanitize-recover=all aborts on the first finding).
+#
+# Usage: tools/run_sanitized_tests.sh [address|undefined]...
+#        (no arguments = both)
+set -eu
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+sanitizers="${*:-address undefined}"
+
+for sanitizer in $sanitizers; do
+  build="$repo/build-$sanitizer"
+  echo "=== $sanitizer sanitizer: configuring $build ==="
+  cmake -B "$build" -S "$repo" -DHETSCHED_SANITIZE="$sanitizer" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build "$build" -j
+  echo "=== $sanitizer sanitizer: running tests ==="
+  ctest --test-dir "$build" --output-on-failure -j
+done
+
+echo "=== all sanitized test runs passed ==="
