@@ -25,10 +25,11 @@ int main() {
     options.arrivals.mean_interarrival_cycles = gap;
     Experiment experiment(options);
 
-    const SystemRun base = experiment.run_base();
-    const SystemRun optimal = experiment.run_optimal();
-    const SystemRun ec = experiment.run_energy_centric();
-    const SystemRun proposed = experiment.run_proposed();
+    const Experiment::StandardRuns runs = experiment.run_standard_systems();
+    const SystemRun& base = runs.base;
+    const SystemRun& optimal = runs.optimal;
+    const SystemRun& ec = runs.energy_centric;
+    const SystemRun& proposed = runs.proposed;
 
     double util = 0.0;
     for (const CoreUsage& core : base.result.per_core) {

@@ -21,10 +21,11 @@ int main() {
   ExperimentOptions options;
   Experiment experiment(options);
 
-  const SystemRun base = experiment.run_base();
-  const SystemRun optimal = experiment.run_optimal();
-  const SystemRun ec = experiment.run_energy_centric();
-  const SystemRun proposed = experiment.run_proposed();
+  const Experiment::StandardRuns runs = experiment.run_standard_systems();
+  const SystemRun& base = runs.base;
+  const SystemRun& optimal = runs.optimal;
+  const SystemRun& ec = runs.energy_centric;
+  const SystemRun& proposed = runs.proposed;
 
   std::cout << "=== Figure 6: energy normalised to the base system ===\n"
             << "(" << experiment.arrivals().size()

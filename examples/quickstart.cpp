@@ -29,10 +29,11 @@ int main() {
 
   std::cout << "Running the four systems over "
             << experiment.arrivals().size() << " arrivals...\n";
-  const SystemRun base = experiment.run_base();
-  const SystemRun optimal = experiment.run_optimal();
-  const SystemRun energy_centric = experiment.run_energy_centric();
-  const SystemRun proposed = experiment.run_proposed();
+  const Experiment::StandardRuns runs = experiment.run_standard_systems();
+  const SystemRun& base = runs.base;
+  const SystemRun& optimal = runs.optimal;
+  const SystemRun& energy_centric = runs.energy_centric;
+  const SystemRun& proposed = runs.proposed;
 
   TablePrinter table({"system", "idle", "dynamic", "total", "cycles",
                       "stalls", "tuning runs"});

@@ -1,6 +1,9 @@
 #include "ann/bagging.hpp"
 
+#include <optional>
+
 #include "util/contracts.hpp"
+#include "util/thread_pool.hpp"
 
 namespace hetsched {
 
@@ -17,15 +20,32 @@ BaggedEnsemble::BaggedEnsemble(const BaggingConfig& config,
       1, static_cast<std::size_t>(config.sample_fraction *
                                   static_cast<double>(train.size())));
 
-  members_.reserve(config.ensemble_size);
+  // Member streams are split off serially (split() advances `rng`, so the
+  // order must not depend on scheduling); training is then fanned out over
+  // the shared pool. Each member's resample, initialisation and fit draw
+  // only from its own stream, so the ensemble is bit-identical to the
+  // serial build for every thread count.
+  std::vector<Rng> member_rngs;
+  member_rngs.reserve(config.ensemble_size);
   for (std::size_t m = 0; m < config.ensemble_size; ++m) {
-    Rng member_rng = rng.split();
-    const auto indices =
-        member_rng.sample_with_replacement(train.size(), sample_size);
-    const Dataset resample = train.subset(indices);
-    Mlp net(config.net, member_rng);
-    trainer.fit(net, resample, validation, member_rng);
-    members_.push_back(std::move(net));
+    member_rngs.push_back(rng.split());
+  }
+
+  std::vector<std::optional<Mlp>> slots(config.ensemble_size);
+  ThreadPool::global().parallel_for(
+      config.ensemble_size, [&](std::size_t m) {
+        Rng member_rng = member_rngs[m];
+        const auto indices =
+            member_rng.sample_with_replacement(train.size(), sample_size);
+        const Dataset resample = train.subset(indices);
+        Mlp net(config.net, member_rng);
+        trainer.fit(net, resample, validation, member_rng);
+        slots[m].emplace(std::move(net));
+      });
+
+  members_.reserve(config.ensemble_size);
+  for (std::optional<Mlp>& slot : slots) {
+    members_.push_back(std::move(*slot));
   }
 }
 

@@ -123,7 +123,7 @@ Cache::AccessResult Cache::access_line(std::uint32_t line_addr,
   } else {
     ++stats_.read_misses;
   }
-  if (seen_lines_.insert(line_addr).second) {
+  if (seen_lines_.insert(line_addr)) {
     ++stats_.compulsory_misses;
   }
 

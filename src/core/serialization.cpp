@@ -3,11 +3,11 @@
 #include <cmath>
 #include <istream>
 #include <ostream>
-#include <cstdlib>
 #include <sstream>
 #include <stdexcept>
 
 #include "util/contracts.hpp"
+#include "util/snapshot_text.hpp"
 #include "workload/dataset_builder.hpp"
 
 namespace hetsched {
@@ -15,45 +15,17 @@ namespace {
 
 constexpr std::string_view kMagic = "hetsched-predictor";
 constexpr int kVersion = 1;
+const std::string kContext = "PredictorSnapshot::load";
 
-// FNV-1a over the snapshot body, written as a trailing "checksum" line so
-// truncated or bit-flipped files are rejected at load time.
-std::uint64_t fnv1a(std::string_view data) {
-  std::uint64_t hash = 14695981039346656037ull;
-  for (const unsigned char c : data) {
-    hash ^= c;
-    hash *= 1099511628211ull;
-  }
-  return hash;
-}
-
-void write_double(std::ostream& out, double v) {
-  out << std::hexfloat << v << std::defaultfloat;
-}
+using snapshot_text::write_double;
 
 [[noreturn]] void fail(const std::string& what) {
-  throw std::runtime_error("PredictorSnapshot::load: " + what);
+  snapshot_text::fail(kContext, what);
 }
 
 template <typename T>
 T read_value(std::istream& in, const char* what) {
-  T value;
-  if (!(in >> value)) fail(std::string("cannot read ") + what);
-  return value;
-}
-
-// istream's operator>> does not accept hexfloat, so doubles are parsed
-// via strtod (which does).
-template <>
-double read_value<double>(std::istream& in, const char* what) {
-  std::string token;
-  if (!(in >> token)) fail(std::string("cannot read ") + what);
-  char* end = nullptr;
-  const double value = std::strtod(token.c_str(), &end);
-  if (end == nullptr || *end != '\0') {
-    fail(std::string("malformed double for ") + what);
-  }
-  return value;
+  return snapshot_text::read_value<T>(in, what, kContext);
 }
 
 Matrix read_matrix(std::istream& in, std::size_t rows, std::size_t cols) {
@@ -121,37 +93,15 @@ void PredictorSnapshot::save(std::ostream& raw_out) const {
     }
   }
 
-  const std::string body = out.str();
-  raw_out << body << "checksum " << std::hex << fnv1a(body) << std::dec
-          << "\n";
+  snapshot_text::write_with_checksum(raw_out, out.str());
 }
 
 PredictorSnapshot PredictorSnapshot::load(std::istream& raw_in) {
-  // Slurp the stream: the optional trailing checksum line covers the
-  // exact bytes of everything before it, so it must be split off (and
-  // verified) before token-level parsing. Files from before the checksum
-  // was introduced simply lack the line and are still accepted.
-  std::ostringstream slurp;
-  slurp << raw_in.rdbuf();
-  std::string content = slurp.str();
-
-  const std::string::size_type mark = content.rfind("\nchecksum ");
-  if (mark != std::string::npos) {
-    const std::string body = content.substr(0, mark + 1);
-    std::istringstream tail(content.substr(mark + 1));
-    std::string token, rest;
-    std::uint64_t stored = 0;
-    if (!(tail >> token >> std::hex >> stored) || token != "checksum") {
-      fail("malformed checksum line");
-    }
-    if (tail >> rest) fail("trailing garbage after checksum");
-    if (stored != fnv1a(body)) {
-      fail("checksum mismatch (truncated or corrupted snapshot)");
-    }
-    content = body;
-  }
-
-  std::istringstream in(std::move(content));
+  // The optional trailing checksum line covers the exact bytes of
+  // everything before it, so it is split off (and verified) before
+  // token-level parsing. Files from before the checksum was introduced
+  // simply lack the line and are still accepted.
+  std::istringstream in(snapshot_text::read_verified(raw_in, kContext));
   std::string magic, version;
   if (!(in >> magic >> version) || magic != kMagic ||
       version != "v" + std::to_string(kVersion)) {

@@ -1,8 +1,22 @@
 #include "experiment/experiment.hpp"
 
 #include "util/contracts.hpp"
+#include "util/thread_pool.hpp"
+#include "workload/profile_cache.hpp"
 
 namespace hetsched {
+namespace {
+
+CharacterizedSuite build_suite(const EnergyModel& energy,
+                               const ExperimentOptions& options) {
+  if (!options.profile_cache_path.empty()) {
+    return load_or_build_suite(options.profile_cache_path, energy,
+                               options.suite);
+  }
+  return CharacterizedSuite::build(energy, options.suite);
+}
+
+}  // namespace
 
 ExperimentOptions ExperimentOptions::quick() {
   ExperimentOptions opts;
@@ -39,7 +53,7 @@ NormalizedEnergy normalize(const SimulationResult& system,
 Experiment::Experiment(const ExperimentOptions& options)
     : options_(options),
       energy_(CactiModel{}, options.energy_params),
-      suite_(CharacterizedSuite::build(energy_, options.suite)) {
+      suite_(build_suite(energy_, options_)) {
   // Train the ANN on the variant>0 instances; schedule the variant-0
   // instances (held-out inputs of the same kernels). With a single
   // variant per kernel, train on everything (the paper trains and
@@ -97,6 +111,21 @@ SystemRun Experiment::run_energy_centric() const {
 SystemRun Experiment::run_proposed() const {
   ProposedPolicy policy(*predictor_);
   return run_policy(SystemConfig::paper_quadcore(), policy, "proposed");
+}
+
+Experiment::StandardRuns Experiment::run_standard_systems() const {
+  StandardRuns runs;
+  SystemRun* const slots[4] = {&runs.base, &runs.optimal,
+                               &runs.energy_centric, &runs.proposed};
+  ThreadPool::global().parallel_for(4, [&](std::size_t i) {
+    switch (i) {
+      case 0: *slots[0] = run_base(); break;
+      case 1: *slots[1] = run_optimal(); break;
+      case 2: *slots[2] = run_energy_centric(); break;
+      default: *slots[3] = run_proposed(); break;
+    }
+  });
+  return runs;
 }
 
 SystemRun Experiment::run_proposed_with(const SizePredictor& predictor,

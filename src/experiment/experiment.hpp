@@ -19,6 +19,10 @@ struct ExperimentOptions {
   PredictorConfig predictor{};
   EnergyModelParams energy_params{};
   std::uint64_t seed = 42;
+  // When non-empty, characterisation is served from this snapshot file
+  // when it is present and keyed to (suite, energy_params); otherwise it
+  // is built and the file refreshed (workload/profile_cache.hpp).
+  std::string profile_cache_path;
 
   // Scaled-down preset for unit/integration tests: smaller kernels, fewer
   // arrivals, lighter ANN training.
@@ -82,6 +86,18 @@ class Experiment {
   SystemRun run_optimal() const;
   SystemRun run_energy_centric() const;
   SystemRun run_proposed() const;
+
+  // All four Section-V systems, fanned out over the shared thread pool.
+  // The runs are independent (fresh simulator and policy each, read-only
+  // suite/energy/predictor), so the results are identical to calling the
+  // four run_*() methods serially.
+  struct StandardRuns {
+    SystemRun base;
+    SystemRun optimal;
+    SystemRun energy_centric;
+    SystemRun proposed;
+  };
+  StandardRuns run_standard_systems() const;
 
   // Ablation entry point: the proposed/energy-centric systems with an
   // arbitrary predictor (e.g. OracleSizePredictor).

@@ -1,0 +1,146 @@
+#include "util/thread_pool.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+
+#include "util/contracts.hpp"
+
+namespace hetsched {
+namespace {
+
+// True while a thread is executing job units — permanently on pool
+// workers, and on a submitting thread for the span of its own slice.
+// Nested parallel_for calls from such threads run inline: a nested
+// submission would clobber the live job state (count_/next_/completed_)
+// of the job the thread is still part of.
+thread_local bool tl_pool_worker = false;
+
+std::mutex g_global_mutex;
+std::unique_ptr<ThreadPool> g_global_pool;
+
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  const std::size_t resolved = threads == 0 ? default_threads() : threads;
+  HETSCHED_REQUIRE(resolved >= 1);
+  workers_.reserve(resolved - 1);
+  for (std::size_t t = 0; t + 1 < resolved; ++t) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+std::size_t ThreadPool::run_slice() {
+  std::size_t done = 0;
+  for (;;) {
+    const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= count_) break;
+    try {
+      (*fn_)(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!error_) error_ = std::current_exception();
+    }
+    ++done;
+  }
+  return done;
+}
+
+void ThreadPool::worker_loop() {
+  tl_pool_worker = true;
+  std::uint64_t seen = 0;
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    work_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+    if (stop_) return;
+    seen = generation_;
+    ++active_;
+    lock.unlock();
+    const std::size_t done = run_slice();
+    lock.lock();
+    --active_;
+    completed_ += done;
+    if (active_ == 0) done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t count,
+                              const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  // Serial paths: a 1-thread pool, a single unit, or a nested call from a
+  // worker (running inline keeps the fixed worker set deadlock-free).
+  if (workers_.empty() || count == 1 || tl_pool_worker) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+
+  std::lock_guard<std::mutex> submit(submit_mutex_);
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    // A worker that woke late for the *previous* generation may still be
+    // draining its (empty) slice; job state must not change under it.
+    done_cv_.wait(lock, [&] { return active_ == 0; });
+    count_ = count;
+    fn_ = &fn;
+    next_.store(0, std::memory_order_relaxed);
+    completed_ = 0;
+    error_ = nullptr;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+
+  // The caller participates in its own job; flag it so nested
+  // parallel_for calls from inside `fn` run inline instead of
+  // resubmitting over the live job. Entry to this path implies the flag
+  // was false, so plain restore is exception-safe (run_slice is
+  // noexcept in effect: it stores exceptions in error_).
+  tl_pool_worker = true;
+  const std::size_t done = run_slice();
+  tl_pool_worker = false;
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  completed_ += done;
+  done_cv_.wait(lock,
+                [&] { return active_ == 0 && completed_ == count_; });
+  fn_ = nullptr;
+  if (error_) {
+    std::exception_ptr error = error_;
+    error_ = nullptr;
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
+}
+
+std::size_t ThreadPool::default_threads() {
+  if (const char* env = std::getenv("HETSCHED_THREADS")) {
+    char* end = nullptr;
+    const long parsed = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && parsed >= 1) {
+      return static_cast<std::size_t>(parsed > 256 ? 256 : parsed);
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+ThreadPool& ThreadPool::global() {
+  std::lock_guard<std::mutex> lock(g_global_mutex);
+  if (!g_global_pool) g_global_pool = std::make_unique<ThreadPool>();
+  return *g_global_pool;
+}
+
+void ThreadPool::set_global_threads(std::size_t threads) {
+  std::lock_guard<std::mutex> lock(g_global_mutex);
+  g_global_pool = std::make_unique<ThreadPool>(threads);
+}
+
+}  // namespace hetsched

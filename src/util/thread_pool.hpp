@@ -1,0 +1,83 @@
+// Shared fixed-size thread pool.
+//
+// The characterisation pipeline (suite build, bagged-ANN training, the
+// four Section-V system runs) is embarrassingly parallel across
+// independent units whose outputs land in index-ordered slots, so the
+// pool deliberately offers only `parallel_for`: no futures, no work
+// stealing, no task graph. Determinism contract: `fn(i)` must write only
+// to state owned by index i; under that contract the result of a
+// parallel_for is bit-identical for every thread count, including 1.
+//
+// Nested parallel_for calls issued from inside a running job — whether on
+// a pool worker or on the thread that submitted the job — run inline on
+// the calling thread (serially), so parallel code can compose without
+// deadlocking the fixed worker set or corrupting the live job state.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hetsched {
+
+class ThreadPool {
+ public:
+  // `threads` counts the caller too: a pool of T spawns T-1 workers and
+  // the submitting thread participates. 0 means default_threads().
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t thread_count() const { return workers_.size() + 1; }
+
+  // Runs fn(0) .. fn(count-1), each exactly once, on the pool plus the
+  // calling thread. Blocks until every index completed. The first
+  // exception thrown by fn is rethrown here after the loop drains.
+  void parallel_for(std::size_t count,
+                    const std::function<void(std::size_t)>& fn);
+
+  // HETSCHED_THREADS if set (clamped to [1, 256]), else
+  // hardware_concurrency, else 1.
+  static std::size_t default_threads();
+
+  // Process-wide shared pool. Created on first use with default_threads();
+  // resizable via set_global_threads (call at startup, before the pool has
+  // outstanding work).
+  static ThreadPool& global();
+  static void set_global_threads(std::size_t threads);
+
+ private:
+  void worker_loop();
+  // Claims indices of the current job until none remain; returns how many
+  // this thread completed.
+  std::size_t run_slice();
+
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;   // workers wait for a new generation
+  std::condition_variable done_cv_;   // submitter waits for completion
+  std::uint64_t generation_ = 0;      // bumped once per parallel_for
+  bool stop_ = false;
+  std::size_t active_ = 0;            // workers currently inside run_slice
+  std::size_t completed_ = 0;         // indices finished this generation
+  std::exception_ptr error_;
+
+  // Job payload: written under mutex_ before the generation bump, read by
+  // workers after they observe the bump (mutex-ordered).
+  std::size_t count_ = 0;
+  const std::function<void(std::size_t)>* fn_ = nullptr;
+  std::atomic<std::size_t> next_{0};
+
+  // Serialises concurrent external submitters (one job at a time).
+  std::mutex submit_mutex_;
+};
+
+}  // namespace hetsched

@@ -1,7 +1,6 @@
 #include "workload/characterization.hpp"
 
-#include <unordered_set>
-
+#include "cache/multi_sim.hpp"
 #include "util/contracts.hpp"
 
 namespace hetsched {
@@ -59,8 +58,9 @@ ExecutionStatistics compute_statistics(const RawCounters& counters,
   s.compulsory_misses = static_cast<double>(base_sim.stats.compulsory_misses);
   s.writebacks = static_cast<double>(base_sim.stats.writebacks);
 
-  // Working set at word (4-byte) granularity.
-  std::unordered_set<std::uint32_t> words;
+  // Working set at word (4-byte) granularity, via the same flat bitmap
+  // the cache model uses for compulsory-miss tracking.
+  LineAddressSet words;
   for (const MemRef& ref : trace) {
     const std::uint32_t first = ref.address / 4u;
     const std::uint32_t last = (ref.address + ref.size - 1u) / 4u;
@@ -96,50 +96,118 @@ std::vector<std::unique_ptr<Kernel>> make_suite_kernels(
   return kernels;
 }
 
+namespace {
+
+// Characterises one benchmark instance (kernel × variant): executes the
+// kernel, prices every design-space configuration, and derives the base
+// statistics. The only difference between the fast and reference paths is
+// how the per-config cache behaviour is obtained; both yield bit-identical
+// profiles.
+BenchmarkProfile characterize_unit(const Kernel& kernel,
+                                   std::size_t kernel_index,
+                                   std::size_t variant,
+                                   const SuiteOptions& options,
+                                   const EnergyModel& model,
+                                   std::size_t base_index,
+                                   bool single_pass) {
+  const auto& space = DesignSpace::all();
+
+  BenchmarkProfile profile;
+  profile.instance.kernel_index = kernel_index;
+  profile.instance.data_seed =
+      options.seed_base + variant * 7919 + kernel_index * 104729;
+  profile.instance.name = kernel.name() + "#" + std::to_string(variant);
+  profile.instance.domain = kernel.domain();
+
+  const KernelExecution exec = execute(kernel, profile.instance.data_seed);
+  profile.counters = exec.counters;
+  profile.footprint_bytes = exec.footprint_bytes;
+
+  profile.per_config.reserve(space.size());
+  if (single_pass) {
+    const std::vector<CacheSimResult> sims =
+        simulate_trace_multi(exec.trace, space);
+    for (const CacheSimResult& sim : sims) {
+      profile.per_config.push_back(
+          ConfigProfile{sim.config, sim.stats,
+                        model.evaluate(exec.counters, sim)});
+    }
+  } else {
+    for (const CacheConfig& config : space) {
+      ConfigProfile cp;
+      cp.config = config;
+      const CacheSimResult sim = simulate_trace(exec.trace, config);
+      cp.cache = sim.stats;
+      cp.energy = model.evaluate(exec.counters, sim);
+      profile.per_config.push_back(cp);
+    }
+  }
+
+  const ConfigProfile& base = profile.per_config[base_index];
+  profile.base_statistics = compute_statistics(
+      exec.counters, CacheSimResult{base.config, base.cache}, base.energy,
+      exec.trace);
+  return profile;
+}
+
+}  // namespace
+
 CharacterizedSuite CharacterizedSuite::build(const EnergyModel& model,
                                              const SuiteOptions& options) {
+  return build(model, options, ThreadPool::global());
+}
+
+CharacterizedSuite CharacterizedSuite::build(const EnergyModel& model,
+                                             const SuiteOptions& options,
+                                             ThreadPool& pool) {
   HETSCHED_REQUIRE(options.variants_per_kernel >= 1);
   const auto kernels = make_suite_kernels(options);
   HETSCHED_REQUIRE(!kernels.empty());
 
-  CharacterizedSuite suite;
-  const auto& space = DesignSpace::all();
   const auto base_index = DesignSpace::index_of(DesignSpace::base_config());
   HETSCHED_REQUIRE(base_index.has_value());
 
+  CharacterizedSuite suite;
+  const std::size_t variants = options.variants_per_kernel;
+  // Unit u = (kernel u / variants, variant u % variants): same k-major
+  // order as the serial reference, with each unit writing only slot u, so
+  // the suite is bit-identical for any thread count.
+  suite.profiles_.resize(kernels.size() * variants);
+  pool.parallel_for(
+      suite.profiles_.size(), [&](std::size_t u) {
+        const std::size_t k = u / variants;
+        const std::size_t v = u % variants;
+        suite.profiles_[u] = characterize_unit(
+            *kernels[k], k, v, options, model, *base_index,
+            /*single_pass=*/true);
+      });
+  return suite;
+}
+
+CharacterizedSuite CharacterizedSuite::build_reference(
+    const EnergyModel& model, const SuiteOptions& options) {
+  HETSCHED_REQUIRE(options.variants_per_kernel >= 1);
+  const auto kernels = make_suite_kernels(options);
+  HETSCHED_REQUIRE(!kernels.empty());
+
+  const auto base_index = DesignSpace::index_of(DesignSpace::base_config());
+  HETSCHED_REQUIRE(base_index.has_value());
+
+  CharacterizedSuite suite;
   for (std::size_t k = 0; k < kernels.size(); ++k) {
     for (std::size_t v = 0; v < options.variants_per_kernel; ++v) {
-      BenchmarkProfile profile;
-      profile.instance.kernel_index = k;
-      profile.instance.data_seed =
-          options.seed_base + v * 7919 + k * 104729;
-      profile.instance.name =
-          kernels[k]->name() + "#" + std::to_string(v);
-      profile.instance.domain = kernels[k]->domain();
-
-      const KernelExecution exec =
-          execute(*kernels[k], profile.instance.data_seed);
-      profile.counters = exec.counters;
-      profile.footprint_bytes = exec.footprint_bytes;
-
-      profile.per_config.reserve(space.size());
-      for (const CacheConfig& config : space) {
-        ConfigProfile cp;
-        cp.config = config;
-        const CacheSimResult sim = simulate_trace(exec.trace, config);
-        cp.cache = sim.stats;
-        cp.energy = model.evaluate(exec.counters, sim);
-        profile.per_config.push_back(cp);
-      }
-
-      const ConfigProfile& base = profile.per_config[*base_index];
-      profile.base_statistics = compute_statistics(
-          exec.counters, CacheSimResult{base.config, base.cache},
-          base.energy, exec.trace);
-
-      suite.profiles_.push_back(std::move(profile));
+      suite.profiles_.push_back(characterize_unit(
+          *kernels[k], k, v, options, model, *base_index,
+          /*single_pass=*/false));
     }
   }
+  return suite;
+}
+
+CharacterizedSuite CharacterizedSuite::from_profiles(
+    std::vector<BenchmarkProfile> profiles) {
+  CharacterizedSuite suite;
+  suite.profiles_ = std::move(profiles);
   return suite;
 }
 

@@ -18,6 +18,7 @@
 #include "cache/cache.hpp"
 #include "energy/energy_model.hpp"
 #include "trace/kernel.hpp"
+#include "util/thread_pool.hpp"
 
 namespace hetsched {
 
@@ -74,9 +75,27 @@ std::vector<std::unique_ptr<Kernel>> make_suite_kernels(
 // produce them.
 class CharacterizedSuite {
  public:
-  // Runs every kernel variant through every configuration. Deterministic.
+  // Runs every kernel variant through every configuration. Deterministic
+  // and bit-identical for every thread count: benchmark-instance units are
+  // fanned out over `pool` (the shared global pool by default) into
+  // index-ordered slots, and each unit decides all 18 configurations in a
+  // single sweep over its trace (cache/multi_sim.hpp).
   static CharacterizedSuite build(const EnergyModel& model,
                                   const SuiteOptions& options = {});
+  static CharacterizedSuite build(const EnergyModel& model,
+                                  const SuiteOptions& options,
+                                  ThreadPool& pool);
+
+  // The original serial path — one full Cache replay per configuration on
+  // the calling thread. Kept as the ground truth the fast path is tested
+  // and benchmarked against.
+  static CharacterizedSuite build_reference(const EnergyModel& model,
+                                            const SuiteOptions& options = {});
+
+  // Reassembles a suite from already-characterised profiles (profile
+  // cache deserialisation).
+  static CharacterizedSuite from_profiles(
+      std::vector<BenchmarkProfile> profiles);
 
   std::size_t size() const { return profiles_.size(); }
   const BenchmarkProfile& benchmark(std::size_t id) const;

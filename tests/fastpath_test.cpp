@@ -1,0 +1,347 @@
+// Characterisation fast path: thread pool, single-pass multi-config
+// cache simulation, and the persistent profile cache.
+//
+// The load-bearing guarantees under test:
+//   * simulate_trace_multi is bit-identical to per-config simulate_trace
+//     for every Table-1 configuration on real kernel traces.
+//   * CharacterizedSuite::build is bit-identical for every thread count
+//     and to the serial reference path.
+//   * A snapshot round trip reproduces the suite exactly; stale keys and
+//     corrupted bodies are rejected, never silently served.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "cache/cache.hpp"
+#include "cache/multi_sim.hpp"
+#include "energy/cacti.hpp"
+#include "energy/energy_model.hpp"
+#include "trace/kernel.hpp"
+#include "util/thread_pool.hpp"
+#include "workload/characterization.hpp"
+#include "workload/profile_cache.hpp"
+
+namespace hetsched {
+namespace {
+
+// ---------------------------------------------------------------------
+// ThreadPool
+
+TEST(ThreadPoolTest, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.thread_count(), 4u);
+
+  constexpr std::size_t kCount = 1000;
+  std::vector<std::atomic<int>> touched(kCount);
+  pool.parallel_for(kCount, [&](std::size_t i) { ++touched[i]; });
+  for (std::size_t i = 0; i < kCount; ++i) {
+    EXPECT_EQ(touched[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.thread_count(), 1u);
+  std::size_t sum = 0;
+  // No synchronisation needed: a 1-thread pool runs on the caller.
+  pool.parallel_for(100, [&](std::size_t i) { sum += i; });
+  EXPECT_EQ(sum, 4950u);
+}
+
+TEST(ThreadPoolTest, ZeroCountIsANoop) {
+  ThreadPool pool(3);
+  bool ran = false;
+  pool.parallel_for(0, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPoolTest, NestedParallelForRunsInlineWithoutDeadlock) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> touched(64);
+  pool.parallel_for(8, [&](std::size_t outer) {
+    pool.parallel_for(8, [&](std::size_t inner) {
+      ++touched[outer * 8 + inner];
+    });
+  });
+  for (std::size_t i = 0; i < touched.size(); ++i) {
+    EXPECT_EQ(touched[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, PropagatesExceptionsAndStaysUsable) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(100,
+                                 [&](std::size_t i) {
+                                   if (i == 37) {
+                                     throw std::runtime_error("boom");
+                                   }
+                                 }),
+               std::runtime_error);
+
+  // The pool must survive a throwing job.
+  std::atomic<std::size_t> count{0};
+  pool.parallel_for(50, [&](std::size_t) { ++count; });
+  EXPECT_EQ(count.load(), 50u);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossManyJobs) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<std::uint64_t> sum{0};
+    pool.parallel_for(64, [&](std::size_t i) { sum += i; });
+    EXPECT_EQ(sum.load(), 2016u) << "round " << round;
+  }
+}
+
+// ---------------------------------------------------------------------
+// LineAddressSet
+
+TEST(LineAddressSetTest, MatchesSetSemantics) {
+  LineAddressSet set;
+  EXPECT_EQ(set.size(), 0u);
+  EXPECT_FALSE(set.contains(0));
+  EXPECT_TRUE(set.insert(0));
+  EXPECT_FALSE(set.insert(0));
+  EXPECT_TRUE(set.contains(0));
+  // Spread across words, including a large address forcing growth.
+  EXPECT_TRUE(set.insert(63));
+  EXPECT_TRUE(set.insert(64));
+  EXPECT_TRUE(set.insert(1u << 20));
+  EXPECT_FALSE(set.insert(1u << 20));
+  EXPECT_EQ(set.size(), 4u);
+  EXPECT_FALSE(set.contains(65));
+  set.clear();
+  EXPECT_EQ(set.size(), 0u);
+  EXPECT_FALSE(set.contains(63));
+  EXPECT_TRUE(set.insert(63));
+}
+
+// ---------------------------------------------------------------------
+// Single-pass multi-configuration simulation
+
+void expect_stats_identical(const CacheStats& multi, const CacheStats& ref,
+                            const std::string& label) {
+  EXPECT_EQ(multi.accesses, ref.accesses) << label;
+  EXPECT_EQ(multi.hits, ref.hits) << label;
+  EXPECT_EQ(multi.misses, ref.misses) << label;
+  EXPECT_EQ(multi.read_misses, ref.read_misses) << label;
+  EXPECT_EQ(multi.write_misses, ref.write_misses) << label;
+  EXPECT_EQ(multi.compulsory_misses, ref.compulsory_misses) << label;
+  EXPECT_EQ(multi.evictions, ref.evictions) << label;
+  EXPECT_EQ(multi.writebacks, ref.writebacks) << label;
+  EXPECT_EQ(multi.writethroughs, ref.writethroughs) << label;
+  EXPECT_EQ(multi.prefetch_fills, ref.prefetch_fills) << label;
+}
+
+TEST(MultiSimTest, SupportsOnlyTheLruWriteBackDefaults) {
+  EXPECT_TRUE(multi_sim_supported(CacheOptions{}));
+  CacheOptions fifo;
+  fifo.replacement = ReplacementPolicy::kFifo;
+  EXPECT_FALSE(multi_sim_supported(fifo));
+  CacheOptions random;
+  random.replacement = ReplacementPolicy::kRandom;
+  EXPECT_FALSE(multi_sim_supported(random));
+  CacheOptions wt;
+  wt.write = WritePolicy::kWriteThroughNoAllocate;
+  EXPECT_FALSE(multi_sim_supported(wt));
+  CacheOptions pf;
+  pf.next_line_prefetch = true;
+  EXPECT_FALSE(multi_sim_supported(pf));
+}
+
+TEST(MultiSimTest, BitIdenticalToReferenceCacheOnKernelTraces) {
+  const std::vector<CacheConfig>& configs = DesignSpace::all();
+  ASSERT_EQ(configs.size(), 18u);
+
+  // A cross-domain sample of real kernels at reduced scale.
+  const std::vector<std::unique_ptr<Kernel>> kernels =
+      make_standard_kernels(0.25);
+  ASSERT_GE(kernels.size(), 6u);
+  const std::size_t kernel_ids[] = {0, 3, 7, 11, 14, kernels.size() - 1};
+
+  for (std::size_t k : kernel_ids) {
+    const KernelExecution exec = execute(*kernels[k], 42 + k);
+    ASSERT_FALSE(exec.trace.empty());
+    const std::vector<CacheSimResult> multi =
+        simulate_trace_multi(exec.trace, configs);
+    ASSERT_EQ(multi.size(), configs.size());
+    for (std::size_t c = 0; c < configs.size(); ++c) {
+      const CacheSimResult ref = simulate_trace(exec.trace, configs[c]);
+      expect_stats_identical(multi[c].stats, ref.stats,
+                             kernels[k]->name() + "/" + configs[c].name());
+    }
+  }
+}
+
+TEST(MultiSimTest, HandlesArbitraryConfigSubsetsAndOrder) {
+  const std::vector<std::unique_ptr<Kernel>> kernels =
+      make_standard_kernels(0.25);
+  const KernelExecution exec = execute(*kernels[2], 7);
+
+  // Reversed design space plus duplicates: result i must still match
+  // configs[i] exactly.
+  std::vector<CacheConfig> configs(DesignSpace::all().rbegin(),
+                                   DesignSpace::all().rend());
+  configs.push_back(configs.front());
+  const std::vector<CacheSimResult> multi =
+      simulate_trace_multi(exec.trace, configs);
+  ASSERT_EQ(multi.size(), configs.size());
+  for (std::size_t c = 0; c < configs.size(); ++c) {
+    const CacheSimResult ref = simulate_trace(exec.trace, configs[c]);
+    expect_stats_identical(multi[c].stats, ref.stats, configs[c].name());
+  }
+}
+
+// ---------------------------------------------------------------------
+// Suite determinism across build paths and thread counts
+
+SuiteOptions small_suite_options() {
+  SuiteOptions options;
+  options.kernel_scale = 0.25;
+  options.variants_per_kernel = 2;
+  return options;
+}
+
+void expect_profiles_identical(const BenchmarkProfile& a,
+                               const BenchmarkProfile& b) {
+  EXPECT_EQ(a.instance.name, b.instance.name);
+  EXPECT_EQ(a.instance.kernel_index, b.instance.kernel_index);
+  EXPECT_EQ(a.instance.data_seed, b.instance.data_seed);
+  EXPECT_EQ(a.instance.domain, b.instance.domain);
+  EXPECT_EQ(a.counters.loads, b.counters.loads);
+  EXPECT_EQ(a.counters.stores, b.counters.stores);
+  EXPECT_EQ(a.counters.branches, b.counters.branches);
+  EXPECT_EQ(a.counters.taken_branches, b.counters.taken_branches);
+  EXPECT_EQ(a.counters.int_ops, b.counters.int_ops);
+  EXPECT_EQ(a.counters.fp_ops, b.counters.fp_ops);
+  EXPECT_EQ(a.footprint_bytes, b.footprint_bytes);
+
+  const auto sa = a.base_statistics.to_vector();
+  const auto sb = b.base_statistics.to_vector();
+  for (std::size_t i = 0; i < sa.size(); ++i) {
+    // Bit-identical, not approximately equal.
+    EXPECT_EQ(sa[i], sb[i]) << a.instance.name << " statistic " << i;
+  }
+
+  ASSERT_EQ(a.per_config.size(), b.per_config.size());
+  for (std::size_t c = 0; c < a.per_config.size(); ++c) {
+    const ConfigProfile& pa = a.per_config[c];
+    const ConfigProfile& pb = b.per_config[c];
+    EXPECT_EQ(pa.config.name(), pb.config.name());
+    expect_stats_identical(pa.cache, pb.cache,
+                           a.instance.name + "/" + pa.config.name());
+    EXPECT_EQ(pa.energy.miss_cycles, pb.energy.miss_cycles);
+    EXPECT_EQ(pa.energy.total_cycles, pb.energy.total_cycles);
+    EXPECT_EQ(pa.energy.static_energy.value(), pb.energy.static_energy.value());
+    EXPECT_EQ(pa.energy.dynamic_energy.value(),
+              pb.energy.dynamic_energy.value());
+    EXPECT_EQ(pa.energy.cpu_energy.value(), pb.energy.cpu_energy.value());
+  }
+}
+
+void expect_suites_identical(const CharacterizedSuite& a,
+                             const CharacterizedSuite& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    expect_profiles_identical(a.benchmark(i), b.benchmark(i));
+  }
+}
+
+TEST(SuiteDeterminismTest, FastPathMatchesSerialReferenceForAnyThreadCount) {
+  const EnergyModel model{CactiModel{}, EnergyModelParams{}};
+  const SuiteOptions options = small_suite_options();
+
+  const CharacterizedSuite reference =
+      CharacterizedSuite::build_reference(model, options);
+
+  ThreadPool one(1);
+  ThreadPool four(4);
+  const CharacterizedSuite serial =
+      CharacterizedSuite::build(model, options, one);
+  const CharacterizedSuite pooled =
+      CharacterizedSuite::build(model, options, four);
+
+  expect_suites_identical(reference, serial);
+  expect_suites_identical(serial, pooled);
+}
+
+// ---------------------------------------------------------------------
+// Profile cache snapshots
+
+TEST(ProfileCacheTest, SnapshotRoundTripIsBitIdentical) {
+  const EnergyModel model{CactiModel{}, EnergyModelParams{}};
+  const SuiteOptions options = small_suite_options();
+  const CharacterizedSuite suite = CharacterizedSuite::build(model, options);
+  const std::uint64_t key = suite_cache_key(options, model);
+
+  std::stringstream stream;
+  save_suite_snapshot(stream, suite, key);
+  const CharacterizedSuite loaded = load_suite_snapshot(stream, key);
+  expect_suites_identical(suite, loaded);
+}
+
+TEST(ProfileCacheTest, KeySeparatesCharacterisationInputs) {
+  const EnergyModel model{CactiModel{}, EnergyModelParams{}};
+  const SuiteOptions options = small_suite_options();
+  const std::uint64_t key = suite_cache_key(options, model);
+
+  SuiteOptions other_variants = options;
+  other_variants.variants_per_kernel = 3;
+  EXPECT_NE(suite_cache_key(other_variants, model), key);
+
+  SuiteOptions other_scale = options;
+  other_scale.kernel_scale = 0.5;
+  EXPECT_NE(suite_cache_key(other_scale, model), key);
+
+  SuiteOptions other_seed = options;
+  other_seed.seed_base = 2000;
+  EXPECT_NE(suite_cache_key(other_seed, model), key);
+
+  EnergyModelParams hot_params;
+  hot_params.static_fraction = 0.2;
+  const EnergyModel hot{CactiModel{}, hot_params};
+  EXPECT_NE(suite_cache_key(options, hot), key);
+}
+
+TEST(ProfileCacheTest, RejectsStaleKey) {
+  const EnergyModel model{CactiModel{}, EnergyModelParams{}};
+  const SuiteOptions options = small_suite_options();
+  const CharacterizedSuite suite = CharacterizedSuite::build(model, options);
+  const std::uint64_t key = suite_cache_key(options, model);
+
+  std::stringstream stream;
+  save_suite_snapshot(stream, suite, key);
+  EXPECT_THROW(load_suite_snapshot(stream, key ^ 1), std::runtime_error);
+}
+
+TEST(ProfileCacheTest, RejectsCorruptedBody) {
+  const EnergyModel model{CactiModel{}, EnergyModelParams{}};
+  const SuiteOptions options = small_suite_options();
+  const CharacterizedSuite suite = CharacterizedSuite::build(model, options);
+  const std::uint64_t key = suite_cache_key(options, model);
+
+  std::stringstream clean;
+  save_suite_snapshot(clean, suite, key);
+  std::string body = clean.str();
+  // Flip one digit somewhere in the middle of the payload.
+  const std::size_t pos = body.size() / 2;
+  body[pos] = body[pos] == '7' ? '8' : '7';
+
+  std::istringstream corrupted(body);
+  EXPECT_THROW(load_suite_snapshot(corrupted, key), std::runtime_error);
+}
+
+TEST(ProfileCacheTest, RejectsGarbageInput) {
+  std::istringstream garbage("not a snapshot at all\n");
+  EXPECT_THROW(load_suite_snapshot(garbage, 1), std::runtime_error);
+  std::istringstream empty("");
+  EXPECT_THROW(load_suite_snapshot(empty, 1), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace hetsched

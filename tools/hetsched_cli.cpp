@@ -20,6 +20,10 @@
 //   --discipline D       fifo | edf | priority       (default fifo)
 //   --slack X            deadline slack factor; assigns deadlines when set
 //   --load FILE          use a saved predictor snapshot instead of training
+//   --threads N          worker threads for characterisation/training/runs
+//                        (default: HETSCHED_THREADS or all hardware threads)
+//   --profile-cache FILE serve characterisation from this snapshot, building
+//                        and refreshing it when missing or stale
 //   --fault-plan FILE    inject faults from a fault-plan file
 //   --fault-rate P       uniform fault rate for all rate-driven faults
 //   --fault-seed N       fault-decision seed (default 1)
@@ -38,6 +42,7 @@
 #include "experiment/experiment.hpp"
 #include "fault/fault_injector.hpp"
 #include "util/table_printer.hpp"
+#include "util/thread_pool.hpp"
 
 namespace {
 
@@ -71,6 +76,11 @@ struct CliOptions {
       "  --kernel NAME   (characterize) single-kernel sweep\n"
       "  --save FILE     (train) persist the predictor snapshot\n"
       "  --load FILE     use a saved predictor snapshot\n"
+      "  --threads N     worker threads (default: HETSCHED_THREADS or all\n"
+      "                  hardware threads)\n"
+      "  --profile-cache FILE\n"
+      "                  persistent characterisation snapshot to load or\n"
+      "                  refresh\n"
       "  --fault-plan F  inject faults from a fault-plan file\n"
       "  --fault-rate P  uniform rate in [0,1] for reconfig failures,\n"
       "                  stuck jobs and counter corruption\n"
@@ -144,6 +154,15 @@ CliOptions parse(int argc, char** argv) {
       options.save_path = next();
     } else if (flag == "--load") {
       options.load_path = next();
+    } else if (flag == "--threads") {
+      const std::uint64_t threads = parse_count(flag, next(), 1);
+      if (threads > 256) {
+        usage(flag + " must be at most 256, got " +
+              std::to_string(threads));
+      }
+      ThreadPool::set_global_threads(static_cast<std::size_t>(threads));
+    } else if (flag == "--profile-cache") {
+      options.experiment.profile_cache_path = next();
     } else if (flag == "--fault-plan") {
       options.fault_plan_path = next();
     } else if (flag == "--fault-rate") {
@@ -381,20 +400,23 @@ int cmd_run_or_compare(const CliOptions& options) {
     return 0;
   }
 
-  // compare
-  const SimulationResult base = run_system("base");
+  // compare: the four systems are independent (fresh simulator, policy
+  // and fault injector each), so they fan out over the shared pool.
+  const std::vector<std::string> names = {"base", "optimal",
+                                          "energy-centric", "proposed"};
+  std::vector<SimulationResult> results(names.size());
+  ThreadPool::global().parallel_for(names.size(), [&](std::size_t i) {
+    results[i] = run_system(names[i]);
+  });
+  const SimulationResult& base = results[0];
   TablePrinter table({"system", "idle", "dynamic", "total", "cycles"});
-  auto add = [&](const std::string& name, const SimulationResult& r) {
-    const NormalizedEnergy n = normalize(r, base);
-    table.add_row({name, TablePrinter::num(n.idle, 2),
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    const NormalizedEnergy n = normalize(results[i], base);
+    table.add_row({names[i], TablePrinter::num(n.idle, 2),
                    TablePrinter::num(n.dynamic, 2),
                    TablePrinter::num(n.total, 2),
                    TablePrinter::num(n.cycles, 2)});
-  };
-  add("base", base);
-  add("optimal", run_system("optimal"));
-  add("energy-centric", run_system("energy-centric"));
-  add("proposed", run_system("proposed"));
+  }
   std::cout << "normalised to the base system ("
             << arrivals.size() << " arrivals, seed "
             << options.experiment.seed << "):\n";
