@@ -90,10 +90,12 @@ int main() {
                      std::to_string(r.faults.watchdog_fires),
                      std::to_string(r.faults.degraded_executions),
                      std::to_string(r.faults.prediction_fallbacks)});
-      csv.add_row({TablePrinter::num(rate, 4), name,
+      // CSVs are machine-read: full round-trippable precision, not the
+      // rounded console-table values.
+      csv.add_row({CsvWriter::number(rate), name,
                    std::to_string(r.completed_jobs),
-                   TablePrinter::num(fraction, 4),
-                   TablePrinter::num(r.total_energy().millijoules(), 3),
+                   CsvWriter::number(fraction),
+                   CsvWriter::number(r.total_energy().millijoules()),
                    std::to_string(r.makespan),
                    std::to_string(r.faults.injected),
                    std::to_string(r.faults.watchdog_fires),

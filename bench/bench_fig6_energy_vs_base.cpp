@@ -55,9 +55,10 @@ int main() {
                 {"system", "idle", "dynamic", "total"});
   for (const SystemRun* run : {&optimal, &ec, &proposed}) {
     const NormalizedEnergy n = normalize(run->result, base.result);
-    csv.add_row({run->name, TablePrinter::num(n.idle, 4),
-                 TablePrinter::num(n.dynamic, 4),
-                 TablePrinter::num(n.total, 4)});
+    // CSVs are machine-read: full round-trippable precision, not the
+    // rounded console-table values.
+    csv.add_row({run->name, CsvWriter::number(n.idle),
+                 CsvWriter::number(n.dynamic), CsvWriter::number(n.total)});
   }
 
   std::cout << "\nAbsolute totals (mJ): base "

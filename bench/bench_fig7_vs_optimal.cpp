@@ -52,11 +52,12 @@ int main() {
                  "makespan"});
   for (const SystemRun* run : {&ec, &proposed}) {
     const NormalizedEnergy n = normalize(run->result, optimal.result);
-    csv.add_row({run->name, TablePrinter::num(n.cycles, 4),
-                 TablePrinter::num(n.idle, 4),
-                 TablePrinter::num(n.dynamic, 4),
-                 TablePrinter::num(n.total, 4),
-                 TablePrinter::num(n.makespan, 4)});
+    // CSVs are machine-read: full round-trippable precision, not the
+    // rounded console-table values.
+    csv.add_row({run->name, CsvWriter::number(n.cycles),
+                 CsvWriter::number(n.idle), CsvWriter::number(n.dynamic),
+                 CsvWriter::number(n.total),
+                 CsvWriter::number(n.makespan)});
   }
 
   std::cout << "\nExecution-cycle totals (G cycles): optimal "

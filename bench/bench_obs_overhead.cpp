@@ -1,0 +1,118 @@
+// Performance: observability overhead.
+//
+// The observability layer must be zero-cost when disabled (no observer,
+// no probe — the hot paths see one null check) and cheap when enabled.
+// This bench times the proposed system over the quick-scale stream in
+// three modes:
+//
+//   disabled : no observer, no probe (the default production path)
+//   metrics  : EventTracer attached, counters/histogram maintained
+//   full     : tracer + metrics + global ProbeRecorder installed
+//
+// and verifies that enabling observability does not change a single
+// simulation output (energy, makespan, completions are compared against
+// the disabled run). Results go to BENCH_obs_overhead.json.
+#include <chrono>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <string>
+
+#include "experiment/experiment.hpp"
+#include "obs/observability.hpp"
+#include "util/contracts.hpp"
+#include "util/table_printer.hpp"
+
+namespace {
+
+double time_ms(const std::function<void()>& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  fn();
+  const auto stop = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(stop - start).count();
+}
+
+}  // namespace
+
+int main() {
+  using namespace hetsched;
+
+  ExperimentOptions options = ExperimentOptions::quick();
+  options.arrivals.count = 1000;
+  Experiment experiment(options);
+
+  const int kRepeats = 5;
+
+  // Reference outputs + disabled-path timing.
+  SystemRun reference;
+  const double disabled_ms = time_ms([&] {
+    for (int i = 0; i < kRepeats; ++i) reference = experiment.run_proposed();
+  });
+
+  // Tracer + metrics registry attached to the simulator.
+  SystemRun traced;
+  std::size_t trace_events = 0;
+  const double metrics_ms = time_ms([&] {
+    for (int i = 0; i < kRepeats; ++i) {
+      MetricsRegistry metrics;
+      EventTracer tracer(&metrics);
+      traced = experiment.run_proposed(&tracer);
+      trace_events = tracer.events().size();
+    }
+  });
+
+  // Tracer + metrics + the global runtime probe installed.
+  SystemRun full;
+  const double full_ms = time_ms([&] {
+    for (int i = 0; i < kRepeats; ++i) {
+      MetricsRegistry metrics;
+      EventTracer tracer(&metrics);
+      EventTracer runtime;
+      ProbeRecorder recorder(metrics, &runtime);
+      ScopedProbe probe(&recorder);
+      full = experiment.run_proposed(&tracer);
+      record_result_metrics(metrics, "proposed.", full.result);
+    }
+  });
+
+  // Observability must not perturb the simulation.
+  auto same = [&](const SystemRun& run) {
+    HETSCHED_REQUIRE(run.result.total_energy().value() ==
+                     reference.result.total_energy().value());
+    HETSCHED_REQUIRE(run.result.makespan == reference.result.makespan);
+    HETSCHED_REQUIRE(run.result.completed_jobs ==
+                     reference.result.completed_jobs);
+  };
+  same(traced);
+  same(full);
+
+  std::cout << "=== Observability overhead (proposed system, "
+            << options.arrivals.count << " arrivals, " << kRepeats
+            << " repeats) ===\n\n";
+  TablePrinter table({"mode", "wall ms", "vs disabled"});
+  auto add = [&](const std::string& name, double ms) {
+    table.add_row({name, TablePrinter::num(ms, 1),
+                   TablePrinter::num(ms / disabled_ms, 3) + "x"});
+  };
+  add("disabled", disabled_ms);
+  add("tracer + metrics", metrics_ms);
+  add("tracer + metrics + probe", full_ms);
+  table.print(std::cout);
+  std::cout << "\nTrace events per run: " << trace_events
+            << "\nSimulation outputs identical across all modes.\n";
+
+  std::ofstream json("BENCH_obs_overhead.json");
+  json << "{\n"
+       << "  \"benchmark\": \"obs_overhead\",\n"
+       << "  \"arrivals\": " << options.arrivals.count << ",\n"
+       << "  \"repeats\": " << kRepeats << ",\n"
+       << "  \"trace_events_per_run\": " << trace_events << ",\n"
+       << "  \"disabled_ms\": " << disabled_ms << ",\n"
+       << "  \"metrics_ms\": " << metrics_ms << ",\n"
+       << "  \"full_ms\": " << full_ms << ",\n"
+       << "  \"metrics_overhead\": " << metrics_ms / disabled_ms << ",\n"
+       << "  \"full_overhead\": " << full_ms / disabled_ms << "\n"
+       << "}\n";
+  std::cout << "Results written to BENCH_obs_overhead.json\n";
+  return 0;
+}

@@ -5,6 +5,7 @@
 #include <ostream>
 
 #include "core/simulator.hpp"
+#include "util/contracts.hpp"
 
 namespace hetsched {
 
@@ -27,9 +28,11 @@ bool ScheduleLog::well_formed() const {
 std::vector<Cycles> ScheduleLog::busy_cycles(std::size_t core_count) const {
   std::vector<Cycles> busy(core_count, 0);
   for (const ScheduledSlice& slice : slices_) {
-    if (slice.core < core_count) {
-      busy[slice.core] += slice.end - slice.start;
-    }
+    // A slice on a core the caller does not know about means either the
+    // caller passed the wrong core count or the simulator mis-attributed
+    // a slice; silently dropping it would hide the accounting bug.
+    HETSCHED_REQUIRE(slice.core < core_count);
+    busy[slice.core] += slice.end - slice.start;
   }
   return busy;
 }

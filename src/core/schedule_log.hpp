@@ -43,12 +43,59 @@ struct FaultRecord {
 
 std::string_view to_string(FaultRecord::Kind kind);
 
+// A job entering execution on a core (the moment the dispatch decision
+// took effect, before the execution's completion is known).
+struct DispatchEvent {
+  SimTime time = 0;  // decision time; execution starts at time + backoff
+  std::size_t core = 0;
+  std::uint64_t job_id = 0;
+  std::size_t benchmark_id = 0;
+  ExecutionKind kind = ExecutionKind::kNormal;
+  Cycles backoff = 0;    // reconfiguration-retry wait before first cycle
+  Cycles duration = 0;   // planned busy window (watchdog timeout if hung)
+  bool hung = false;     // injected stuck execution
+};
+
+// One reconfiguration attempt (fault-free runs emit exactly one
+// successful attempt per configuration change).
+struct ReconfigEvent {
+  SimTime time = 0;
+  std::size_t core = 0;
+  std::uint64_t job_id = 0;
+  std::uint32_t attempt = 0;  // 0 = first try
+  bool success = true;
+  Cycles backoff_wait = 0;  // wait charged before the *next* attempt
+};
+
+// A closed idle interval on one core (emitted when the interval ends).
+struct IdleEvent {
+  std::size_t core = 0;
+  SimTime from = 0;
+  SimTime to = 0;
+};
+
+// A preemption: the victim's executed portion (if any) is reported
+// separately through on_slice with completed == false.
+struct PreemptEvent {
+  SimTime time = 0;
+  std::size_t core = 0;
+  std::uint64_t job_id = 0;  // the victim
+  bool was_hung = false;     // wedged victim: no slice was emitted
+};
+
 class ScheduleObserver {
  public:
   virtual ~ScheduleObserver() = default;
   virtual void on_slice(const ScheduledSlice& slice) = 0;
-  // Fault notifications are optional; the default ignores them.
+  // Every other notification is optional; defaults ignore them. All
+  // callbacks fire on the simulation thread in event order, keyed on
+  // SimTime — never wall clock — so any recording observer is
+  // deterministic across runs and thread counts.
   virtual void on_fault(const FaultRecord& record) { (void)record; }
+  virtual void on_dispatch(const DispatchEvent& event) { (void)event; }
+  virtual void on_reconfig(const ReconfigEvent& event) { (void)event; }
+  virtual void on_idle(const IdleEvent& event) { (void)event; }
+  virtual void on_preempt(const PreemptEvent& event) { (void)event; }
 };
 
 class ScheduleLog final : public ScheduleObserver {

@@ -73,6 +73,9 @@ void MulticoreSimulator::accrue_idle(std::size_t core, SimTime until) {
     const double idle_cycles = static_cast<double>(until - c.idle_since);
     result_.idle_energy +=
         energy_.idle_per_cycle(c.current_config) * idle_cycles;
+    if (observer_ != nullptr) {
+      observer_->on_idle(IdleEvent{core, c.idle_since, until});
+    }
     c.idle_since = until;
   }
 }
@@ -95,6 +98,10 @@ Cycles MulticoreSimulator::reconfigure_with_retries(
     charge_flush();
     ++result_.reconfigurations;
     core.current_config = wanted;
+    if (observer_ != nullptr) {
+      observer_->on_reconfig(
+          ReconfigEvent{now, core_index, job_id, 0, true, 0});
+    }
     return 0;
   }
 
@@ -110,13 +117,22 @@ Cycles MulticoreSimulator::reconfigure_with_retries(
                                    static_cast<int>(attempt))) {
       ++result_.reconfigurations;
       core.current_config = wanted;
+      if (observer_ != nullptr) {
+        observer_->on_reconfig(
+            ReconfigEvent{now, core_index, job_id, attempt, true, 0});
+      }
       return backoff;
     }
     ++result_.faults.injected;
     ++result_.faults.reconfig_failures;
     record_fault(FaultRecord::Kind::kReconfigFailure, now, core_index,
                  job_id);
-    if (attempt < resilience_.reconfig_max_retries) {
+    const bool retries = attempt < resilience_.reconfig_max_retries;
+    if (observer_ != nullptr) {
+      observer_->on_reconfig(ReconfigEvent{now, core_index, job_id, attempt,
+                                           false, retries ? wait : 0});
+    }
+    if (retries) {
       backoff += wait;
       wait *= 2;
       ++result_.faults.reconfig_retries;
@@ -190,6 +206,12 @@ void MulticoreSimulator::start_execution(const Job& job,
   running_jobs_[decision.core] = job;
   started_at_[decision.core] = hangs ? now : now + backoff;
   hung_[decision.core] = hangs ? 1 : 0;
+
+  if (observer_ != nullptr) {
+    observer_->on_dispatch(DispatchEvent{
+        now, decision.core, job.job_id, job.benchmark_id, decision.exec,
+        backoff, hangs ? resilience_.watchdog_timeout : duration, hangs});
+  }
 
   completions_.push(Completion{core.busy_until, decision.core, job.job_id});
 }
@@ -315,6 +337,10 @@ void MulticoreSimulator::preempt_execution(std::size_t core_index,
     }
     ready_.push_front(running_jobs_[core_index]);
     ++result_.preemptions;
+    if (observer_ != nullptr) {
+      observer_->on_preempt(PreemptEvent{
+          now, core_index, running_jobs_[core_index].job_id, true});
+    }
     hung_[core_index] = 0;
     core.busy = false;
     core.idle_since = now;
@@ -339,6 +365,10 @@ void MulticoreSimulator::preempt_execution(std::size_t core_index,
   }
   ready_.push_front(victim);
   ++result_.preemptions;
+  if (observer_ != nullptr) {
+    observer_->on_preempt(PreemptEvent{now, core_index, victim.job_id,
+                                       false});
+  }
 
   core.busy = false;
   core.idle_since = now;

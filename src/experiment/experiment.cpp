@@ -78,9 +78,10 @@ Experiment::Experiment(const ExperimentOptions& options)
 }
 
 SystemRun Experiment::run_policy(const SystemConfig& system,
-                                 SchedulerPolicy& policy,
-                                 std::string name) const {
+                                 SchedulerPolicy& policy, std::string name,
+                                 ScheduleObserver* observer) const {
   MulticoreSimulator simulator(system, suite_, energy_, policy);
+  if (observer != nullptr) simulator.set_observer(observer);
   SystemRun run;
   run.name = std::move(name);
   run.result = simulator.run(arrivals_);
@@ -92,37 +93,46 @@ SystemRun Experiment::run_policy(const SystemConfig& system,
   return run;
 }
 
-SystemRun Experiment::run_base() const {
+SystemRun Experiment::run_base(ScheduleObserver* observer) const {
   BasePolicy policy;
-  return run_policy(SystemConfig::fixed_base(4), policy, "base");
+  return run_policy(SystemConfig::fixed_base(4), policy, "base", observer);
 }
 
-SystemRun Experiment::run_optimal() const {
+SystemRun Experiment::run_optimal(ScheduleObserver* observer) const {
   OptimalPolicy policy;
-  return run_policy(SystemConfig::paper_quadcore(), policy, "optimal");
+  return run_policy(SystemConfig::paper_quadcore(), policy, "optimal",
+                    observer);
 }
 
-SystemRun Experiment::run_energy_centric() const {
+SystemRun Experiment::run_energy_centric(ScheduleObserver* observer) const {
   EnergyCentricPolicy policy(*predictor_);
   return run_policy(SystemConfig::paper_quadcore(), policy,
-                    "energy-centric");
+                    "energy-centric", observer);
 }
 
-SystemRun Experiment::run_proposed() const {
+SystemRun Experiment::run_proposed(ScheduleObserver* observer) const {
   ProposedPolicy policy(*predictor_);
-  return run_policy(SystemConfig::paper_quadcore(), policy, "proposed");
+  return run_policy(SystemConfig::paper_quadcore(), policy, "proposed",
+                    observer);
 }
 
 Experiment::StandardRuns Experiment::run_standard_systems() const {
+  return run_standard_systems(StandardObservers{});
+}
+
+Experiment::StandardRuns Experiment::run_standard_systems(
+    const StandardObservers& observers) const {
   StandardRuns runs;
   SystemRun* const slots[4] = {&runs.base, &runs.optimal,
                                &runs.energy_centric, &runs.proposed};
   ThreadPool::global().parallel_for(4, [&](std::size_t i) {
     switch (i) {
-      case 0: *slots[0] = run_base(); break;
-      case 1: *slots[1] = run_optimal(); break;
-      case 2: *slots[2] = run_energy_centric(); break;
-      default: *slots[3] = run_proposed(); break;
+      case 0: *slots[0] = run_base(observers.base); break;
+      case 1: *slots[1] = run_optimal(observers.optimal); break;
+      case 2:
+        *slots[2] = run_energy_centric(observers.energy_centric);
+        break;
+      default: *slots[3] = run_proposed(observers.proposed); break;
     }
   });
   return runs;

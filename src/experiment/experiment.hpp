@@ -81,11 +81,12 @@ class Experiment {
   }
 
   // The four systems of Section V. Each runs the identical arrival stream
-  // on a fresh machine.
-  SystemRun run_base() const;
-  SystemRun run_optimal() const;
-  SystemRun run_energy_centric() const;
-  SystemRun run_proposed() const;
+  // on a fresh machine. An optional observer (ScheduleLog, EventTracer)
+  // receives that run's schedule events.
+  SystemRun run_base(ScheduleObserver* observer = nullptr) const;
+  SystemRun run_optimal(ScheduleObserver* observer = nullptr) const;
+  SystemRun run_energy_centric(ScheduleObserver* observer = nullptr) const;
+  SystemRun run_proposed(ScheduleObserver* observer = nullptr) const;
 
   // All four Section-V systems, fanned out over the shared thread pool.
   // The runs are independent (fresh simulator and policy each, read-only
@@ -97,7 +98,17 @@ class Experiment {
     SystemRun energy_centric;
     SystemRun proposed;
   };
+  // One optional observer per system; each receives only its own run's
+  // events (on that run's simulation thread), so per-run recorders need
+  // no synchronisation and their contents are thread-count independent.
+  struct StandardObservers {
+    ScheduleObserver* base = nullptr;
+    ScheduleObserver* optimal = nullptr;
+    ScheduleObserver* energy_centric = nullptr;
+    ScheduleObserver* proposed = nullptr;
+  };
   StandardRuns run_standard_systems() const;
+  StandardRuns run_standard_systems(const StandardObservers& observers) const;
 
   // Ablation entry point: the proposed/energy-centric systems with an
   // arbitrary predictor (e.g. OracleSizePredictor).
@@ -108,7 +119,8 @@ class Experiment {
 
  private:
   SystemRun run_policy(const SystemConfig& system, SchedulerPolicy& policy,
-                       std::string name) const;
+                       std::string name,
+                       ScheduleObserver* observer = nullptr) const;
 
   ExperimentOptions options_;
   EnergyModel energy_;

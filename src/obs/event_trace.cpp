@@ -1,0 +1,155 @@
+#include "obs/event_trace.hpp"
+
+#include <ostream>
+
+#include "obs/metrics.hpp"
+
+namespace hetsched {
+namespace {
+
+std::string u64(std::uint64_t v) { return std::to_string(v); }
+
+}  // namespace
+
+EventTracer::EventTracer(MetricsRegistry* metrics,
+                         const std::string& prefix)
+    : metrics_(metrics) {
+  if (metrics_ == nullptr) return;
+  dispatches_ = &metrics_->counter(prefix + "dispatches");
+  slices_ = &metrics_->counter(prefix + "slices");
+  completed_slices_ = &metrics_->counter(prefix + "completed_slices");
+  preempted_slices_ = &metrics_->counter(prefix + "preempted_slices");
+  preemptions_ = &metrics_->counter(prefix + "preemptions");
+  reconfig_attempts_ = &metrics_->counter(prefix + "reconfig_attempts");
+  reconfig_failures_ = &metrics_->counter(prefix + "reconfig_failures");
+  idle_intervals_ = &metrics_->counter(prefix + "idle_intervals");
+  idle_cycles_ = &metrics_->counter(prefix + "idle_cycles");
+  faults_ = &metrics_->counter(prefix + "faults");
+  watchdog_fires_ = &metrics_->counter(prefix + "watchdog_fires");
+  slice_cycles_ =
+      &metrics_->histogram(prefix + "slice_cycles", 0.0, 1e6, 20);
+}
+
+void EventTracer::on_slice(const ScheduledSlice& slice) {
+  events_.push_back(TraceEvent{
+      'X', std::string("exec:") + std::string(to_string(slice.kind)),
+      slice.start, slice.end - slice.start,
+      static_cast<std::uint32_t>(slice.core),
+      {{"job", u64(slice.job_id)},
+       {"benchmark", u64(slice.benchmark_id)},
+       {"config", slice.config.name()},
+       {"completed", slice.completed ? "1" : "0"}}});
+  if (metrics_ == nullptr) return;
+  slices_->add();
+  (slice.completed ? completed_slices_ : preempted_slices_)->add();
+  slice_cycles_->record(static_cast<double>(slice.end - slice.start));
+}
+
+void EventTracer::on_fault(const FaultRecord& record) {
+  events_.push_back(TraceEvent{
+      'i', std::string("fault:") + std::string(to_string(record.kind)),
+      record.time, 0, static_cast<std::uint32_t>(record.core),
+      {{"job", u64(record.job_id)}}});
+  if (metrics_ == nullptr) return;
+  faults_->add();
+  if (record.kind == FaultRecord::Kind::kWatchdogFire) {
+    watchdog_fires_->add();
+  }
+}
+
+void EventTracer::on_dispatch(const DispatchEvent& event) {
+  events_.push_back(TraceEvent{
+      'i', "dispatch", event.time, 0,
+      static_cast<std::uint32_t>(event.core),
+      {{"job", u64(event.job_id)},
+       {"benchmark", u64(event.benchmark_id)},
+       {"kind", std::string(to_string(event.kind))},
+       {"backoff", u64(event.backoff)},
+       {"duration", u64(event.duration)},
+       {"hung", event.hung ? "1" : "0"}}});
+  if (dispatches_ != nullptr) dispatches_->add();
+}
+
+void EventTracer::on_reconfig(const ReconfigEvent& event) {
+  events_.push_back(TraceEvent{
+      'i', event.success ? "reconfig" : "reconfig-retry", event.time, 0,
+      static_cast<std::uint32_t>(event.core),
+      {{"job", u64(event.job_id)},
+       {"attempt", std::to_string(event.attempt)},
+       {"success", event.success ? "1" : "0"},
+       {"backoff_wait", u64(event.backoff_wait)}}});
+  if (metrics_ == nullptr) return;
+  reconfig_attempts_->add();
+  if (!event.success) reconfig_failures_->add();
+}
+
+void EventTracer::on_idle(const IdleEvent& event) {
+  events_.push_back(TraceEvent{'X', "idle", event.from,
+                               event.to - event.from,
+                               static_cast<std::uint32_t>(event.core),
+                               {}});
+  if (metrics_ == nullptr) return;
+  idle_intervals_->add();
+  idle_cycles_->add(event.to - event.from);
+}
+
+void EventTracer::on_preempt(const PreemptEvent& event) {
+  events_.push_back(TraceEvent{
+      'i', "preempt", event.time, 0,
+      static_cast<std::uint32_t>(event.core),
+      {{"job", u64(event.job_id)},
+       {"was_hung", event.was_hung ? "1" : "0"}}});
+  if (preemptions_ != nullptr) preemptions_->add();
+}
+
+void EventTracer::add_span(
+    std::string name, SimTime ts, SimTime dur, std::uint32_t tid,
+    std::vector<std::pair<std::string, std::string>> args) {
+  events_.push_back(
+      TraceEvent{'X', std::move(name), ts, dur, tid, std::move(args)});
+}
+
+void EventTracer::add_instant(
+    std::string name, SimTime ts, std::uint32_t tid,
+    std::vector<std::pair<std::string, std::string>> args) {
+  events_.push_back(
+      TraceEvent{'i', std::move(name), ts, 0, tid, std::move(args)});
+}
+
+void write_chrome_trace(
+    std::ostream& out,
+    std::span<const std::pair<std::string, const EventTracer*>> processes) {
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  const auto sep = [&] {
+    if (!first) out << ",";
+    first = false;
+    out << "\n";
+  };
+  for (std::size_t pid = 0; pid < processes.size(); ++pid) {
+    sep();
+    out << R"({"name":"process_name","ph":"M","pid":)" << pid
+        << R"(,"tid":0,"args":{"name":")"
+        << json_escape(processes[pid].first) << "\"}}";
+    for (const TraceEvent& event : processes[pid].second->events()) {
+      sep();
+      out << "{\"name\":\"" << json_escape(event.name) << "\",\"ph\":\""
+          << event.phase << "\",\"pid\":" << pid
+          << ",\"tid\":" << event.tid << ",\"ts\":" << event.ts;
+      if (event.phase == 'X') out << ",\"dur\":" << event.dur;
+      if (!event.args.empty()) {
+        out << ",\"args\":{";
+        for (std::size_t a = 0; a < event.args.size(); ++a) {
+          out << (a == 0 ? "" : ",") << "\""
+              << json_escape(event.args[a].first) << "\":\""
+              << json_escape(event.args[a].second) << "\"";
+        }
+        out << "}";
+      }
+      out << "}";
+    }
+  }
+  out << "\n],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+}  // namespace hetsched

@@ -1,0 +1,91 @@
+// Structured event tracer: records every simulator emit point (slices,
+// dispatches, preemptions, reconfiguration attempts, idle intervals,
+// faults) plus runtime events (thread-pool job spans, profile-cache
+// hits/misses) and exports them as Chrome trace-event / Perfetto
+// compatible JSON.
+//
+// Determinism: every timestamp is SimTime (or a logical tick for
+// runtime events) — never wall clock — and events are appended in
+// simulation event order on the single simulation thread, so the
+// exported trace is byte-identical across runs and HETSCHED_THREADS
+// values. In the exported JSON one trace "microsecond" is one simulated
+// cycle; tid is the core index.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/schedule_log.hpp"
+#include "obs/metrics.hpp"
+
+namespace hetsched {
+
+struct TraceEvent {
+  // 'X' = complete (duration) event, 'i' = instant event.
+  char phase = 'X';
+  std::string name;
+  SimTime ts = 0;
+  SimTime dur = 0;  // phase 'X' only
+  std::uint32_t tid = 0;
+  // Rendered into the event's "args" object; values are emitted as JSON
+  // strings (escaped), keys in the given order.
+  std::vector<std::pair<std::string, std::string>> args;
+};
+
+// A ScheduleObserver that retains the full event stream. When a
+// MetricsRegistry is attached, the tracer also maintains counters and a
+// slice-duration histogram under `prefix` (registered at construction,
+// so registration order is the tracer construction order).
+class EventTracer final : public ScheduleObserver {
+ public:
+  explicit EventTracer(MetricsRegistry* metrics = nullptr,
+                       const std::string& prefix = "sim.");
+
+  void on_slice(const ScheduledSlice& slice) override;
+  void on_fault(const FaultRecord& record) override;
+  void on_dispatch(const DispatchEvent& event) override;
+  void on_reconfig(const ReconfigEvent& event) override;
+  void on_idle(const IdleEvent& event) override;
+  void on_preempt(const PreemptEvent& event) override;
+
+  // Direct appends for non-simulator tracks (pool spans, cache events).
+  void add_span(std::string name, SimTime ts, SimTime dur,
+                std::uint32_t tid,
+                std::vector<std::pair<std::string, std::string>> args = {});
+  void add_instant(std::string name, SimTime ts, std::uint32_t tid,
+                   std::vector<std::pair<std::string, std::string>> args =
+                       {});
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+
+ private:
+  std::vector<TraceEvent> events_;
+  MetricsRegistry* metrics_ = nullptr;
+  // Registered up front (null when metrics_ is null).
+  Counter* dispatches_ = nullptr;
+  Counter* slices_ = nullptr;
+  Counter* completed_slices_ = nullptr;
+  Counter* preempted_slices_ = nullptr;
+  Counter* preemptions_ = nullptr;
+  Counter* reconfig_attempts_ = nullptr;
+  Counter* reconfig_failures_ = nullptr;
+  Counter* idle_intervals_ = nullptr;
+  Counter* idle_cycles_ = nullptr;
+  Counter* faults_ = nullptr;
+  Counter* watchdog_fires_ = nullptr;
+  FixedHistogram* slice_cycles_ = nullptr;
+};
+
+// Renders one or more tracers as a single Chrome trace-event JSON
+// document: process i gets pid = i and a process_name metadata record,
+// events keep their append order. Byte-identical output for identical
+// event streams.
+void write_chrome_trace(
+    std::ostream& out,
+    std::span<const std::pair<std::string, const EventTracer*>> processes);
+
+}  // namespace hetsched

@@ -1,0 +1,143 @@
+#include "obs/metrics.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "util/contracts.hpp"
+#include "util/csv.hpp"
+
+namespace hetsched {
+
+FixedHistogram::FixedHistogram(double lo, double hi, std::size_t nbins)
+    : lo_(lo), hi_(hi),
+      width_((hi - lo) / static_cast<double>(nbins)),
+      buckets_(nbins, 0) {
+  HETSCHED_REQUIRE(std::isfinite(lo) && std::isfinite(hi) && lo < hi);
+  HETSCHED_REQUIRE(nbins > 0);
+}
+
+void FixedHistogram::record(double v) {
+  HETSCHED_REQUIRE(std::isfinite(v));
+  ++count_;
+  if (v < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (v >= hi_) {
+    ++overflow_;
+    return;
+  }
+  // v < hi_ bounds the quotient, but clamp anyway: FP round-up at the
+  // last bucket boundary must not index past the end.
+  const double scaled = std::min((v - lo_) / width_,
+                                 static_cast<double>(buckets_.size() - 1));
+  ++buckets_[static_cast<std::size_t>(scaled)];
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(name);
+  if (it != index_.end()) {
+    HETSCHED_REQUIRE(it->second.first == Kind::kCounter);
+    return *counters_[it->second.second].second;
+  }
+  index_.emplace(name, std::make_pair(Kind::kCounter, counters_.size()));
+  counters_.emplace_back(name, std::make_unique<Counter>());
+  return *counters_.back().second;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(name);
+  if (it != index_.end()) {
+    HETSCHED_REQUIRE(it->second.first == Kind::kGauge);
+    return *gauges_[it->second.second].second;
+  }
+  index_.emplace(name, std::make_pair(Kind::kGauge, gauges_.size()));
+  gauges_.emplace_back(name, std::make_unique<Gauge>());
+  return *gauges_.back().second;
+}
+
+FixedHistogram& MetricsRegistry::histogram(const std::string& name,
+                                           double lo, double hi,
+                                           std::size_t nbins) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(name);
+  if (it != index_.end()) {
+    HETSCHED_REQUIRE(it->second.first == Kind::kHistogram);
+    FixedHistogram& existing = *histograms_[it->second.second].second;
+    HETSCHED_REQUIRE(existing.lo() == lo && existing.hi() == hi &&
+                     existing.buckets().size() == nbins);
+    return existing;
+  }
+  index_.emplace(name, std::make_pair(Kind::kHistogram, histograms_.size()));
+  histograms_.emplace_back(name,
+                           std::make_unique<FixedHistogram>(lo, hi, nbins));
+  return *histograms_.back().second;
+}
+
+void MetricsRegistry::write_json(std::ostream& out) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  out << "{\n  \"counters\": {";
+  for (std::size_t i = 0; i < counters_.size(); ++i) {
+    out << (i == 0 ? "\n" : ",\n") << "    \""
+        << json_escape(counters_[i].first)
+        << "\": " << counters_[i].second->value();
+  }
+  out << (counters_.empty() ? "}" : "\n  }") << ",\n  \"gauges\": {";
+  for (std::size_t i = 0; i < gauges_.size(); ++i) {
+    out << (i == 0 ? "\n" : ",\n") << "    \""
+        << json_escape(gauges_[i].first)
+        << "\": " << CsvWriter::number(gauges_[i].second->value());
+  }
+  out << (gauges_.empty() ? "}" : "\n  }") << ",\n  \"histograms\": {";
+  for (std::size_t i = 0; i < histograms_.size(); ++i) {
+    const FixedHistogram& h = *histograms_[i].second;
+    out << (i == 0 ? "\n" : ",\n") << "    \""
+        << json_escape(histograms_[i].first) << "\": {\"lo\": "
+        << CsvWriter::number(h.lo())
+        << ", \"hi\": " << CsvWriter::number(h.hi())
+        << ", \"count\": " << h.count()
+        << ", \"underflow\": " << h.underflow()
+        << ", \"overflow\": " << h.overflow() << ", \"buckets\": [";
+    for (std::size_t b = 0; b < h.buckets().size(); ++b) {
+      out << (b == 0 ? "" : ", ") << h.buckets()[b];
+    }
+    out << "]}";
+  }
+  out << (histograms_.empty() ? "}" : "\n  }") << "\n}\n";
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::ostringstream out;
+  write_json(out);
+  return out.str();
+}
+
+std::string json_escape(std::string_view text) {
+  std::string escaped;
+  escaped.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': escaped += "\\\""; break;
+      case '\\': escaped += "\\\\"; break;
+      case '\n': escaped += "\\n"; break;
+      case '\r': escaped += "\\r"; break;
+      case '\t': escaped += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(c));
+          escaped += buf;
+        } else {
+          escaped += c;
+        }
+    }
+  }
+  return escaped;
+}
+
+}  // namespace hetsched

@@ -1,0 +1,110 @@
+// Metrics registry: named counters, gauges and fixed-bucket histograms
+// with deterministic registration order and snapshot-to-JSON export.
+//
+// Determinism contract: the JSON snapshot is a pure function of the
+// registered metrics and their values — keys appear in registration
+// order, doubles render at max_digits10 — so two runs that perform the
+// same work produce byte-identical snapshots regardless of thread count
+// (counters are atomic; the final sums are order-independent).
+//
+// Writer model: counters may be bumped from any thread; gauges and
+// histograms are single-writer (the simulation thread or the post-run
+// recording pass). Registration is mutex-protected and returns stable
+// references; register before fanning work out when names must have a
+// fixed order.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hetsched {
+
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void set(double v) { value_ = v; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+// Equal-width histogram over [lo, hi); samples outside the range land in
+// the underflow/overflow counters instead of being clamped silently.
+class FixedHistogram {
+ public:
+  FixedHistogram(double lo, double hi, std::size_t nbins);
+
+  void record(double v);  // v must be finite
+
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+  std::uint64_t count() const { return count_; }
+  std::uint64_t underflow() const { return underflow_; }
+  std::uint64_t overflow() const { return overflow_; }
+  const std::vector<std::uint64_t>& buckets() const { return buckets_; }
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t count_ = 0;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Registers on first use, returns the existing metric afterwards.
+  // Registering one name as two different kinds (or a histogram with
+  // different bounds) is a contract violation.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  FixedHistogram& histogram(const std::string& name, double lo, double hi,
+                            std::size_t nbins);
+
+  // Snapshot as JSON: {"counters": {...}, "gauges": {...},
+  // "histograms": {...}}, keys in registration order. Call after the
+  // instrumented work has quiesced.
+  void write_json(std::ostream& out) const;
+  std::string to_json() const;
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+
+  mutable std::mutex mutex_;
+  std::vector<std::pair<std::string, std::unique_ptr<Counter>>> counters_;
+  std::vector<std::pair<std::string, std::unique_ptr<Gauge>>> gauges_;
+  std::vector<std::pair<std::string, std::unique_ptr<FixedHistogram>>>
+      histograms_;
+  std::map<std::string, std::pair<Kind, std::size_t>> index_;
+};
+
+// JSON string escaping for metric/trace names and string values.
+std::string json_escape(std::string_view text);
+
+}  // namespace hetsched

@@ -1,0 +1,77 @@
+#include "obs/observability.hpp"
+
+namespace hetsched {
+
+ProbeRecorder::ProbeRecorder(MetricsRegistry& metrics, EventTracer* tracer)
+    : pool_jobs_(&metrics.counter("pool.jobs")),
+      pool_units_(&metrics.counter("pool.units")),
+      cache_hits_(&metrics.counter("profile_cache.hits")),
+      cache_misses_(&metrics.counter("profile_cache.misses")),
+      tracer_(tracer) {}
+
+void ProbeRecorder::on_pool_job(std::size_t unit_count) {
+  pool_jobs_->add();
+  pool_units_->add(unit_count);
+  if (tracer_ != nullptr) {
+    tracer_->add_span("pool_job", pool_clock_, unit_count, 0,
+                      {{"units", std::to_string(unit_count)}});
+  }
+  pool_clock_ += unit_count;
+}
+
+void ProbeRecorder::on_profile_cache(bool hit) {
+  (hit ? cache_hits_ : cache_misses_)->add();
+  if (tracer_ != nullptr) {
+    tracer_->add_instant(hit ? "profile_cache:hit" : "profile_cache:miss",
+                         pool_clock_, 1);
+  }
+}
+
+void record_result_metrics(MetricsRegistry& metrics,
+                           const std::string& prefix,
+                           const SimulationResult& result) {
+  metrics.gauge(prefix + "total_mJ")
+      .set(result.total_energy().millijoules());
+  metrics.gauge(prefix + "idle_mJ").set(result.idle_energy.millijoules());
+  metrics.gauge(prefix + "dynamic_mJ")
+      .set(result.dynamic_energy.millijoules());
+  metrics.gauge(prefix + "busy_static_mJ")
+      .set(result.busy_static_energy.millijoules());
+  metrics.gauge(prefix + "cpu_mJ").set(result.cpu_energy.millijoules());
+  metrics.gauge(prefix + "reconfig_mJ")
+      .set(result.reconfig_energy.millijoules());
+  metrics.gauge(prefix + "profiling_mJ")
+      .set(result.profiling_energy.millijoules());
+  metrics.gauge(prefix + "tuning_mJ")
+      .set(result.tuning_energy.millijoules());
+
+  metrics.counter(prefix + "makespan_cycles").add(result.makespan);
+  metrics.counter(prefix + "execution_cycles")
+      .add(result.total_execution_cycles);
+  metrics.counter(prefix + "completed_jobs").add(result.completed_jobs);
+  metrics.counter(prefix + "stall_events").add(result.stall_events);
+  metrics.counter(prefix + "profiling_runs").add(result.profiling_runs);
+  metrics.counter(prefix + "tuning_runs").add(result.tuning_runs);
+  metrics.counter(prefix + "reconfigurations")
+      .add(result.reconfigurations);
+  metrics.counter(prefix + "preemptions").add(result.preemptions);
+  metrics.counter(prefix + "deadline_misses").add(result.deadline_misses);
+  metrics.counter(prefix + "faults_injected").add(result.faults.injected);
+  metrics.counter(prefix + "watchdog_fires")
+      .add(result.faults.watchdog_fires);
+  metrics.counter(prefix + "degraded_executions")
+      .add(result.faults.degraded_executions);
+
+  for (std::size_t core = 0; core < result.per_core.size(); ++core) {
+    const std::string core_prefix =
+        prefix + "core" + std::to_string(core) + ".";
+    metrics.counter(core_prefix + "busy_cycles")
+        .add(result.per_core[core].busy_cycles);
+    metrics.counter(core_prefix + "executions")
+        .add(result.per_core[core].executions);
+    metrics.gauge(core_prefix + "utilization")
+        .set(result.per_core[core].utilization);
+  }
+}
+
+}  // namespace hetsched

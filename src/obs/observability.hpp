@@ -1,0 +1,56 @@
+// Glue between the generic observability primitives (MetricsRegistry,
+// EventTracer) and the rest of the system: the ObsProbe adapter that
+// captures thread-pool jobs and profile-cache outcomes, and the
+// post-run pass that snapshots a SimulationResult into the registry.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/simulator.hpp"
+#include "obs/event_trace.hpp"
+#include "obs/metrics.hpp"
+#include "util/probes.hpp"
+
+namespace hetsched {
+
+// Records runtime (non-simulated) emit points into counters and,
+// optionally, onto a tracer's "runtime" tracks: tid 0 carries pool-job
+// spans on a logical clock that advances one tick per work unit (so
+// spans abut instead of overlapping), tid 1 carries profile-cache
+// events. Everything is keyed on that logical clock — never wall
+// clock — so recorded streams are identical for every thread count.
+class ProbeRecorder final : public ObsProbe {
+ public:
+  explicit ProbeRecorder(MetricsRegistry& metrics,
+                         EventTracer* tracer = nullptr);
+
+  void on_pool_job(std::size_t unit_count) override;
+  void on_profile_cache(bool hit) override;
+
+ private:
+  Counter* pool_jobs_;
+  Counter* pool_units_;
+  Counter* cache_hits_;
+  Counter* cache_misses_;
+  EventTracer* tracer_;
+  std::uint64_t pool_clock_ = 0;
+};
+
+// Installs a probe for a scope; removes it on destruction.
+class ScopedProbe {
+ public:
+  explicit ScopedProbe(ObsProbe* probe) { set_obs_probe(probe); }
+  ~ScopedProbe() { set_obs_probe(nullptr); }
+  ScopedProbe(const ScopedProbe&) = delete;
+  ScopedProbe& operator=(const ScopedProbe&) = delete;
+};
+
+// Deposits a finished run's accounting under `prefix`: energy buckets
+// as gauges (millijoules), event totals as counters. Deterministic:
+// values come straight from the (deterministic) SimulationResult.
+void record_result_metrics(MetricsRegistry& metrics,
+                           const std::string& prefix,
+                           const SimulationResult& result);
+
+}  // namespace hetsched

@@ -1,5 +1,7 @@
 #include "util/csv.hpp"
 
+#include <limits>
+#include <sstream>
 #include <stdexcept>
 
 #include "util/contracts.hpp"
@@ -26,14 +28,23 @@ void CsvWriter::add_row(const std::vector<std::string>& cells) {
 }
 
 std::string CsvWriter::escape(const std::string& field) {
-  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  // Carriage returns trigger quoting like commas/quotes/newlines do:
+  // a bare \r inside an unquoted field splits the row in most readers.
+  if (field.find_first_of(",\"\n\r") == std::string::npos) return field;
   std::string quoted = "\"";
   for (char c : field) {
     if (c == '"') quoted += '"';
-    quoted += c;
+    quoted += c;  // \r, \n and ',' are preserved verbatim inside quotes
   }
   quoted += '"';
   return quoted;
+}
+
+std::string CsvWriter::number(double value) {
+  std::ostringstream out;
+  out.precision(std::numeric_limits<double>::max_digits10);
+  out << value;
+  return out.str();
 }
 
 }  // namespace hetsched

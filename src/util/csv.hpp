@@ -17,8 +17,13 @@ class CsvWriter {
 
   void add_row(const std::vector<std::string>& cells);
 
-  // Quotes a field if it contains separators/quotes.
+  // Quotes a field if it contains separators/quotes/CR/LF.
   static std::string escape(const std::string& field);
+
+  // Full-precision (max_digits10) rendering for machine-readable series:
+  // CSV cells should round-trip the double, unlike the rounded console
+  // tables (TablePrinter::num).
+  static std::string number(double value);
 
  private:
   std::ofstream out_;

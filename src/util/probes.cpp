@@ -1,0 +1,20 @@
+#include "util/probes.hpp"
+
+#include <atomic>
+
+namespace hetsched {
+namespace {
+
+std::atomic<ObsProbe*> g_probe{nullptr};
+
+}  // namespace
+
+ObsProbe* obs_probe() noexcept {
+  return g_probe.load(std::memory_order_acquire);
+}
+
+void set_obs_probe(ObsProbe* probe) noexcept {
+  g_probe.store(probe, std::memory_order_release);
+}
+
+}  // namespace hetsched

@@ -1,0 +1,44 @@
+// Process-global observability probe for layers below the simulator.
+//
+// The tracer/metrics subsystem (src/obs) lives above core, but two emit
+// points sit beneath it: thread-pool job submission (util) and the
+// profile-cache hit/miss decision (workload). Those layers cannot depend
+// on obs, so they publish through this minimal hook instead: a single
+// global pointer, null by default. With no probe installed every emit
+// point is one relaxed atomic load and a branch — the null-sink path
+// costs nothing measurable and changes no behaviour (verified by
+// bench_obs_overhead).
+//
+// Determinism contract: emit points must fire identically for every
+// HETSCHED_THREADS value. ThreadPool therefore reports only *top-level*
+// jobs (submissions from outside a running job), whose count and order
+// are fixed by sequential program order; nested parallel_for calls are
+// part of their enclosing job and stay silent.
+#pragma once
+
+#include <cstddef>
+
+namespace hetsched {
+
+class ObsProbe {
+ public:
+  virtual ~ObsProbe() = default;
+
+  // A top-level ThreadPool::parallel_for job of `unit_count` indices.
+  virtual void on_pool_job(std::size_t unit_count) { (void)unit_count; }
+
+  // Outcome of a load_or_build_suite lookup: served from the snapshot
+  // (hit) or rebuilt from scratch (miss).
+  virtual void on_profile_cache(bool hit) { (void)hit; }
+};
+
+// Currently installed probe, or nullptr when observability is off.
+ObsProbe* obs_probe() noexcept;
+
+// Installs (or, with nullptr, removes) the global probe. Callers must
+// not swap probes while instrumented work is in flight; the intended
+// pattern is install at startup, remove after the last emit point
+// (see obs::ScopedProbe).
+void set_obs_probe(ObsProbe* probe) noexcept;
+
+}  // namespace hetsched

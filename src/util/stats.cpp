@@ -102,18 +102,25 @@ Histogram Histogram::build(std::span<const double> values,
                            std::size_t nbins) {
   HETSCHED_REQUIRE(!values.empty());
   HETSCHED_REQUIRE(nbins > 0);
+  for (double v : values) {
+    // A NaN/inf input would feed an out-of-range double-to-integer cast
+    // below, which is undefined behaviour — reject it loudly instead.
+    HETSCHED_REQUIRE(std::isfinite(v));
+  }
   Histogram h;
   h.lo = *std::min_element(values.begin(), values.end());
   h.hi = *std::max_element(values.begin(), values.end());
   h.bins.assign(nbins, 0);
   const double width = (h.hi - h.lo) / static_cast<double>(nbins);
   for (double v : values) {
-    std::size_t idx;
-    if (width == 0.0) {
-      idx = 0;
-    } else {
-      idx = std::min(nbins - 1,
-                     static_cast<std::size_t>((v - h.lo) / width));
+    std::size_t idx = 0;
+    if (width > 0.0) {
+      // Clamp before the cast: for v == hi the quotient can round up to
+      // nbins (or past it), and casting a double ≥ nbins risks both an
+      // out-of-range index and UB for values outside size_t's range.
+      const double scaled =
+          std::min((v - h.lo) / width, static_cast<double>(nbins - 1));
+      idx = static_cast<std::size_t>(scaled);
     }
     ++h.bins[idx];
   }

@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "util/contracts.hpp"
+#include "util/probes.hpp"
 
 namespace hetsched {
 namespace {
@@ -15,6 +16,13 @@ namespace {
 // submission would clobber the live job state (count_/next_/completed_)
 // of the job the thread is still part of.
 thread_local bool tl_pool_worker = false;
+
+// Marks the current thread as inside a job for a scope; restored on
+// exceptions so the serial path keeps its direct-propagation semantics.
+struct InJobScope {
+  InJobScope() { tl_pool_worker = true; }
+  ~InJobScope() { tl_pool_worker = false; }
+};
 
 std::mutex g_global_mutex;
 std::unique_ptr<ThreadPool> g_global_pool;
@@ -76,10 +84,26 @@ void ThreadPool::worker_loop() {
 void ThreadPool::parallel_for(std::size_t count,
                               const std::function<void(std::size_t)>& fn) {
   if (count == 0) return;
+  // Observability: report top-level jobs only. Their count and order are
+  // the sequential program order of submitting threads, so the probe sees
+  // an identical stream for every thread count; nested calls belong to
+  // the job already being reported.
+  const bool top_level = !tl_pool_worker;
+  if (top_level) {
+    if (ObsProbe* probe = obs_probe()) probe->on_pool_job(count);
+  }
   // Serial paths: a 1-thread pool, a single unit, or a nested call from a
-  // worker (running inline keeps the fixed worker set deadlock-free).
+  // worker (running inline keeps the fixed worker set deadlock-free). A
+  // top-level multi-unit job marks the thread as in-job exactly like the
+  // pooled path does, so nested calls behave identically whether this
+  // pool has workers or not.
   if (workers_.empty() || count == 1 || tl_pool_worker) {
-    for (std::size_t i = 0; i < count; ++i) fn(i);
+    if (top_level && count > 1) {
+      InJobScope scope;
+      for (std::size_t i = 0; i < count; ++i) fn(i);
+    } else {
+      for (std::size_t i = 0; i < count; ++i) fn(i);
+    }
     return;
   }
 

@@ -10,6 +10,7 @@
 
 #include "util/contracts.hpp"
 #include "util/hash.hpp"
+#include "util/probes.hpp"
 #include "util/snapshot_text.hpp"
 
 namespace hetsched {
@@ -256,12 +257,15 @@ CharacterizedSuite load_or_build_suite(const std::string& path,
     std::ifstream in(path);
     if (in) {
       try {
-        return load_suite_snapshot(in, key);
+        CharacterizedSuite suite = load_suite_snapshot(in, key);
+        if (ObsProbe* probe = obs_probe()) probe->on_profile_cache(true);
+        return suite;
       } catch (const std::exception&) {
         // Stale, truncated or corrupt: fall through and rebuild.
       }
     }
   }
+  if (ObsProbe* probe = obs_probe()) probe->on_profile_cache(false);
 
   CharacterizedSuite suite =
       pool != nullptr ? CharacterizedSuite::build(model, options, *pool)

@@ -112,6 +112,46 @@ TEST(ScheduleLogTest, CsvExportHasHeaderAndRows) {
   EXPECT_EQ(rows, f.arrivals.size());
 }
 
+// Golden export: a hand-built log must serialise to exactly these bytes
+// (external Gantt tooling parses this format).
+TEST(ScheduleLogTest, CsvExportGolden) {
+  ScheduleLog log;
+  log.on_slice(ScheduledSlice{7, 3, 1, 100, 250, {2048, 1, 16},
+                              ExecutionKind::kNormal, true});
+  log.on_slice(ScheduledSlice{8, 4, 0, 120, 180, {8192, 4, 64},
+                              ExecutionKind::kProfiling, false});
+  std::stringstream out;
+  log.write_csv(out);
+  EXPECT_EQ(out.str(),
+            "job,benchmark,core,start,end,config,kind,completed\n"
+            "7,3,1,100,250,2KB_1W_16B,normal,1\n"
+            "8,4,0,120,180,8KB_4W_64B,profiling,0\n");
+}
+
+TEST(ScheduleLogTest, FaultCsvExportGolden) {
+  ScheduleLog log;
+  log.on_fault(FaultRecord{500, 2, 11, FaultRecord::Kind::kWatchdogFire});
+  log.on_fault(
+      FaultRecord{900, 0, 0, FaultRecord::Kind::kCounterCorruption});
+  std::stringstream out;
+  log.write_fault_csv(out);
+  EXPECT_EQ(out.str(),
+            "time,core,job,kind\n"
+            "500,2,11,watchdog-fire\n"
+            "900,0,0,counter-corruption\n");
+}
+
+TEST(ScheduleLogTest, BusyCyclesRejectsUnknownCore) {
+  ScheduleLog log;
+  log.on_slice(ScheduledSlice{0, 0, 5, 100, 200, {2048, 1, 16},
+                              ExecutionKind::kNormal, true});
+  // A slice on core 5 with core_count 4 is an accounting bug, not data
+  // to be silently dropped.
+  EXPECT_DEATH(log.busy_cycles(4), "precondition");
+  const auto busy = log.busy_cycles(6);
+  EXPECT_EQ(busy[5], 100u);
+}
+
 TEST(ScheduleLogTest, WellFormedDetectsOverlap) {
   ScheduleLog log;
   log.on_slice(ScheduledSlice{0, 0, 0, 100, 200, {2048, 1, 16},

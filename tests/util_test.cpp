@@ -3,8 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <set>
 #include <sstream>
+#include <string>
 
 #include "util/csv.hpp"
 #include "util/rng.hpp"
@@ -265,6 +267,42 @@ TEST(CsvWriterTest, EscapesSpecialCharacters) {
   EXPECT_EQ(CsvWriter::escape("plain"), "plain");
   EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
   EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  // Embedded line breaks — including bare carriage returns — must be
+  // quoted or the row splits when the file is read back.
+  EXPECT_EQ(CsvWriter::escape("two\nlines"), "\"two\nlines\"");
+  EXPECT_EQ(CsvWriter::escape("cr\rhere"), "\"cr\rhere\"");
+  EXPECT_EQ(CsvWriter::escape("crlf\r\n"), "\"crlf\r\n\"");
+}
+
+TEST(CsvWriterTest, NumberRoundTripsDoubles) {
+  for (double v : {1.0 / 3.0, 0.1, 1e-300, 12345.6789, -2.5e17}) {
+    const std::string text = CsvWriter::number(v);
+    EXPECT_EQ(std::stod(text), v) << text;
+  }
+  EXPECT_EQ(CsvWriter::number(2.0), "2");
+}
+
+TEST(StatsTest, HistogramRejectsNonFiniteValues) {
+  const std::vector<double> with_nan{1.0, std::nan(""), 2.0};
+  EXPECT_DEATH(Histogram::build(with_nan, 4), "precondition");
+  const std::vector<double> with_inf{
+      1.0, std::numeric_limits<double>::infinity()};
+  EXPECT_DEATH(Histogram::build(with_inf, 4), "precondition");
+}
+
+TEST(StatsTest, HistogramMaxValueLandsInLastBin) {
+  const std::vector<double> v{0.0, 0.25, 0.5, 0.75, 1.0};
+  const Histogram h = Histogram::build(v, 4);
+  EXPECT_EQ(h.bins.back(), 2u);  // 0.75 and the hi value 1.0
+  std::size_t total = 0;
+  for (auto c : h.bins) total += c;
+  EXPECT_EQ(total, v.size());
+}
+
+TEST(StatsTest, HistogramAllEqualValuesUseFirstBin) {
+  const std::vector<double> v{3.0, 3.0, 3.0};
+  const Histogram h = Histogram::build(v, 5);
+  EXPECT_EQ(h.bins[0], v.size());
 }
 
 TEST(UnitsTest, NanoJoulesArithmetic) {

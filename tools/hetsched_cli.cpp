@@ -27,20 +27,26 @@
 //   --fault-plan FILE    inject faults from a fault-plan file
 //   --fault-rate P       uniform fault rate for all rate-driven faults
 //   --fault-seed N       fault-decision seed (default 1)
+//   --trace-out FILE     write a Chrome-trace/Perfetto JSON of the run(s)
+//                        (ts = simulated cycles, deterministic)
+//   --metrics-out FILE   write the metrics-registry snapshot as JSON
 #include <charconv>
 #include <cmath>
 #include <cstdlib>
+#include <deque>
 #include <fstream>
 #include <iostream>
 #include <map>
 #include <optional>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "core/realtime_policy.hpp"
 #include "core/serialization.hpp"
 #include "experiment/experiment.hpp"
 #include "fault/fault_injector.hpp"
+#include "obs/observability.hpp"
 #include "util/table_printer.hpp"
 #include "util/thread_pool.hpp"
 
@@ -59,7 +65,54 @@ struct CliOptions {
   std::string fault_plan_path;
   std::optional<double> fault_rate;
   std::optional<std::uint64_t> fault_seed;
+  std::string trace_out_path;
+  std::string metrics_out_path;
   ExperimentOptions experiment;
+};
+
+// Observability state for one CLI invocation: the shared metrics
+// registry, the runtime tracer fed by the global probe (thread-pool
+// jobs, profile-cache outcomes), and one tracer per simulated system.
+// Everything is written out once, after the command finishes.
+struct ObsSession {
+  std::string trace_path;
+  std::string metrics_path;
+  MetricsRegistry metrics;
+  EventTracer runtime;           // probe events only; no sim.* counters
+  ProbeRecorder recorder{metrics, &runtime};
+  std::deque<EventTracer> sim_tracers;  // stable addresses
+  std::vector<std::pair<std::string, const EventTracer*>> processes{
+      {"runtime", &runtime}};
+
+  EventTracer& add_system_tracer(const std::string& system) {
+    sim_tracers.emplace_back(&metrics, system + ".sim.");
+    processes.emplace_back(system, &sim_tracers.back());
+    return sim_tracers.back();
+  }
+
+  // Returns false (with a message on stderr) when an output file cannot
+  // be written.
+  bool finish() {
+    if (!trace_path.empty()) {
+      std::ofstream out(trace_path);
+      if (out) write_chrome_trace(out, processes);
+      if (!out) {
+        std::cerr << "cannot write " << trace_path << "\n";
+        return false;
+      }
+      std::cout << "trace written to " << trace_path << "\n";
+    }
+    if (!metrics_path.empty()) {
+      std::ofstream out(metrics_path);
+      if (out) metrics.write_json(out);
+      if (!out) {
+        std::cerr << "cannot write " << metrics_path << "\n";
+        return false;
+      }
+      std::cout << "metrics written to " << metrics_path << "\n";
+    }
+    return true;
+  }
 };
 
 [[noreturn]] void usage(const std::string& error = "") {
@@ -84,7 +137,10 @@ struct CliOptions {
       "  --fault-plan F  inject faults from a fault-plan file\n"
       "  --fault-rate P  uniform rate in [0,1] for reconfig failures,\n"
       "                  stuck jobs and counter corruption\n"
-      "  --fault-seed N  fault-decision seed (default 1)\n";
+      "  --fault-seed N  fault-decision seed (default 1)\n"
+      "  --trace-out F   write a Chrome-trace/Perfetto JSON (ts in\n"
+      "                  simulated cycles; open in ui.perfetto.dev)\n"
+      "  --metrics-out F write the metrics-registry snapshot as JSON\n";
   std::exit(2);
 }
 
@@ -169,6 +225,16 @@ CliOptions parse(int argc, char** argv) {
       options.fault_rate = parse_real(flag, next(), 0.0, 1.0);
     } else if (flag == "--fault-seed") {
       options.fault_seed = parse_count(flag, next(), 0);
+    } else if (flag == "--trace-out") {
+      options.trace_out_path = next();
+      if (options.trace_out_path.empty()) {
+        usage(flag + " expects a file path");
+      }
+    } else if (flag == "--metrics-out") {
+      options.metrics_out_path = next();
+      if (options.metrics_out_path.empty()) {
+        usage(flag + " expects a file path");
+      }
     } else {
       usage("unknown flag " + flag);
     }
@@ -298,7 +364,7 @@ int cmd_train(const CliOptions& options) {
   return 0;
 }
 
-int cmd_run_or_compare(const CliOptions& options) {
+int cmd_run_or_compare(const CliOptions& options, ObsSession* obs) {
   Experiment experiment(options.experiment);
 
   // Optional deadline assignment.
@@ -358,11 +424,13 @@ int cmd_run_or_compare(const CliOptions& options) {
   }
 
   const QueueDiscipline discipline = parse_discipline(options.discipline);
-  auto run_system = [&](const std::string& name) -> SimulationResult {
+  auto run_system = [&](const std::string& name,
+                        ScheduleObserver* observer) -> SimulationResult {
     auto simulate = [&](SchedulerPolicy& policy,
                         const SystemConfig& system) {
       MulticoreSimulator sim(system, experiment.suite(),
                              experiment.energy(), policy, discipline);
+      if (observer != nullptr) sim.set_observer(observer);
       // Each run gets a fresh injector so fault decisions cannot leak
       // between the systems of a compare.
       std::optional<FaultInjector> injector;
@@ -396,7 +464,13 @@ int cmd_run_or_compare(const CliOptions& options) {
   };
 
   if (options.command == "run") {
-    print_result(options.system, run_system(options.system));
+    EventTracer* tracer =
+        obs != nullptr ? &obs->add_system_tracer(options.system) : nullptr;
+    const SimulationResult result = run_system(options.system, tracer);
+    if (obs != nullptr) {
+      record_result_metrics(obs->metrics, options.system + ".", result);
+    }
+    print_result(options.system, result);
     return 0;
   }
 
@@ -404,10 +478,24 @@ int cmd_run_or_compare(const CliOptions& options) {
   // and fault injector each), so they fan out over the shared pool.
   const std::vector<std::string> names = {"base", "optimal",
                                           "energy-centric", "proposed"};
+  // Tracers (and their registry entries) are created serially before the
+  // fan-out; each then only sees its own run's events, so the merged
+  // output is thread-count independent.
+  std::vector<EventTracer*> tracers(names.size(), nullptr);
+  if (obs != nullptr) {
+    for (std::size_t i = 0; i < names.size(); ++i) {
+      tracers[i] = &obs->add_system_tracer(names[i]);
+    }
+  }
   std::vector<SimulationResult> results(names.size());
   ThreadPool::global().parallel_for(names.size(), [&](std::size_t i) {
-    results[i] = run_system(names[i]);
+    results[i] = run_system(names[i], tracers[i]);
   });
+  if (obs != nullptr) {
+    for (std::size_t i = 0; i < names.size(); ++i) {
+      record_result_metrics(obs->metrics, names[i] + ".", results[i]);
+    }
+  }
   const SimulationResult& base = results[0];
   TablePrinter table({"system", "idle", "dynamic", "total", "cycles"});
   for (std::size_t i = 0; i < names.size(); ++i) {
@@ -428,15 +516,32 @@ int cmd_run_or_compare(const CliOptions& options) {
 
 int main(int argc, char** argv) {
   const CliOptions options = parse(argc, argv);
+  // Observability is opt-in: with neither flag the probe stays null and
+  // the simulators run observer-free (the zero-cost disabled path).
+  std::optional<ObsSession> obs;
+  std::optional<ScopedProbe> probe;
+  if (!options.trace_out_path.empty() || !options.metrics_out_path.empty()) {
+    obs.emplace();
+    obs->trace_path = options.trace_out_path;
+    obs->metrics_path = options.metrics_out_path;
+    probe.emplace(&obs->recorder);
+  }
+  ObsSession* obs_ptr = obs.has_value() ? &*obs : nullptr;
+  int status = 2;
   try {
-    if (options.command == "characterize") return cmd_characterize(options);
-    if (options.command == "train") return cmd_train(options);
-    if (options.command == "run" || options.command == "compare") {
-      return cmd_run_or_compare(options);
+    if (options.command == "characterize") {
+      status = cmd_characterize(options);
+    } else if (options.command == "train") {
+      status = cmd_train(options);
+    } else if (options.command == "run" || options.command == "compare") {
+      status = cmd_run_or_compare(options, obs_ptr);
+    } else {
+      usage("unknown command " + options.command);
     }
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
   }
-  usage("unknown command " + options.command);
+  if (status == 0 && obs.has_value() && !obs->finish()) return 1;
+  return status;
 }
