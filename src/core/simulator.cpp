@@ -529,25 +529,32 @@ void MulticoreSimulator::try_schedule(SimTime now) {
 
 SimulationResult MulticoreSimulator::run(
     const std::vector<JobArrival>& arrivals) {
-  HETSCHED_REQUIRE(!ran_);
-  ran_ = true;
   HETSCHED_REQUIRE(!arrivals.empty());
   HETSCHED_REQUIRE(std::is_sorted(
       arrivals.begin(), arrivals.end(),
       [](const JobArrival& a, const JobArrival& b) {
         return a.arrival < b.arrival;
       }));
+  VectorArrivalSource source(arrivals);
+  return run_stream(source);
+}
 
-  std::size_t next_arrival = 0;
+SimulationResult MulticoreSimulator::run_stream(ArrivalSource& source) {
+  HETSCHED_REQUIRE(!ran_);
+  ran_ = true;
+  // One-arrival lookahead: the only piece of the stream ever held.
+  std::optional<JobArrival> pending = source.next();
+  HETSCHED_REQUIRE(pending.has_value() && "empty arrival stream");
+
+  std::uint64_t admitted = 0;
   std::uint64_t next_job_id = 0;
 
-  while (next_arrival < arrivals.size() || !completions_.empty() ||
-         !ready_.empty()) {
+  while (pending.has_value() || !completions_.empty() || !ready_.empty()) {
     // Next event time: earliest completion, arrival or fault event (a
     // scheduled recovery can be the only event able to unblock queued
     // work).
     const bool have_completion = !completions_.empty();
-    const bool have_arrival = next_arrival < arrivals.size();
+    const bool have_arrival = pending.has_value();
     const std::optional<SimTime> fault_time =
         injector_ != nullptr ? injector_->next_core_event_time()
                              : std::nullopt;
@@ -563,7 +570,7 @@ SimulationResult MulticoreSimulator::run(
     }
     SimTime now = std::numeric_limits<SimTime>::max();
     if (have_completion) now = std::min(now, completions_.top().time);
-    if (have_arrival) now = std::min(now, arrivals[next_arrival].arrival);
+    if (have_arrival) now = std::min(now, pending->arrival);
     if (fault_time.has_value()) now = std::min(now, *fault_time);
 
     // Retire every live completion at `now` (deterministic core order);
@@ -592,16 +599,18 @@ SimulationResult MulticoreSimulator::run(
       }
     }
     // Admit every arrival at `now`.
-    while (next_arrival < arrivals.size() &&
-           arrivals[next_arrival].arrival == now) {
+    while (pending.has_value() && pending->arrival == now) {
       Job job;
       job.job_id = next_job_id++;
-      job.benchmark_id = arrivals[next_arrival].benchmark_id;
+      job.benchmark_id = pending->benchmark_id;
       job.arrival = now;
-      job.priority = arrivals[next_arrival].priority;
-      job.deadline = arrivals[next_arrival].deadline;
+      job.priority = pending->priority;
+      job.deadline = pending->deadline;
       ready_.push_back(job);
-      ++next_arrival;
+      ++admitted;
+      pending = source.next();
+      HETSCHED_REQUIRE((!pending.has_value() || pending->arrival >= now) &&
+                       "arrival stream must be non-decreasing in time");
     }
 
     try_schedule(now);
@@ -623,7 +632,7 @@ SimulationResult MulticoreSimulator::run(
             : static_cast<double>(cores_[i].busy_cycles) /
                   static_cast<double>(result_.makespan);
   }
-  HETSCHED_ASSERT(result_.completed_jobs == arrivals.size());
+  HETSCHED_ASSERT(result_.completed_jobs == admitted);
   return result_;
 }
 

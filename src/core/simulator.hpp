@@ -144,6 +144,12 @@ class MulticoreSimulator {
   // May be called once per simulator instance.
   SimulationResult run(const std::vector<JobArrival>& arrivals);
 
+  // Streaming variant: pulls arrivals one at a time from `source`
+  // (non-decreasing arrival order required), so unbounded streams run in
+  // memory bounded by the in-flight population — never the stream
+  // length. run(vector) is exactly run_stream over a vector source.
+  SimulationResult run_stream(ArrivalSource& source);
+
   // Final profiling-table state (exploration counts etc.); valid after
   // run().
   const ProfilingTable& table() const { return table_; }

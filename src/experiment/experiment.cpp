@@ -93,27 +93,35 @@ SystemRun Experiment::run_policy(const SystemConfig& system,
   return run;
 }
 
+SystemConfig Experiment::heterogeneous_system() const {
+  return options_.core_count == 4
+             ? SystemConfig::paper_quadcore()
+             : SystemConfig::scaled_heterogeneous(options_.core_count);
+}
+
+SystemConfig Experiment::base_system() const {
+  return SystemConfig::fixed_base(options_.core_count);
+}
+
 SystemRun Experiment::run_base(ScheduleObserver* observer) const {
   BasePolicy policy;
-  return run_policy(SystemConfig::fixed_base(4), policy, "base", observer);
+  return run_policy(base_system(), policy, "base", observer);
 }
 
 SystemRun Experiment::run_optimal(ScheduleObserver* observer) const {
   OptimalPolicy policy;
-  return run_policy(SystemConfig::paper_quadcore(), policy, "optimal",
-                    observer);
+  return run_policy(heterogeneous_system(), policy, "optimal", observer);
 }
 
 SystemRun Experiment::run_energy_centric(ScheduleObserver* observer) const {
   EnergyCentricPolicy policy(*predictor_);
-  return run_policy(SystemConfig::paper_quadcore(), policy,
-                    "energy-centric", observer);
+  return run_policy(heterogeneous_system(), policy, "energy-centric",
+                    observer);
 }
 
 SystemRun Experiment::run_proposed(ScheduleObserver* observer) const {
   ProposedPolicy policy(*predictor_);
-  return run_policy(SystemConfig::paper_quadcore(), policy, "proposed",
-                    observer);
+  return run_policy(heterogeneous_system(), policy, "proposed", observer);
 }
 
 Experiment::StandardRuns Experiment::run_standard_systems() const {
@@ -141,15 +149,13 @@ Experiment::StandardRuns Experiment::run_standard_systems(
 SystemRun Experiment::run_proposed_with(const SizePredictor& predictor,
                                         std::string name) const {
   ProposedPolicy policy(predictor);
-  return run_policy(SystemConfig::paper_quadcore(), policy,
-                    std::move(name));
+  return run_policy(heterogeneous_system(), policy, std::move(name));
 }
 
 SystemRun Experiment::run_energy_centric_with(const SizePredictor& predictor,
                                               std::string name) const {
   EnergyCentricPolicy policy(predictor);
-  return run_policy(SystemConfig::paper_quadcore(), policy,
-                    std::move(name));
+  return run_policy(heterogeneous_system(), policy, std::move(name));
 }
 
 }  // namespace hetsched

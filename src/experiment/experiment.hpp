@@ -19,6 +19,11 @@ struct ExperimentOptions {
   PredictorConfig predictor{};
   EnergyModelParams energy_params{};
   std::uint64_t seed = 42;
+  // Number of cores in every evaluated system. 4 (the default) reproduces
+  // the paper machines exactly; other values use the scaled heterogeneous
+  // layout (system_config.hpp) for the reconfigurable systems and a
+  // same-sized fixed-base machine for the baseline.
+  std::size_t core_count = 4;
   // When non-empty, characterisation is served from this snapshot file
   // when it is present and keyed to (suite, energy_params); otherwise it
   // is built and the file refreshed (workload/profile_cache.hpp).
@@ -121,6 +126,10 @@ class Experiment {
   SystemRun run_policy(const SystemConfig& system, SchedulerPolicy& policy,
                        std::string name,
                        ScheduleObserver* observer = nullptr) const;
+  // The reconfigurable machine under evaluation: the paper quad-core at
+  // the default core_count, the scaled heterogeneous layout otherwise.
+  SystemConfig heterogeneous_system() const;
+  SystemConfig base_system() const;
 
   ExperimentOptions options_;
   EnergyModel energy_;

@@ -1,0 +1,102 @@
+#include "experiment/sweep.hpp"
+
+#include <algorithm>
+
+#include "obs/observability.hpp"
+#include "util/contracts.hpp"
+
+namespace hetsched {
+
+Scenario SweepGrid::cell_scenario(std::size_t index) const {
+  HETSCHED_REQUIRE(index < cell_count());
+  const std::size_t policy_i = index % policies.size();
+  const std::size_t gap_i = (index / policies.size()) % mean_gaps.size();
+  const std::size_t core_i = index / (policies.size() * mean_gaps.size());
+
+  Scenario cell = base;
+  cell.cores = core_counts[core_i];
+  cell.arrivals.mean_interarrival_cycles = mean_gaps[gap_i];
+  cell.policy = policies[policy_i];
+  if (cell.policy == "base") {
+    cell.system = Scenario::SystemKind::kFixedBase;
+  } else if (cell.cores == 4) {
+    cell.system = Scenario::SystemKind::kPaperQuad;
+  } else {
+    cell.system = Scenario::SystemKind::kScaledHeterogeneous;
+  }
+  cell.name = base.name + "-cell" + std::to_string(index);
+  return cell;
+}
+
+Scenario SweepGrid::context_scenario() const {
+  Scenario ctx = base;
+  for (const std::string& policy : policies) {
+    ctx.policy = policy;
+    if (ctx.needs_predictor()) break;
+  }
+  return ctx;
+}
+
+void SweepGrid::validate() const {
+  HETSCHED_REQUIRE(!core_counts.empty() && !mean_gaps.empty() &&
+                   !policies.empty() && "sweep grid axes must be non-empty");
+  for (std::size_t i = 0; i < cell_count(); ++i) cell_scenario(i).validate();
+}
+
+std::vector<SweepCell> run_sweep(const SweepGrid& grid,
+                                 const ScenarioContext& context,
+                                 std::size_t shards, ThreadPool& pool) {
+  grid.validate();
+  HETSCHED_REQUIRE(shards >= 1 && "shards must be >= 1");
+  const std::size_t cells = grid.cell_count();
+  shards = std::min(shards, cells);
+
+  std::vector<SweepCell> results(cells);
+  // Shard s owns the contiguous index range [s*cells/shards,
+  // (s+1)*cells/shards); each cell writes only its own slot, so the
+  // ThreadPool determinism contract makes the merge order-independent.
+  pool.parallel_for(shards, [&](std::size_t shard) {
+    const std::size_t begin = shard * cells / shards;
+    const std::size_t end = (shard + 1) * cells / shards;
+    for (std::size_t i = begin; i < end; ++i) {
+      const Scenario scenario = grid.cell_scenario(i);
+      const ScenarioOutcome outcome = run_scenario(scenario, context);
+
+      SweepCell& cell = results[i];
+      cell.index = i;
+      cell.cores = scenario.cores;
+      cell.mean_gap = scenario.arrivals.mean_interarrival_cycles;
+      cell.policy = scenario.policy;
+      const std::size_t gap_i =
+          (i / grid.policies.size()) % grid.mean_gaps.size();
+      cell.label = "c" + std::to_string(cell.cores) + ".g" +
+                   std::to_string(gap_i) + "." + cell.policy;
+      cell.result = outcome.result;
+      cell.stream_digest = outcome.stream.digest();
+      cell.invariant_violations = outcome.stream.invariant_violations();
+    }
+  });
+  return results;
+}
+
+std::vector<SweepCell> run_sweep(const SweepGrid& grid,
+                                 const ScenarioContext& context) {
+  return run_sweep(grid, context, grid.cell_count(), ThreadPool::global());
+}
+
+void record_sweep_metrics(MetricsRegistry& metrics,
+                          const std::string& prefix,
+                          const std::vector<SweepCell>& cells) {
+  for (const SweepCell& cell : cells) {
+    const std::string cell_prefix = prefix + cell.label + ".";
+    metrics.gauge(cell_prefix + "cores")
+        .set(static_cast<double>(cell.cores));
+    metrics.gauge(cell_prefix + "mean_gap_cycles").set(cell.mean_gap);
+    record_result_metrics(metrics, cell_prefix, cell.result);
+    metrics.counter(cell_prefix + "stream.digest").add(cell.stream_digest);
+    metrics.counter(cell_prefix + "stream.invariant_violations")
+        .add(cell.invariant_violations);
+  }
+}
+
+}  // namespace hetsched

@@ -1,0 +1,74 @@
+// Sharded scenario sweeps: a grid of (core count x arrival rate x
+// policy) cells, each an independent deterministic scenario run, fanned
+// out over the shared thread pool in contiguous shards. Because every
+// cell is self-contained (fresh simulator, read-only shared context) and
+// lands in its own index-ordered slot, the merged results are
+// bit-identical for every shard count and every HETSCHED_THREADS value.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "scenario/scenario_runner.hpp"
+#include "util/thread_pool.hpp"
+
+namespace hetsched {
+
+struct SweepGrid {
+  // Template scenario: seed, suite, discipline, job count, distribution,
+  // faults... everything the axes below do not override.
+  Scenario base;
+  std::vector<std::size_t> core_counts{4};
+  std::vector<double> mean_gaps{60000.0};
+  std::vector<std::string> policies{"base", "proposed"};
+
+  std::size_t cell_count() const {
+    return core_counts.size() * mean_gaps.size() * policies.size();
+  }
+
+  // The concrete scenario for cell `index` (row-major over core_counts,
+  // then mean_gaps, then policies). The base policy runs on a same-sized
+  // fixed-base machine, every other policy on the reconfigurable one
+  // (paper layout at 4 cores, scaled layout otherwise) — the Experiment
+  // convention.
+  Scenario cell_scenario(std::size_t index) const;
+
+  // `base` with its policy swapped for the most demanding one on the
+  // policies axis, so one ScenarioContext built from it (with a trained
+  // predictor iff some cell needs it) serves the whole sweep.
+  Scenario context_scenario() const;
+
+  void validate() const;
+};
+
+struct SweepCell {
+  std::size_t index = 0;
+  std::size_t cores = 0;
+  double mean_gap = 0.0;
+  std::string policy;
+  std::string label;  // "c<cores>.g<gap index>.<policy>", metric-key safe
+  SimulationResult result;
+  std::uint64_t stream_digest = 0;  // StreamStats event-stream digest
+  std::uint64_t invariant_violations = 0;
+};
+
+// Runs every cell of `grid`, splitting the cell list into `shards`
+// contiguous chunks executed via pool.parallel_for. Returns the cells in
+// grid order. `context` must come from grid.context_scenario() (or any
+// scenario with identical suite/predictor parameters).
+std::vector<SweepCell> run_sweep(const SweepGrid& grid,
+                                 const ScenarioContext& context,
+                                 std::size_t shards, ThreadPool& pool);
+
+// Convenience: shards == cell count, shared global pool.
+std::vector<SweepCell> run_sweep(const SweepGrid& grid,
+                                 const ScenarioContext& context);
+
+// Deposits one result bucket per cell under `prefix` + cell label, plus
+// the per-cell stream digest and invariant-violation counters.
+void record_sweep_metrics(MetricsRegistry& metrics,
+                          const std::string& prefix,
+                          const std::vector<SweepCell>& cells);
+
+}  // namespace hetsched

@@ -1,0 +1,135 @@
+#include "scenario/scenario_runner.hpp"
+
+#include <optional>
+
+#include "cache/cache_config.hpp"
+#include "core/policies.hpp"
+#include "core/realtime_policy.hpp"
+#include "fault/fault_injector.hpp"
+#include "obs/observability.hpp"
+#include "util/contracts.hpp"
+#include "workload/dataset_builder.hpp"
+#include "workload/profile_cache.hpp"
+
+namespace hetsched {
+namespace {
+
+CharacterizedSuite build_suite(const EnergyModel& energy,
+                               const Scenario& scenario,
+                               const std::string& profile_cache_path) {
+  if (!profile_cache_path.empty()) {
+    return load_or_build_suite(profile_cache_path, energy, scenario.suite);
+  }
+  return CharacterizedSuite::build(energy, scenario.suite);
+}
+
+std::unique_ptr<SchedulerPolicy> make_policy(const Scenario& scenario,
+                                             const ScenarioContext& context) {
+  if (scenario.policy == "base") return std::make_unique<BasePolicy>();
+  if (scenario.policy == "optimal") return std::make_unique<OptimalPolicy>();
+  HETSCHED_REQUIRE(context.predictor() != nullptr &&
+                   "context was built without the predictor this policy "
+                   "needs");
+  if (scenario.policy == "energy-centric") {
+    return std::make_unique<EnergyCentricPolicy>(*context.predictor());
+  }
+  if (scenario.policy == "realtime") {
+    return std::make_unique<RealtimeEdfPolicy>(*context.predictor());
+  }
+  HETSCHED_REQUIRE(scenario.policy == "proposed");
+  return std::make_unique<ProposedPolicy>(*context.predictor());
+}
+
+}  // namespace
+
+ScenarioContext::ScenarioContext(const Scenario& scenario,
+                                 const std::string& profile_cache_path)
+    : energy_(CactiModel{}, EnergyModelParams{}),
+      suite_(build_suite(energy_, scenario, profile_cache_path)) {
+  scenario.validate();
+  scheduling_ids_ = suite_.scheduling_ids();
+  HETSCHED_ASSERT(!scheduling_ids_.empty());
+
+  base_reference_cycles_.resize(suite_.size(), 0);
+  for (std::size_t id = 0; id < suite_.size(); ++id) {
+    base_reference_cycles_[id] = suite_.benchmark(id)
+                                     .profile_for(DesignSpace::base_config())
+                                     .energy.total_cycles;
+  }
+
+  if (scenario.needs_predictor()) {
+    // Train on the variant>0 instances, schedule the variant-0 instances
+    // (the Experiment split); with one variant per kernel, train on
+    // everything.
+    std::vector<std::size_t> train_ids = suite_.training_ids();
+    if (train_ids.empty()) {
+      train_ids.resize(suite_.size());
+      for (std::size_t i = 0; i < train_ids.size(); ++i) train_ids[i] = i;
+    }
+    const Dataset dataset = build_ann_dataset(suite_, train_ids);
+    PredictorConfig config;
+    config.ensemble_size = scenario.predictor_ensemble;
+    if (scenario.predictor_max_epochs > 0) {
+      config.trainer.max_epochs = scenario.predictor_max_epochs;
+    }
+    Rng train_rng(scenario.seed);
+    predictor_ =
+        std::make_unique<BestSizePredictor>(dataset, config, train_rng);
+  }
+}
+
+ScenarioOutcome run_scenario(const Scenario& scenario,
+                             const ScenarioContext& context) {
+  scenario.validate();
+  const SystemConfig system = scenario.make_system();
+  const std::unique_ptr<SchedulerPolicy> policy =
+      make_policy(scenario, context);
+
+  MulticoreSimulator simulator(system, context.suite(), context.energy(),
+                               *policy, scenario.discipline);
+  StreamStats stats(system.core_count());
+  simulator.set_observer(&stats);
+
+  std::optional<FaultInjector> injector;
+  if (!scenario.faults.empty()) {
+    injector.emplace(scenario.faults);
+    simulator.set_fault_injector(&*injector);
+  }
+
+  // Seed derivations match Experiment (arrivals) and the CLI (real-time
+  // attributes), so a scenario reproduces those streams exactly.
+  GeneratedArrivalStream stream(context.scheduling_ids(), scenario.arrivals,
+                                scenario.seed ^ 0xa5a5a5a5ULL);
+  if (scenario.realtime.has_value()) {
+    stream.set_realtime(context.base_reference_cycles(), *scenario.realtime,
+                        scenario.seed ^ 0x5151ULL);
+  }
+
+  ScenarioOutcome outcome{simulator.run_stream(stream), std::move(stats)};
+  return outcome;
+}
+
+void record_scenario_metrics(MetricsRegistry& metrics,
+                             const std::string& prefix,
+                             const ScenarioOutcome& outcome) {
+  record_result_metrics(metrics, prefix, outcome.result);
+  const StreamStats& s = outcome.stream;
+  metrics.counter(prefix + "stream.slices").add(s.slices());
+  metrics.counter(prefix + "stream.completed_slices")
+      .add(s.completed_slices());
+  metrics.counter(prefix + "stream.busy_cycles").add(s.busy_cycles());
+  metrics.counter(prefix + "stream.idle_cycles").add(s.idle_cycles());
+  metrics.counter(prefix + "stream.longest_slice_cycles")
+      .add(s.longest_slice());
+  metrics.counter(prefix + "stream.dispatches").add(s.dispatches());
+  metrics.counter(prefix + "stream.idle_intervals").add(s.idle_intervals());
+  metrics.counter(prefix + "stream.reconfig_attempts")
+      .add(s.reconfig_attempts());
+  metrics.counter(prefix + "stream.reconfig_failures")
+      .add(s.reconfig_failures());
+  metrics.counter(prefix + "stream.invariant_violations")
+      .add(s.invariant_violations());
+  metrics.counter(prefix + "stream.digest").add(s.digest());
+}
+
+}  // namespace hetsched

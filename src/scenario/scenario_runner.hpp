@@ -1,0 +1,71 @@
+// Scenario execution: shared heavyweight state (characterised suite,
+// energy model, trained predictor) built once per scenario family, and a
+// streaming driver that runs one scenario end-to-end in memory bounded
+// by the machine size — the arrival stream is generated on demand and
+// the schedule is compacted into StreamStats as it happens, so a
+// million-job scenario costs no more RAM than a thousand-job one.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/predictor.hpp"
+#include "core/simulator.hpp"
+#include "obs/metrics.hpp"
+#include "scenario/scenario.hpp"
+#include "scenario/stream_stats.hpp"
+
+namespace hetsched {
+
+// Everything expensive a scenario needs, reusable across runs whose
+// suite/predictor parameters agree (a sweep varies cores/arrivals/policy
+// but shares one context). Read-only after construction, so concurrent
+// run_scenario calls may share it.
+class ScenarioContext {
+ public:
+  // Builds the characterised suite (served from `profile_cache_path`
+  // when non-empty) and, when the scenario's policy needs one, trains
+  // the ANN predictor.
+  explicit ScenarioContext(const Scenario& scenario,
+                           const std::string& profile_cache_path = "");
+
+  const EnergyModel& energy() const { return energy_; }
+  const CharacterizedSuite& suite() const { return suite_; }
+  const std::vector<std::size_t>& scheduling_ids() const {
+    return scheduling_ids_;
+  }
+  // Base-configuration execution cycles per benchmark id (deadline
+  // references).
+  const std::vector<Cycles>& base_reference_cycles() const {
+    return base_reference_cycles_;
+  }
+  // Null when the scenario's policy does not consult a predictor.
+  const SizePredictor* predictor() const { return predictor_.get(); }
+
+ private:
+  EnergyModel energy_;
+  CharacterizedSuite suite_;
+  std::vector<std::size_t> scheduling_ids_;
+  std::vector<Cycles> base_reference_cycles_;
+  std::unique_ptr<BestSizePredictor> predictor_;
+};
+
+struct ScenarioOutcome {
+  SimulationResult result;
+  StreamStats stream;  // compacted schedule + event-stream digest
+};
+
+// Runs `scenario` under the streaming driver. Deterministic: the same
+// scenario and context produce bit-identical outcomes at every thread
+// count. The context must have been built for a scenario with the same
+// suite/predictor parameters.
+ScenarioOutcome run_scenario(const Scenario& scenario,
+                             const ScenarioContext& context);
+
+// Deposits an outcome into the registry under `prefix` (result buckets
+// via record_result_metrics plus the stream aggregates and digest).
+void record_scenario_metrics(MetricsRegistry& metrics,
+                             const std::string& prefix,
+                             const ScenarioOutcome& outcome);
+
+}  // namespace hetsched

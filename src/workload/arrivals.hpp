@@ -62,4 +62,65 @@ void assign_realtime_attributes(
     const std::vector<Cycles>& reference_cycles_by_benchmark,
     const RealtimeOptions& options, Rng& rng);
 
+// Pull-based arrival production for streaming simulation: the simulator
+// asks for one arrival at a time, so million-job streams never need to
+// be materialised. Implementations must yield arrivals in non-decreasing
+// arrival-time order.
+class ArrivalSource {
+ public:
+  virtual ~ArrivalSource() = default;
+  // The next arrival, or nullopt when the stream is exhausted. Called
+  // again after exhaustion it keeps returning nullopt.
+  virtual std::optional<JobArrival> next() = 0;
+};
+
+// Adapts a pre-built (sorted) arrival vector to the pull interface.
+class VectorArrivalSource final : public ArrivalSource {
+ public:
+  explicit VectorArrivalSource(const std::vector<JobArrival>& arrivals)
+      : arrivals_(&arrivals) {}
+
+  std::optional<JobArrival> next() override {
+    if (index_ >= arrivals_->size()) return std::nullopt;
+    return (*arrivals_)[index_++];
+  }
+
+ private:
+  const std::vector<JobArrival>* arrivals_;
+  std::size_t index_ = 0;
+};
+
+// Generates the same stream as generate_arrivals (bit-identical for the
+// same options and seed — arrival times are non-decreasing by
+// construction, so no sort is needed) one arrival at a time in O(1)
+// memory. Optionally assigns real-time attributes exactly as
+// assign_realtime_attributes would, drawing from an independent stream.
+class GeneratedArrivalStream final : public ArrivalSource {
+ public:
+  GeneratedArrivalStream(std::vector<std::size_t> benchmark_ids,
+                         const ArrivalOptions& options, std::uint64_t seed);
+
+  // Enables deadline/priority assignment (call before the first next()).
+  // `reference_cycles_by_benchmark` must cover every benchmark id.
+  void set_realtime(const std::vector<Cycles>& reference_cycles_by_benchmark,
+                    const RealtimeOptions& options, std::uint64_t seed);
+
+  std::optional<JobArrival> next() override;
+
+  std::uint64_t emitted() const { return emitted_; }
+
+ private:
+  std::vector<std::size_t> benchmark_ids_;
+  ArrivalOptions options_;
+  Rng rng_;
+  double t_ = 0.0;
+  bool in_burst_ = true;
+  std::uint64_t emitted_ = 0;
+
+  bool realtime_ = false;
+  std::vector<Cycles> reference_cycles_;
+  RealtimeOptions realtime_options_{};
+  Rng realtime_rng_{0};
+};
+
 }  // namespace hetsched

@@ -1,0 +1,156 @@
+// Differential fuzzing (ctest label: fuzz).
+//
+// Randomised (trace, configuration) pairs drive the single-pass
+// multi-configuration cache engine against the reference Cache replay,
+// and randomised schedules check ScheduleLog's busy-cycle reconstruction
+// against a naive recount and the simulator's own accounting. Every
+// iteration derives from a printed seed: a failure message carries the
+// seed, and HETSCHED_FUZZ_SEED=<seed> re-runs the whole suite from that
+// base for deterministic reproduction (CI pins it for the sanitizer
+// job).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "cache/multi_sim.hpp"
+#include "core/schedule_log.hpp"
+#include "experiment/experiment.hpp"
+#include "util/rng.hpp"
+
+namespace hetsched {
+namespace {
+
+std::uint64_t fuzz_base_seed() {
+  if (const char* env = std::getenv("HETSCHED_FUZZ_SEED")) {
+    return std::strtoull(env, nullptr, 10);
+  }
+  return 0x5eedf0220ULL;
+}
+
+// Kernel-ish trace: mostly short strided runs with occasional random
+// jumps, plus unaligned widths so accesses can straddle line boundaries.
+MemTrace random_trace(Rng& rng) {
+  const std::size_t length = 64 + rng.below(960);
+  const std::uint32_t window = 1u << (10 + rng.below(6));  // 1K..32K bytes
+  MemTrace trace;
+  trace.reserve(length);
+  std::uint32_t addr = 0x1000;
+  for (std::size_t i = 0; i < length; ++i) {
+    if (rng.bernoulli(0.3)) {
+      addr = 0x1000 + static_cast<std::uint32_t>(rng.below(window));
+    } else {
+      addr += static_cast<std::uint32_t>(1u << rng.below(5));  // 1..16 B
+    }
+    MemRef ref;
+    ref.address = addr;
+    ref.size = static_cast<std::uint8_t>(1u << rng.below(4));  // 1/2/4/8
+    ref.is_write = rng.bernoulli(0.3);
+    trace.push_back(ref);
+  }
+  return trace;
+}
+
+// Any valid power-of-two geometry, not just the Table-1 points: size
+// 1..16 KB, line 8..128 B, associativity 1..8 bounded so at least one
+// set exists.
+CacheConfig random_config(Rng& rng) {
+  for (;;) {
+    CacheConfig config;
+    config.size_bytes = 1024u << rng.below(5);
+    config.line_bytes = 8u << rng.below(5);
+    config.associativity = 1u << rng.below(4);
+    if (config.valid()) return config;
+  }
+}
+
+TEST(FuzzDifferential, MultiSimMatchesReferenceReplay) {
+  const std::uint64_t base = fuzz_base_seed();
+  const int kPairs = 500;
+  for (int pair = 0; pair < kPairs; ++pair) {
+    const std::uint64_t seed = base + static_cast<std::uint64_t>(pair);
+    Rng rng(seed);
+    const MemTrace trace = random_trace(rng);
+    std::vector<CacheConfig> configs(1 + rng.below(4));
+    for (CacheConfig& config : configs) config = random_config(rng);
+
+    const std::vector<CacheSimResult> multi =
+        simulate_trace_multi(trace, configs);
+    ASSERT_EQ(multi.size(), configs.size());
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+      const CacheSimResult reference = simulate_trace(trace, configs[i]);
+      const CacheStats& a = multi[i].stats;
+      const CacheStats& b = reference.stats;
+      const std::string where = "seed " + std::to_string(seed) +
+                                ", config " + configs[i].name() +
+                                " (reproduce with HETSCHED_FUZZ_SEED=" +
+                                std::to_string(seed) + ")";
+      ASSERT_EQ(multi[i].config, configs[i]) << where;
+      EXPECT_EQ(a.accesses, b.accesses) << where;
+      EXPECT_EQ(a.hits, b.hits) << where;
+      EXPECT_EQ(a.misses, b.misses) << where;
+      EXPECT_EQ(a.read_misses, b.read_misses) << where;
+      EXPECT_EQ(a.write_misses, b.write_misses) << where;
+      EXPECT_EQ(a.compulsory_misses, b.compulsory_misses) << where;
+      EXPECT_EQ(a.evictions, b.evictions) << where;
+      EXPECT_EQ(a.writebacks, b.writebacks) << where;
+      EXPECT_EQ(a.writethroughs, b.writethroughs) << where;
+      EXPECT_EQ(a.prefetch_fills, b.prefetch_fills) << where;
+      if (::testing::Test::HasFailure()) {
+        FAIL() << "first divergence at " << where;
+      }
+    }
+  }
+}
+
+// One scaled-down experiment shared by the schedule fuzz cases.
+const Experiment& fuzz_experiment() {
+  static const Experiment* experiment = [] {
+    ExperimentOptions options = ExperimentOptions::quick();
+    options.suite.variants_per_kernel = 1;
+    options.arrivals.count = 200;
+    options.seed = fuzz_base_seed();
+    return new Experiment(options);
+  }();
+  return *experiment;
+}
+
+void check_busy_recount(const SystemRun& run, const ScheduleLog& log) {
+  EXPECT_TRUE(log.well_formed()) << run.name;
+
+  const std::size_t cores = run.result.per_core.size();
+  const std::vector<Cycles> reconstructed = log.busy_cycles(cores);
+  std::vector<Cycles> naive(cores, 0);
+  for (const ScheduledSlice& slice : log.slices()) {
+    ASSERT_LT(slice.core, cores) << run.name;
+    ASSERT_LE(slice.start, slice.end) << run.name;
+    naive[slice.core] += slice.end - slice.start;
+  }
+  ASSERT_EQ(reconstructed.size(), cores) << run.name;
+  for (std::size_t core = 0; core < cores; ++core) {
+    EXPECT_EQ(reconstructed[core], naive[core])
+        << run.name << " core " << core;
+    EXPECT_EQ(naive[core], run.result.per_core[core].busy_cycles)
+        << run.name << " core " << core;
+  }
+}
+
+TEST(FuzzSchedule, BusyCyclesMatchNaiveRecount) {
+  const Experiment& experiment = fuzz_experiment();
+  {
+    ScheduleLog log;
+    check_busy_recount(experiment.run_base(&log), log);
+  }
+  {
+    ScheduleLog log;
+    check_busy_recount(experiment.run_optimal(&log), log);
+  }
+  {
+    ScheduleLog log;
+    check_busy_recount(experiment.run_proposed(&log), log);
+  }
+}
+
+}  // namespace
+}  // namespace hetsched

@@ -11,6 +11,15 @@
 //       per-configuration sweep)
 //   hetsched_cli train     --save <file> [common options]
 //       train the ANN predictor and persist it
+//   hetsched_cli scenario  --file <file.scn> [--profile-cache F] [obs flags]
+//       run one scenario file under the streaming driver and print its
+//       accounting plus the stream digest
+//   hetsched_cli sweep     --file <file.scn> [--sweep-cores LIST]
+//                          [--sweep-gaps LIST] [--sweep-policies LIST]
+//                          [--shards N]
+//       fan a (cores x arrival gap x policy) grid built from the scenario
+//       file across the thread pool in contiguous shards; results are
+//       bit-identical for every --threads / --shards combination
 //
 // Common options:
 //   --arrivals N         number of jobs              (default 5000)
@@ -45,8 +54,10 @@
 #include "core/realtime_policy.hpp"
 #include "core/serialization.hpp"
 #include "experiment/experiment.hpp"
+#include "experiment/sweep.hpp"
 #include "fault/fault_injector.hpp"
 #include "obs/observability.hpp"
+#include "scenario/scenario_runner.hpp"
 #include "util/table_printer.hpp"
 #include "util/thread_pool.hpp"
 
@@ -67,6 +78,11 @@ struct CliOptions {
   std::optional<std::uint64_t> fault_seed;
   std::string trace_out_path;
   std::string metrics_out_path;
+  std::string scenario_path;
+  std::string sweep_cores = "4";
+  std::string sweep_gaps;  // empty: the scenario file's mean-gap
+  std::string sweep_policies = "base,proposed";
+  std::size_t shards = 0;  // 0: one shard per cell
   ExperimentOptions experiment;
 };
 
@@ -118,11 +134,14 @@ struct ObsSession {
 [[noreturn]] void usage(const std::string& error = "") {
   if (!error.empty()) std::cerr << "error: " << error << "\n\n";
   std::cerr <<
-      "usage: hetsched_cli <compare|run|characterize|train> [options]\n"
+      "usage: hetsched_cli "
+      "<compare|run|characterize|train|scenario|sweep> [options]\n"
       "  --system S      base|optimal|energy-centric|proposed|realtime\n"
       "  --arrivals N    jobs in the stream (default 5000)\n"
       "  --gap CYCLES    mean inter-arrival gap (default 55000)\n"
       "  --seed N        experiment seed (default 42)\n"
+      "  --cores N       cores per simulated system (default 4; 4 = the\n"
+      "                  paper machines, otherwise the scaled layout)\n"
       "  --scale X       kernel working-set scale (default 1.0)\n"
       "  --discipline D  fifo|edf|priority ready-queue order\n"
       "  --slack X       assign deadlines = arrival + X*base cycles\n"
@@ -140,7 +159,16 @@ struct ObsSession {
       "  --fault-seed N  fault-decision seed (default 1)\n"
       "  --trace-out F   write a Chrome-trace/Perfetto JSON (ts in\n"
       "                  simulated cycles; open in ui.perfetto.dev)\n"
-      "  --metrics-out F write the metrics-registry snapshot as JSON\n";
+      "  --metrics-out F write the metrics-registry snapshot as JSON\n"
+      "  --file F        (scenario/sweep) scenario description file\n"
+      "  --sweep-cores L   (sweep) comma list of core counts (default 4)\n"
+      "  --sweep-gaps L    (sweep) comma list of mean gaps (default: the\n"
+      "                    scenario file's mean-gap)\n"
+      "  --sweep-policies L\n"
+      "                  (sweep) comma list of policies (default\n"
+      "                  base,proposed)\n"
+      "  --shards N      (sweep) contiguous shards to split the grid into\n"
+      "                  (default: one per cell)\n";
   std::exit(2);
 }
 
@@ -197,6 +225,9 @@ CliOptions parse(int argc, char** argv) {
           parse_real(flag, next(), 1.0, 1e15);
     } else if (flag == "--seed") {
       options.experiment.seed = parse_count(flag, next(), 0);
+    } else if (flag == "--cores") {
+      options.experiment.core_count =
+          static_cast<std::size_t>(parse_count(flag, next(), 2));
     } else if (flag == "--scale") {
       options.experiment.suite.kernel_scale =
           parse_real(flag, next(), 1e-6, 1e6);
@@ -235,6 +266,17 @@ CliOptions parse(int argc, char** argv) {
       if (options.metrics_out_path.empty()) {
         usage(flag + " expects a file path");
       }
+    } else if (flag == "--file") {
+      options.scenario_path = next();
+      if (options.scenario_path.empty()) usage(flag + " expects a file path");
+    } else if (flag == "--sweep-cores") {
+      options.sweep_cores = next();
+    } else if (flag == "--sweep-gaps") {
+      options.sweep_gaps = next();
+    } else if (flag == "--sweep-policies") {
+      options.sweep_policies = next();
+    } else if (flag == "--shards") {
+      options.shards = static_cast<std::size_t>(parse_count(flag, next(), 1));
     } else {
       usage("unknown flag " + flag);
     }
@@ -424,6 +466,12 @@ int cmd_run_or_compare(const CliOptions& options, ObsSession* obs) {
   }
 
   const QueueDiscipline discipline = parse_discipline(options.discipline);
+  // --cores selects the machine size for every system: the paper layouts
+  // at 4 (the default), the scaled heterogeneous layout otherwise.
+  const std::size_t cores = options.experiment.core_count;
+  const SystemConfig hetero_system =
+      cores == 4 ? SystemConfig::paper_quadcore()
+                 : SystemConfig::scaled_heterogeneous(cores);
   auto run_system = [&](const std::string& name,
                         ScheduleObserver* observer) -> SimulationResult {
     auto simulate = [&](SchedulerPolicy& policy,
@@ -442,23 +490,23 @@ int cmd_run_or_compare(const CliOptions& options, ObsSession* obs) {
     };
     if (name == "base") {
       BasePolicy policy;
-      return simulate(policy, SystemConfig::fixed_base(4));
+      return simulate(policy, SystemConfig::fixed_base(cores));
     }
     if (name == "optimal") {
       OptimalPolicy policy;
-      return simulate(policy, SystemConfig::paper_quadcore());
+      return simulate(policy, hetero_system);
     }
     if (name == "energy-centric") {
       EnergyCentricPolicy policy(predictor);
-      return simulate(policy, SystemConfig::paper_quadcore());
+      return simulate(policy, hetero_system);
     }
     if (name == "proposed") {
       ProposedPolicy policy(predictor);
-      return simulate(policy, SystemConfig::paper_quadcore());
+      return simulate(policy, hetero_system);
     }
     if (name == "realtime") {
       RealtimeEdfPolicy policy(predictor);
-      return simulate(policy, SystemConfig::paper_quadcore());
+      return simulate(policy, hetero_system);
     }
     usage("unknown system " + name);
   };
@@ -512,6 +560,103 @@ int cmd_run_or_compare(const CliOptions& options, ObsSession* obs) {
   return 0;
 }
 
+std::optional<Scenario> load_scenario(const CliOptions& options) {
+  if (options.scenario_path.empty()) {
+    std::cerr << "error: " << options.command << " requires --file FILE\n";
+    return std::nullopt;
+  }
+  std::ifstream in(options.scenario_path);
+  if (!in) {
+    std::cerr << "cannot open " << options.scenario_path << "\n";
+    return std::nullopt;
+  }
+  return Scenario::parse(in);
+}
+
+int cmd_scenario(const CliOptions& options, ObsSession* obs) {
+  const std::optional<Scenario> scenario = load_scenario(options);
+  if (!scenario.has_value()) return 1;
+  const ScenarioContext context(*scenario,
+                                options.experiment.profile_cache_path);
+  const ScenarioOutcome outcome = run_scenario(*scenario, context);
+  print_result(scenario->name, outcome.result);
+  std::cout << "stream: " << outcome.stream.slices() << " slices, digest 0x"
+            << std::hex << outcome.stream.digest() << std::dec << ", "
+            << outcome.stream.invariant_violations()
+            << " invariant violations\n";
+  if (obs != nullptr) {
+    record_scenario_metrics(obs->metrics, scenario->name + ".", outcome);
+  }
+  return outcome.stream.invariant_violations() == 0 ? 0 : 1;
+}
+
+// "8,16" -> {8, 16}; parse errors go through the flag's usual parser.
+std::vector<std::string> split_list(const std::string& flag,
+                                    const std::string& text) {
+  std::vector<std::string> items;
+  std::string item;
+  std::istringstream in(text);
+  while (std::getline(in, item, ',')) {
+    if (!item.empty()) items.push_back(item);
+  }
+  if (items.empty()) usage(flag + " expects a comma-separated list");
+  return items;
+}
+
+int cmd_sweep(const CliOptions& options, ObsSession* obs) {
+  const std::optional<Scenario> base = load_scenario(options);
+  if (!base.has_value()) return 1;
+
+  SweepGrid grid;
+  grid.base = *base;
+  grid.core_counts.clear();
+  for (const std::string& item :
+       split_list("--sweep-cores", options.sweep_cores)) {
+    grid.core_counts.push_back(
+        static_cast<std::size_t>(parse_count("--sweep-cores", item, 1)));
+  }
+  grid.mean_gaps.clear();
+  if (options.sweep_gaps.empty()) {
+    grid.mean_gaps.push_back(base->arrivals.mean_interarrival_cycles);
+  } else {
+    for (const std::string& item :
+         split_list("--sweep-gaps", options.sweep_gaps)) {
+      grid.mean_gaps.push_back(parse_real("--sweep-gaps", item, 1.0, 1e15));
+    }
+  }
+  grid.policies = split_list("--sweep-policies", options.sweep_policies);
+  grid.validate();
+
+  const ScenarioContext context(grid.context_scenario(),
+                                options.experiment.profile_cache_path);
+  const std::size_t shards =
+      options.shards == 0 ? grid.cell_count() : options.shards;
+  const std::vector<SweepCell> cells =
+      run_sweep(grid, context, shards, ThreadPool::global());
+
+  TablePrinter table({"cell", "completed", "total mJ", "makespan",
+                      "digest"});
+  std::uint64_t violations = 0;
+  for (const SweepCell& cell : cells) {
+    std::ostringstream digest;
+    digest << std::hex << cell.stream_digest;
+    table.add_row({cell.label, std::to_string(cell.result.completed_jobs),
+                   TablePrinter::num(cell.result.total_energy().millijoules(),
+                                     2),
+                   std::to_string(cell.result.makespan), digest.str()});
+    violations += cell.invariant_violations;
+  }
+  std::cout << grid.cell_count() << " cells in " << shards << " shards ("
+            << ThreadPool::global().thread_count() << " threads):\n";
+  table.print(std::cout);
+  if (obs != nullptr) record_sweep_metrics(obs->metrics, "sweep.", cells);
+  if (violations != 0) {
+    std::cerr << "error: " << violations << " schedule invariant violations\n";
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -535,6 +680,10 @@ int main(int argc, char** argv) {
       status = cmd_train(options);
     } else if (options.command == "run" || options.command == "compare") {
       status = cmd_run_or_compare(options, obs_ptr);
+    } else if (options.command == "scenario") {
+      status = cmd_scenario(options, obs_ptr);
+    } else if (options.command == "sweep") {
+      status = cmd_sweep(options, obs_ptr);
     } else {
       usage("unknown command " + options.command);
     }
