@@ -8,10 +8,13 @@
 //   disabled : no observer, no probe (the default production path)
 //   metrics  : EventTracer attached, counters/histogram maintained
 //   full     : tracer + metrics + global ProbeRecorder installed
+//   windowed : WindowedCollector attached (per-window telemetry)
 //
 // and verifies that enabling observability does not change a single
 // simulation output (energy, makespan, completions are compared against
-// the disabled run). Results go to BENCH_obs_overhead.json.
+// the disabled run) — including the windowed path, whose collector is
+// checked to see the full stream without perturbing it. Results go to
+// BENCH_obs_overhead.json.
 #include <chrono>
 #include <fstream>
 #include <functional>
@@ -20,6 +23,7 @@
 
 #include "experiment/experiment.hpp"
 #include "obs/observability.hpp"
+#include "obs/windowed.hpp"
 #include "util/contracts.hpp"
 #include "util/table_printer.hpp"
 
@@ -75,6 +79,26 @@ int main() {
     }
   });
 
+  // WindowedCollector attached to the simulator (the streaming
+  // telemetry path).
+  SystemRun windowed_run;
+  std::uint64_t windows_closed = 0;
+  std::uint64_t window_jobs = 0;
+  const double windowed_ms = time_ms([&] {
+    for (int i = 0; i < kRepeats; ++i) {
+      WindowedCollector collector(options.core_count,
+                                  WindowedOptions{1'000'000, 0},
+                                  &experiment.suite());
+      windowed_run = experiment.run_proposed(&collector);
+      collector.finalize();
+      windows_closed = collector.windows_closed();
+      window_jobs = 0;
+      for (const WindowRecord& w : collector.windows()) {
+        window_jobs += w.jobs_completed;
+      }
+    }
+  });
+
   // Observability must not perturb the simulation.
   auto same = [&](const SystemRun& run) {
     HETSCHED_REQUIRE(run.result.total_energy().value() ==
@@ -85,6 +109,9 @@ int main() {
   };
   same(traced);
   same(full);
+  same(windowed_run);
+  // The window stream must account for every completed job exactly once.
+  HETSCHED_REQUIRE(window_jobs == reference.result.completed_jobs);
 
   std::cout << "=== Observability overhead (proposed system, "
             << options.arrivals.count << " arrivals, " << kRepeats
@@ -97,8 +124,10 @@ int main() {
   add("disabled", disabled_ms);
   add("tracer + metrics", metrics_ms);
   add("tracer + metrics + probe", full_ms);
+  add("windowed collector", windowed_ms);
   table.print(std::cout);
   std::cout << "\nTrace events per run: " << trace_events
+            << "\nWindows closed per run: " << windows_closed
             << "\nSimulation outputs identical across all modes.\n";
 
   std::ofstream json("BENCH_obs_overhead.json");
@@ -107,11 +136,14 @@ int main() {
        << "  \"arrivals\": " << options.arrivals.count << ",\n"
        << "  \"repeats\": " << kRepeats << ",\n"
        << "  \"trace_events_per_run\": " << trace_events << ",\n"
+       << "  \"windows_closed_per_run\": " << windows_closed << ",\n"
        << "  \"disabled_ms\": " << disabled_ms << ",\n"
        << "  \"metrics_ms\": " << metrics_ms << ",\n"
        << "  \"full_ms\": " << full_ms << ",\n"
+       << "  \"windowed_ms\": " << windowed_ms << ",\n"
        << "  \"metrics_overhead\": " << metrics_ms / disabled_ms << ",\n"
-       << "  \"full_overhead\": " << full_ms / disabled_ms << "\n"
+       << "  \"full_overhead\": " << full_ms / disabled_ms << ",\n"
+       << "  \"windowed_overhead\": " << windowed_ms / disabled_ms << "\n"
        << "}\n";
   std::cout << "Results written to BENCH_obs_overhead.json\n";
   return 0;

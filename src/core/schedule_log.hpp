@@ -5,6 +5,7 @@
 #pragma once
 
 #include <iosfwd>
+#include <utility>
 #include <vector>
 
 #include "core/job.hpp"
@@ -83,6 +84,22 @@ struct PreemptEvent {
   bool was_hung = false;     // wedged victim: no slice was emitted
 };
 
+// A scheduling pass declined to place this job anywhere (Section IV.A:
+// the job waits for a better core instead of migrating to a worse one).
+struct StallEvent {
+  SimTime time = 0;
+  std::uint64_t job_id = 0;
+  std::size_t benchmark_id = 0;
+};
+
+// Ready-queue depth observed once per simulation event round, after
+// arrivals are admitted and before the scheduling pass — the per-round
+// high-water mark of queued work.
+struct QueueSample {
+  SimTime time = 0;
+  std::size_t depth = 0;
+};
+
 class ScheduleObserver {
  public:
   virtual ~ScheduleObserver() = default;
@@ -96,6 +113,62 @@ class ScheduleObserver {
   virtual void on_reconfig(const ReconfigEvent& event) { (void)event; }
   virtual void on_idle(const IdleEvent& event) { (void)event; }
   virtual void on_preempt(const PreemptEvent& event) { (void)event; }
+  virtual void on_stall(const StallEvent& event) { (void)event; }
+  virtual void on_queue_depth(const QueueSample& sample) { (void)sample; }
+};
+
+// Forwards every callback to a fixed list of observers, in order. Lets
+// one simulator run feed several independent recorders (e.g. StreamStats
+// plus a WindowedCollector plus an EventTracer) without any of them
+// knowing about the others. Null entries are skipped.
+class FanoutObserver final : public ScheduleObserver {
+ public:
+  explicit FanoutObserver(std::vector<ScheduleObserver*> observers)
+      : observers_(std::move(observers)) {}
+
+  void on_slice(const ScheduledSlice& slice) override {
+    for (ScheduleObserver* o : observers_) {
+      if (o != nullptr) o->on_slice(slice);
+    }
+  }
+  void on_fault(const FaultRecord& record) override {
+    for (ScheduleObserver* o : observers_) {
+      if (o != nullptr) o->on_fault(record);
+    }
+  }
+  void on_dispatch(const DispatchEvent& event) override {
+    for (ScheduleObserver* o : observers_) {
+      if (o != nullptr) o->on_dispatch(event);
+    }
+  }
+  void on_reconfig(const ReconfigEvent& event) override {
+    for (ScheduleObserver* o : observers_) {
+      if (o != nullptr) o->on_reconfig(event);
+    }
+  }
+  void on_idle(const IdleEvent& event) override {
+    for (ScheduleObserver* o : observers_) {
+      if (o != nullptr) o->on_idle(event);
+    }
+  }
+  void on_preempt(const PreemptEvent& event) override {
+    for (ScheduleObserver* o : observers_) {
+      if (o != nullptr) o->on_preempt(event);
+    }
+  }
+  void on_stall(const StallEvent& event) override {
+    for (ScheduleObserver* o : observers_) {
+      if (o != nullptr) o->on_stall(event);
+    }
+  }
+  void on_queue_depth(const QueueSample& sample) override {
+    for (ScheduleObserver* o : observers_) {
+      if (o != nullptr) o->on_queue_depth(sample);
+    }
+  }
+
+ private:
+  std::vector<ScheduleObserver*> observers_;
 };
 
 class ScheduleLog final : public ScheduleObserver {

@@ -511,6 +511,9 @@ void MulticoreSimulator::try_schedule(SimTime now) {
         break;
       case Decision::Kind::kStall:
         ++result_.stall_events;
+        if (observer_ != nullptr) {
+          observer_->on_stall(StallEvent{now, job.job_id, job.benchmark_id});
+        }
         ready_.push_back(job);
         break;
     }
@@ -611,6 +614,12 @@ SimulationResult MulticoreSimulator::run_stream(ArrivalSource& source) {
       pending = source.next();
       HETSCHED_REQUIRE((!pending.has_value() || pending->arrival >= now) &&
                        "arrival stream must be non-decreasing in time");
+    }
+
+    // Queue depth after admission, before scheduling: the round's
+    // high-water mark of queued work.
+    if (observer_ != nullptr) {
+      observer_->on_queue_depth(QueueSample{now, ready_.size()});
     }
 
     try_schedule(now);

@@ -43,12 +43,16 @@ void SweepGrid::validate() const {
   for (std::size_t i = 0; i < cell_count(); ++i) cell_scenario(i).validate();
 }
 
-std::vector<SweepCell> run_sweep(const SweepGrid& grid,
-                                 const ScenarioContext& context,
-                                 std::size_t shards, ThreadPool& pool) {
+std::vector<SweepCell> run_sweep(
+    const SweepGrid& grid, const ScenarioContext& context,
+    std::size_t shards, ThreadPool& pool,
+    std::span<ScheduleObserver* const> cell_observers) {
   grid.validate();
   HETSCHED_REQUIRE(shards >= 1 && "shards must be >= 1");
   const std::size_t cells = grid.cell_count();
+  HETSCHED_REQUIRE((cell_observers.empty() ||
+                    cell_observers.size() == cells) &&
+                   "cell_observers must be empty or one per cell");
   shards = std::min(shards, cells);
 
   std::vector<SweepCell> results(cells);
@@ -60,7 +64,9 @@ std::vector<SweepCell> run_sweep(const SweepGrid& grid,
     const std::size_t end = (shard + 1) * cells / shards;
     for (std::size_t i = begin; i < end; ++i) {
       const Scenario scenario = grid.cell_scenario(i);
-      const ScenarioOutcome outcome = run_scenario(scenario, context);
+      ScheduleObserver* extra =
+          cell_observers.empty() ? nullptr : cell_observers[i];
+      const ScenarioOutcome outcome = run_scenario(scenario, context, extra);
 
       SweepCell& cell = results[i];
       cell.index = i;
@@ -79,9 +85,11 @@ std::vector<SweepCell> run_sweep(const SweepGrid& grid,
   return results;
 }
 
-std::vector<SweepCell> run_sweep(const SweepGrid& grid,
-                                 const ScenarioContext& context) {
-  return run_sweep(grid, context, grid.cell_count(), ThreadPool::global());
+std::vector<SweepCell> run_sweep(
+    const SweepGrid& grid, const ScenarioContext& context,
+    std::span<ScheduleObserver* const> cell_observers) {
+  return run_sweep(grid, context, grid.cell_count(), ThreadPool::global(),
+                   cell_observers);
 }
 
 void record_sweep_metrics(MetricsRegistry& metrics,

@@ -6,6 +6,7 @@
 // bit-identical for every shard count and every HETSCHED_THREADS value.
 #pragma once
 
+#include <span>
 #include <string>
 #include <vector>
 
@@ -57,13 +58,20 @@ struct SweepCell {
 // contiguous chunks executed via pool.parallel_for. Returns the cells in
 // grid order. `context` must come from grid.context_scenario() (or any
 // scenario with identical suite/predictor parameters).
-std::vector<SweepCell> run_sweep(const SweepGrid& grid,
-                                 const ScenarioContext& context,
-                                 std::size_t shards, ThreadPool& pool);
+// `cell_observers` is either empty or one observer per cell (nulls
+// allowed): observer i receives cell i's event stream. Each observer is
+// touched only by the shard running its cell, so per-cell recorders
+// need no locking; cells may run concurrently, so one observer must not
+// be aliased across cells.
+std::vector<SweepCell> run_sweep(
+    const SweepGrid& grid, const ScenarioContext& context,
+    std::size_t shards, ThreadPool& pool,
+    std::span<ScheduleObserver* const> cell_observers = {});
 
 // Convenience: shards == cell count, shared global pool.
-std::vector<SweepCell> run_sweep(const SweepGrid& grid,
-                                 const ScenarioContext& context);
+std::vector<SweepCell> run_sweep(
+    const SweepGrid& grid, const ScenarioContext& context,
+    std::span<ScheduleObserver* const> cell_observers = {});
 
 // Deposits one result bucket per cell under `prefix` + cell label, plus
 // the per-cell stream digest and invariant-violation counters.

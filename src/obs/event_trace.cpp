@@ -26,19 +26,31 @@ EventTracer::EventTracer(MetricsRegistry* metrics,
   idle_cycles_ = &metrics_->counter(prefix + "idle_cycles");
   faults_ = &metrics_->counter(prefix + "faults");
   watchdog_fires_ = &metrics_->counter(prefix + "watchdog_fires");
+  dropped_counter_ = &metrics_->counter(prefix + "dropped_trace_events");
   slice_cycles_ =
       &metrics_->histogram(prefix + "slice_cycles", 0.0, 1e6, 20);
 }
 
+bool EventTracer::retain() {
+  if (max_events_ != 0 && events_.size() >= max_events_) {
+    ++dropped_events_;
+    if (dropped_counter_ != nullptr) dropped_counter_->add();
+    return false;
+  }
+  return true;
+}
+
 void EventTracer::on_slice(const ScheduledSlice& slice) {
-  events_.push_back(TraceEvent{
-      'X', std::string("exec:") + std::string(to_string(slice.kind)),
-      slice.start, slice.end - slice.start,
-      static_cast<std::uint32_t>(slice.core),
-      {{"job", u64(slice.job_id)},
-       {"benchmark", u64(slice.benchmark_id)},
-       {"config", slice.config.name()},
-       {"completed", slice.completed ? "1" : "0"}}});
+  if (retain()) {
+    events_.push_back(TraceEvent{
+        'X', std::string("exec:") + std::string(to_string(slice.kind)),
+        slice.start, slice.end - slice.start,
+        static_cast<std::uint32_t>(slice.core),
+        {{"job", u64(slice.job_id)},
+         {"benchmark", u64(slice.benchmark_id)},
+         {"config", slice.config.name()},
+         {"completed", slice.completed ? "1" : "0"}}});
+  }
   if (metrics_ == nullptr) return;
   slices_->add();
   (slice.completed ? completed_slices_ : preempted_slices_)->add();
@@ -46,10 +58,12 @@ void EventTracer::on_slice(const ScheduledSlice& slice) {
 }
 
 void EventTracer::on_fault(const FaultRecord& record) {
-  events_.push_back(TraceEvent{
-      'i', std::string("fault:") + std::string(to_string(record.kind)),
-      record.time, 0, static_cast<std::uint32_t>(record.core),
-      {{"job", u64(record.job_id)}}});
+  if (retain()) {
+    events_.push_back(TraceEvent{
+        'i', std::string("fault:") + std::string(to_string(record.kind)),
+        record.time, 0, static_cast<std::uint32_t>(record.core),
+        {{"job", u64(record.job_id)}}});
+  }
   if (metrics_ == nullptr) return;
   faults_->add();
   if (record.kind == FaultRecord::Kind::kWatchdogFire) {
@@ -58,53 +72,62 @@ void EventTracer::on_fault(const FaultRecord& record) {
 }
 
 void EventTracer::on_dispatch(const DispatchEvent& event) {
-  events_.push_back(TraceEvent{
-      'i', "dispatch", event.time, 0,
-      static_cast<std::uint32_t>(event.core),
-      {{"job", u64(event.job_id)},
-       {"benchmark", u64(event.benchmark_id)},
-       {"kind", std::string(to_string(event.kind))},
-       {"backoff", u64(event.backoff)},
-       {"duration", u64(event.duration)},
-       {"hung", event.hung ? "1" : "0"}}});
+  if (retain()) {
+    events_.push_back(TraceEvent{
+        'i', "dispatch", event.time, 0,
+        static_cast<std::uint32_t>(event.core),
+        {{"job", u64(event.job_id)},
+         {"benchmark", u64(event.benchmark_id)},
+         {"kind", std::string(to_string(event.kind))},
+         {"backoff", u64(event.backoff)},
+         {"duration", u64(event.duration)},
+         {"hung", event.hung ? "1" : "0"}}});
+  }
   if (dispatches_ != nullptr) dispatches_->add();
 }
 
 void EventTracer::on_reconfig(const ReconfigEvent& event) {
-  events_.push_back(TraceEvent{
-      'i', event.success ? "reconfig" : "reconfig-retry", event.time, 0,
-      static_cast<std::uint32_t>(event.core),
-      {{"job", u64(event.job_id)},
-       {"attempt", std::to_string(event.attempt)},
-       {"success", event.success ? "1" : "0"},
-       {"backoff_wait", u64(event.backoff_wait)}}});
+  if (retain()) {
+    events_.push_back(TraceEvent{
+        'i', event.success ? "reconfig" : "reconfig-retry", event.time, 0,
+        static_cast<std::uint32_t>(event.core),
+        {{"job", u64(event.job_id)},
+         {"attempt", std::to_string(event.attempt)},
+         {"success", event.success ? "1" : "0"},
+         {"backoff_wait", u64(event.backoff_wait)}}});
+  }
   if (metrics_ == nullptr) return;
   reconfig_attempts_->add();
   if (!event.success) reconfig_failures_->add();
 }
 
 void EventTracer::on_idle(const IdleEvent& event) {
-  events_.push_back(TraceEvent{'X', "idle", event.from,
-                               event.to - event.from,
-                               static_cast<std::uint32_t>(event.core),
-                               {}});
+  if (retain()) {
+    events_.push_back(TraceEvent{'X', "idle", event.from,
+                                 event.to - event.from,
+                                 static_cast<std::uint32_t>(event.core),
+                                 {}});
+  }
   if (metrics_ == nullptr) return;
   idle_intervals_->add();
   idle_cycles_->add(event.to - event.from);
 }
 
 void EventTracer::on_preempt(const PreemptEvent& event) {
-  events_.push_back(TraceEvent{
-      'i', "preempt", event.time, 0,
-      static_cast<std::uint32_t>(event.core),
-      {{"job", u64(event.job_id)},
-       {"was_hung", event.was_hung ? "1" : "0"}}});
+  if (retain()) {
+    events_.push_back(TraceEvent{
+        'i', "preempt", event.time, 0,
+        static_cast<std::uint32_t>(event.core),
+        {{"job", u64(event.job_id)},
+         {"was_hung", event.was_hung ? "1" : "0"}}});
+  }
   if (preemptions_ != nullptr) preemptions_->add();
 }
 
 void EventTracer::add_span(
     std::string name, SimTime ts, SimTime dur, std::uint32_t tid,
     std::vector<std::pair<std::string, std::string>> args) {
+  if (!retain()) return;
   events_.push_back(
       TraceEvent{'X', std::move(name), ts, dur, tid, std::move(args)});
 }
@@ -112,6 +135,7 @@ void EventTracer::add_span(
 void EventTracer::add_instant(
     std::string name, SimTime ts, std::uint32_t tid,
     std::vector<std::pair<std::string, std::string>> args) {
+  if (!retain()) return;
   events_.push_back(
       TraceEvent{'i', std::move(name), ts, 0, tid, std::move(args)});
 }

@@ -62,8 +62,25 @@ class EventTracer final : public ScheduleObserver {
 
   const std::vector<TraceEvent>& events() const { return events_; }
 
+  // Retention cap: at most `max` events are kept (0 = unlimited); the
+  // default bounds a million-job streaming trace. Once full, the
+  // retained stream is the run's prefix — later events are counted in
+  // dropped_events() (and the `dropped_trace_events` metric) but not
+  // stored. Metric counters keep updating for dropped events, so the
+  // registry totals stay exact.
+  void set_max_events(std::size_t max) { max_events_ = max; }
+  std::size_t max_events() const { return max_events_; }
+  std::uint64_t dropped_events() const { return dropped_events_; }
+
+  static constexpr std::size_t kDefaultMaxEvents = 1'000'000;
+
  private:
+  // False (and counts a drop) when the retention cap is exhausted.
+  bool retain();
+
   std::vector<TraceEvent> events_;
+  std::size_t max_events_ = kDefaultMaxEvents;
+  std::uint64_t dropped_events_ = 0;
   MetricsRegistry* metrics_ = nullptr;
   // Registered up front (null when metrics_ is null).
   Counter* dispatches_ = nullptr;
@@ -77,6 +94,7 @@ class EventTracer final : public ScheduleObserver {
   Counter* idle_cycles_ = nullptr;
   Counter* faults_ = nullptr;
   Counter* watchdog_fires_ = nullptr;
+  Counter* dropped_counter_ = nullptr;
   FixedHistogram* slice_cycles_ = nullptr;
 };
 

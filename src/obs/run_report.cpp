@@ -1,0 +1,84 @@
+#include "obs/run_report.hpp"
+
+#include <ostream>
+
+#include "obs/metrics.hpp"
+#include "util/csv.hpp"
+
+namespace hetsched {
+
+void PhaseTimers::record(const std::string& name, double ms) {
+  entries_.emplace_back(name, ms);
+}
+
+void attach_window_summary(RunReport& report,
+                           const WindowedCollector& collector,
+                           const AnomalyConfig& config) {
+  report.window_cycles = collector.window_cycles();
+  report.windows_closed = collector.windows_closed();
+  report.dropped_windows = collector.dropped_windows();
+  report.window_jobs_completed = 0;
+  report.window_energy_mj = 0.0;
+  for (const WindowRecord& w : collector.windows()) {
+    report.window_jobs_completed += w.jobs_completed;
+    report.window_energy_mj += w.energy_mj;
+  }
+  report.anomalies = detect_anomalies(collector.windows(), config);
+}
+
+std::string anomaly_to_json(const Anomaly& a) {
+  std::string out = "{\"rule\":\"" + std::string(to_string(a.rule)) + "\"";
+  out += ",\"window\":" + std::to_string(a.window);
+  if (a.core != SIZE_MAX) out += ",\"core\":" + std::to_string(a.core);
+  out += ",\"value\":" + CsvWriter::number(a.value);
+  out += ",\"reference\":" + CsvWriter::number(a.reference);
+  out += ",\"message\":\"" + json_escape(a.message) + "\"}";
+  return out;
+}
+
+std::string run_report_to_json(const RunReport& r) {
+  std::string out = "{\n  \"schema\": 1,\n";
+  out += "  \"command\": \"" + json_escape(r.command) + "\",\n";
+  out += "  \"config\": {";
+  out += "\"name\": \"" + json_escape(r.name) + "\"";
+  out += ", \"policy\": \"" + json_escape(r.policy) + "\"";
+  out += ", \"system\": \"" + json_escape(r.system) + "\"";
+  out += ", \"discipline\": \"" + json_escape(r.discipline) + "\"";
+  out += ", \"cores\": " + std::to_string(r.cores);
+  out += ", \"seed\": " + std::to_string(r.seed);
+  out += ", \"jobs\": " + std::to_string(r.jobs);
+  out += ", \"suite_key\": " + std::to_string(r.suite_key);
+  out += "},\n";
+  out += "  \"result\": {";
+  out += "\"completed_jobs\": " + std::to_string(r.completed_jobs);
+  out += ", \"makespan\": " + std::to_string(r.makespan);
+  out += ", \"total_energy_mj\": " + CsvWriter::number(r.total_energy_mj);
+  out += ", \"stream_digest\": " + std::to_string(r.stream_digest);
+  out += "},\n";
+  out += "  \"metrics\": " + r.metrics_json + ",\n";
+  out += "  \"windows\": {";
+  out += "\"window_cycles\": " + std::to_string(r.window_cycles);
+  out += ", \"closed\": " + std::to_string(r.windows_closed);
+  out += ", \"dropped\": " + std::to_string(r.dropped_windows);
+  out += ", \"jobs_completed\": " + std::to_string(r.window_jobs_completed);
+  out += ", \"energy_mj\": " + CsvWriter::number(r.window_energy_mj);
+  out += ", \"anomalies\": [";
+  for (std::size_t i = 0; i < r.anomalies.size(); ++i) {
+    out += (i == 0 ? "" : ", ") + anomaly_to_json(r.anomalies[i]);
+  }
+  out += "]},\n";
+  out += "  \"phases_ms\": {";
+  for (std::size_t i = 0; i < r.phases_ms.size(); ++i) {
+    out += (i == 0 ? "" : ", ");
+    out += "\"" + json_escape(r.phases_ms[i].first) +
+           "\": " + CsvWriter::number(r.phases_ms[i].second);
+  }
+  out += "}\n}\n";
+  return out;
+}
+
+void write_run_report(std::ostream& out, const RunReport& report) {
+  out << run_report_to_json(report);
+}
+
+}  // namespace hetsched

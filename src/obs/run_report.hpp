@@ -1,0 +1,103 @@
+// Unified run report: one JSON document that captures what ran (config
+// echo + suite cache key), what came out (final result numbers and the
+// metrics-registry snapshot), how it evolved (window summary + anomaly
+// verdicts from the windowed collector) and how long the wall-clock
+// phases took. Written by the CLI behind --report-out on run, scenario
+// and sweep commands.
+//
+// Everything except the phase timers is deterministic: two identical
+// runs differ only inside "phases_ms". Tests that compare reports strip
+// or ignore that section.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/windowed.hpp"
+
+namespace hetsched {
+
+// Named wall-clock phase durations (setup / run / export ...). Scopes
+// time themselves with a steady clock; entries keep insertion order.
+class PhaseTimers {
+ public:
+  class Scope {
+   public:
+    Scope(PhaseTimers& owner, std::string name)
+        : owner_(owner),
+          name_(std::move(name)),
+          start_(std::chrono::steady_clock::now()) {}
+    ~Scope() {
+      const auto stop = std::chrono::steady_clock::now();
+      owner_.record(name_,
+                    std::chrono::duration<double, std::milli>(stop - start_)
+                        .count());
+    }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    PhaseTimers& owner_;
+    std::string name_;
+    std::chrono::steady_clock::time_point start_;
+  };
+
+  Scope scope(std::string name) { return Scope(*this, std::move(name)); }
+  void record(const std::string& name, double ms);
+  const std::vector<std::pair<std::string, double>>& entries() const {
+    return entries_;
+  }
+
+ private:
+  std::vector<std::pair<std::string, double>> entries_;
+};
+
+struct RunReport {
+  // What ran. The CLI fills these from its command line / scenario; the
+  // obs layer deliberately knows nothing about Scenario.
+  std::string command;    // run | scenario | sweep
+  std::string name;       // scenario/run label
+  std::string policy;
+  std::string system;
+  std::string discipline;
+  std::size_t cores = 0;
+  std::uint64_t seed = 0;
+  std::uint64_t jobs = 0;
+  std::uint64_t suite_key = 0;  // suite_cache_key of the characterisation
+
+  // Final outcome.
+  std::uint64_t completed_jobs = 0;
+  std::uint64_t makespan = 0;
+  double total_energy_mj = 0.0;
+  std::uint64_t stream_digest = 0;  // 0 when the run kept no StreamStats
+
+  // Full metrics-registry snapshot, embedded verbatim ("{}" when the
+  // run kept no registry).
+  std::string metrics_json = "{}";
+
+  // Window summary (zero/empty without a windowed collector).
+  std::uint64_t window_cycles = 0;
+  std::uint64_t windows_closed = 0;
+  std::uint64_t dropped_windows = 0;
+  std::uint64_t window_jobs_completed = 0;
+  double window_energy_mj = 0.0;
+  std::vector<Anomaly> anomalies;
+
+  std::vector<std::pair<std::string, double>> phases_ms;
+};
+
+// Copies a finalized collector's summary and anomaly verdicts into the
+// report.
+void attach_window_summary(RunReport& report,
+                           const WindowedCollector& collector,
+                           const AnomalyConfig& config);
+
+std::string anomaly_to_json(const Anomaly& anomaly);
+std::string run_report_to_json(const RunReport& report);
+void write_run_report(std::ostream& out, const RunReport& report);
+
+}  // namespace hetsched

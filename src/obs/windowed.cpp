@@ -1,0 +1,301 @@
+#include "obs/windowed.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "util/contracts.hpp"
+#include "util/csv.hpp"
+
+namespace hetsched {
+
+Cycles WindowRecord::total_busy_cycles() const {
+  Cycles total = 0;
+  for (const Cycles c : busy_cycles) total += c;
+  return total;
+}
+
+Cycles WindowRecord::total_idle_cycles() const {
+  Cycles total = 0;
+  for (const Cycles c : idle_cycles) total += c;
+  return total;
+}
+
+WindowedCollector::WindowedCollector(std::size_t core_count,
+                                     WindowedOptions options,
+                                     const CharacterizedSuite* suite)
+    : options_(options), suite_(suite) {
+  HETSCHED_REQUIRE(core_count > 0);
+  HETSCHED_REQUIRE(options_.window_cycles > 0);
+  current_.busy_cycles.resize(core_count, 0);
+  current_.idle_cycles.resize(core_count, 0);
+  current_.start = 0;
+  current_.end = options_.window_cycles;
+}
+
+void WindowedCollector::reset_current(SimTime start) {
+  const std::size_t cores = current_.busy_cycles.size();
+  const std::uint64_t index = current_.index + 1;
+  current_ = WindowRecord{};
+  current_.index = index;
+  current_.start = start;
+  current_.end = start + options_.window_cycles;
+  current_.busy_cycles.resize(cores, 0);
+  current_.idle_cycles.resize(cores, 0);
+}
+
+void WindowedCollector::close_window() {
+  ++windows_closed_;
+  if (sink_ != nullptr) *sink_ << window_to_json(current_) << '\n';
+  windows_.push_back(current_);
+  if (options_.max_windows > 0 && windows_.size() > options_.max_windows) {
+    windows_.erase(windows_.begin());
+    ++dropped_windows_;
+  }
+}
+
+void WindowedCollector::advance(SimTime t) {
+  HETSCHED_REQUIRE(!finalized_ &&
+                   "WindowedCollector received an event after finalize()");
+  saw_event_ = true;
+  while (t >= current_.end) {
+    close_window();
+    reset_current(current_.end);
+  }
+}
+
+void WindowedCollector::on_slice(const ScheduledSlice& slice) {
+  advance(slice.end);
+  ++current_.slices;
+  if (slice.core < current_.busy_cycles.size() && slice.end > slice.start) {
+    current_.busy_cycles[slice.core] += slice.end - slice.start;
+  }
+  if (!slice.completed) {
+    last_core_[slice.job_id] = slice.core;
+    return;
+  }
+  ++current_.jobs_completed;
+  if (suite_ != nullptr) {
+    const BenchmarkProfile& profile = suite_->benchmark(slice.benchmark_id);
+    const ConfigProfile& cp = profile.profile_for(slice.config);
+    const double portion =
+        static_cast<double>(slice.end - slice.start) /
+        static_cast<double>(cp.energy.total_cycles);
+    current_.energy_mj += ((cp.energy.dynamic_energy +
+                            cp.energy.static_energy + cp.energy.cpu_energy) *
+                           portion)
+                              .millijoules();
+    if (slice.kind == ExecutionKind::kNormal) {
+      if (slice.config.size_bytes == profile.oracle_best_size()) {
+        ++current_.prediction_hits;
+      } else {
+        ++current_.prediction_misses;
+      }
+    }
+  }
+}
+
+void WindowedCollector::on_fault(const FaultRecord& record) {
+  advance(record.time);
+  ++current_.faults;
+  // A failed core's hung victim and a watchdog-cleared job re-queue
+  // without a slice; remember their core for the migration detector.
+  if (record.job_id != 0 &&
+      (record.kind == FaultRecord::Kind::kCoreFailure ||
+       record.kind == FaultRecord::Kind::kWatchdogFire)) {
+    last_core_[record.job_id] = record.core;
+  }
+}
+
+void WindowedCollector::on_dispatch(const DispatchEvent& event) {
+  advance(event.time);
+  ++current_.dispatches;
+  const auto it = last_core_.find(event.job_id);
+  if (it != last_core_.end()) {
+    if (it->second != event.core) ++current_.migrations;
+    last_core_.erase(it);
+  }
+}
+
+void WindowedCollector::on_reconfig(const ReconfigEvent& event) {
+  advance(event.time);
+  ++current_.reconfig_attempts;
+}
+
+void WindowedCollector::on_idle(const IdleEvent& event) {
+  advance(event.to);
+  if (event.core < current_.idle_cycles.size() && event.to > event.from) {
+    current_.idle_cycles[event.core] += event.to - event.from;
+  }
+}
+
+void WindowedCollector::on_preempt(const PreemptEvent& event) {
+  advance(event.time);
+  ++current_.preemptions;
+  if (event.was_hung) last_core_[event.job_id] = event.core;
+}
+
+void WindowedCollector::on_stall(const StallEvent& event) {
+  advance(event.time);
+  ++current_.stalls;
+}
+
+void WindowedCollector::on_queue_depth(const QueueSample& sample) {
+  advance(sample.time);
+  current_.queue_peak = std::max<std::uint64_t>(current_.queue_peak,
+                                                sample.depth);
+}
+
+void WindowedCollector::finalize() {
+  if (finalized_) return;
+  finalized_ = true;
+  // Close the in-progress window only if the run put anything into the
+  // current window span (a run ending exactly on a boundary, or an
+  // eventless collector, adds no trailing zero row).
+  if (saw_event_) close_window();
+}
+
+void WindowedCollector::write_jsonl(std::ostream& out) const {
+  for (const WindowRecord& window : windows_) {
+    out << window_to_json(window) << '\n';
+  }
+}
+
+std::string window_to_json(const WindowRecord& w) {
+  std::string line = "{\"window\":" + std::to_string(w.index);
+  line += ",\"start\":" + std::to_string(w.start);
+  line += ",\"end\":" + std::to_string(w.end);
+  line += ",\"jobs_completed\":" + std::to_string(w.jobs_completed);
+  line += ",\"slices\":" + std::to_string(w.slices);
+  line += ",\"dispatches\":" + std::to_string(w.dispatches);
+  line += ",\"preemptions\":" + std::to_string(w.preemptions);
+  line += ",\"stalls\":" + std::to_string(w.stalls);
+  line += ",\"migrations\":" + std::to_string(w.migrations);
+  line += ",\"queue_peak\":" + std::to_string(w.queue_peak);
+  line += ",\"prediction_hits\":" + std::to_string(w.prediction_hits);
+  line += ",\"prediction_misses\":" + std::to_string(w.prediction_misses);
+  line += ",\"reconfig_attempts\":" + std::to_string(w.reconfig_attempts);
+  line += ",\"faults\":" + std::to_string(w.faults);
+  line += ",\"energy_mj\":" + CsvWriter::number(w.energy_mj);
+  line += ",\"busy_cycles\":[";
+  for (std::size_t i = 0; i < w.busy_cycles.size(); ++i) {
+    line += (i == 0 ? "" : ",") + std::to_string(w.busy_cycles[i]);
+  }
+  line += "],\"idle_cycles\":[";
+  for (std::size_t i = 0; i < w.idle_cycles.size(); ++i) {
+    line += (i == 0 ? "" : ",") + std::to_string(w.idle_cycles[i]);
+  }
+  line += "]}";
+  return line;
+}
+
+std::string_view to_string(Anomaly::Rule rule) {
+  switch (rule) {
+    case Anomaly::Rule::kCoreStarvation: return "core-starvation";
+    case Anomaly::Rule::kIdleSpike: return "idle-spike";
+    case Anomaly::Rule::kEnergyDrift: return "energy-drift";
+  }
+  return "unknown";
+}
+
+std::vector<Anomaly> detect_anomalies(std::span<const WindowRecord> windows,
+                                      const AnomalyConfig& config) {
+  std::vector<Anomaly> anomalies;
+  if (windows.empty()) return anomalies;
+
+  // Core starvation: zero busy cycles on one core across N consecutive
+  // windows in which the system as a whole kept dispatching. Reported
+  // once per streak, at the window where the threshold is crossed.
+  const std::size_t cores = windows.front().busy_cycles.size();
+  if (config.starvation_windows > 0) {
+    for (std::size_t core = 0; core < cores; ++core) {
+      std::size_t streak = 0;
+      for (const WindowRecord& w : windows) {
+        const bool starved = w.dispatches > 0 &&
+                             core < w.busy_cycles.size() &&
+                             w.busy_cycles[core] == 0;
+        streak = starved ? streak + 1 : 0;
+        if (streak == config.starvation_windows) {
+          Anomaly a;
+          a.rule = Anomaly::Rule::kCoreStarvation;
+          a.window = w.index;
+          a.core = core;
+          a.value = static_cast<double>(streak);
+          a.reference = static_cast<double>(config.starvation_windows);
+          a.message = "core " + std::to_string(core) + " ran nothing for " +
+                      std::to_string(streak) +
+                      " consecutive windows with work dispatching";
+          anomalies.push_back(std::move(a));
+        }
+      }
+    }
+  }
+
+  // Idle spike: a window's total idle cycles far above the trailing mean.
+  if (config.idle_spike_factor > 0.0 && config.trailing_windows > 0) {
+    for (std::size_t i = config.trailing_windows; i < windows.size(); ++i) {
+      double trailing = 0.0;
+      for (std::size_t k = i - config.trailing_windows; k < i; ++k) {
+        trailing += static_cast<double>(windows[k].total_idle_cycles());
+      }
+      const double mean =
+          trailing / static_cast<double>(config.trailing_windows);
+      const double idle = static_cast<double>(windows[i].total_idle_cycles());
+      if (mean > 0.0 && idle > config.idle_spike_factor * mean) {
+        Anomaly a;
+        a.rule = Anomaly::Rule::kIdleSpike;
+        a.window = windows[i].index;
+        a.value = idle;
+        a.reference = config.idle_spike_factor * mean;
+        a.message = "idle cycles " + std::to_string(windows[i]
+                                                        .total_idle_cycles()) +
+                    " exceed " + CsvWriter::number(config.idle_spike_factor) +
+                    "x the trailing mean";
+        anomalies.push_back(std::move(a));
+      }
+    }
+  }
+
+  // Energy-per-job drift: compare each productive window against the mean
+  // of the previous `trailing_windows` productive windows.
+  if (config.energy_drift_factor > 0.0 && config.trailing_windows > 0) {
+    std::vector<const WindowRecord*> productive;
+    for (const WindowRecord& w : windows) {
+      if (w.jobs_completed > 0) productive.push_back(&w);
+    }
+    for (std::size_t i = config.trailing_windows; i < productive.size();
+         ++i) {
+      double trailing = 0.0;
+      for (std::size_t k = i - config.trailing_windows; k < i; ++k) {
+        trailing += productive[k]->energy_per_job_mj();
+      }
+      const double mean =
+          trailing / static_cast<double>(config.trailing_windows);
+      const double per_job = productive[i]->energy_per_job_mj();
+      if (mean > 0.0 && per_job > config.energy_drift_factor * mean) {
+        Anomaly a;
+        a.rule = Anomaly::Rule::kEnergyDrift;
+        a.window = productive[i]->index;
+        a.value = per_job;
+        a.reference = config.energy_drift_factor * mean;
+        a.message = "energy per job " + CsvWriter::number(per_job) +
+                    " mJ exceeds " +
+                    CsvWriter::number(config.energy_drift_factor) +
+                    "x the trailing mean " + CsvWriter::number(mean) + " mJ";
+        anomalies.push_back(std::move(a));
+      }
+    }
+  }
+
+  std::stable_sort(anomalies.begin(), anomalies.end(),
+                   [](const Anomaly& a, const Anomaly& b) {
+                     if (a.window != b.window) return a.window < b.window;
+                     return static_cast<int>(a.rule) <
+                            static_cast<int>(b.rule);
+                   });
+  if (anomalies.size() > config.max_anomalies) {
+    anomalies.resize(config.max_anomalies);
+  }
+  return anomalies;
+}
+
+}  // namespace hetsched

@@ -79,7 +79,8 @@ ScenarioContext::ScenarioContext(const Scenario& scenario,
 }
 
 ScenarioOutcome run_scenario(const Scenario& scenario,
-                             const ScenarioContext& context) {
+                             const ScenarioContext& context,
+                             ScheduleObserver* extra) {
   scenario.validate();
   const SystemConfig system = scenario.make_system();
   const std::unique_ptr<SchedulerPolicy> policy =
@@ -88,7 +89,10 @@ ScenarioOutcome run_scenario(const Scenario& scenario,
   MulticoreSimulator simulator(system, context.suite(), context.energy(),
                                *policy, scenario.discipline);
   StreamStats stats(system.core_count());
-  simulator.set_observer(&stats);
+  FanoutObserver fanout({&stats, extra});
+  simulator.set_observer(extra == nullptr
+                             ? static_cast<ScheduleObserver*>(&stats)
+                             : &fanout);
 
   std::optional<FaultInjector> injector;
   if (!scenario.faults.empty()) {

@@ -58,9 +58,12 @@ struct ScenarioOutcome {
 // Runs `scenario` under the streaming driver. Deterministic: the same
 // scenario and context produce bit-identical outcomes at every thread
 // count. The context must have been built for a scenario with the same
-// suite/predictor parameters.
+// suite/predictor parameters. `extra` (optional) receives every
+// observer callback alongside the internal StreamStats — e.g. an
+// EventTracer or WindowedCollector — without perturbing the run.
 ScenarioOutcome run_scenario(const Scenario& scenario,
-                             const ScenarioContext& context);
+                             const ScenarioContext& context,
+                             ScheduleObserver* extra = nullptr);
 
 // Deposits an outcome into the registry under `prefix` (result buckets
 // via record_result_metrics plus the stream aggregates and digest).

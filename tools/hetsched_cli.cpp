@@ -20,6 +20,10 @@
 //       fan a (cores x arrival gap x policy) grid built from the scenario
 //       file across the thread pool in contiguous shards; results are
 //       bit-identical for every --threads / --shards combination
+//   hetsched_cli bench-diff <baseline.json> <current.json> [--tolerance X]
+//       compare two BENCH_*.json result files; exits non-zero when any
+//       classified metric regressed beyond the tolerance (the CI bench
+//       regression gate)
 //
 // Common options:
 //   --arrivals N         number of jobs              (default 5000)
@@ -39,6 +43,15 @@
 //   --trace-out FILE     write a Chrome-trace/Perfetto JSON of the run(s)
 //                        (ts = simulated cycles, deterministic)
 //   --metrics-out FILE   write the metrics-registry snapshot as JSON
+//   --max-trace-events N retain at most N trace events per tracer
+//                        (0 = unlimited; default 1M, drops counted)
+//   --windows-out FILE   write per-window telemetry as JSONL (run,
+//                        scenario and sweep; deterministic)
+//   --window-cycles N    tumbling window width in simulated cycles
+//                        (default 1000000)
+//   --report-out FILE    write the unified run report JSON (config +
+//                        suite key, result, metrics, window summary,
+//                        anomalies, wall-clock phase timers)
 #include <charconv>
 #include <cmath>
 #include <cstdlib>
@@ -56,10 +69,14 @@
 #include "experiment/experiment.hpp"
 #include "experiment/sweep.hpp"
 #include "fault/fault_injector.hpp"
+#include "obs/bench_diff.hpp"
 #include "obs/observability.hpp"
+#include "obs/run_report.hpp"
+#include "obs/windowed.hpp"
 #include "scenario/scenario_runner.hpp"
 #include "util/table_printer.hpp"
 #include "util/thread_pool.hpp"
+#include "workload/profile_cache.hpp"
 
 namespace {
 
@@ -78,12 +95,22 @@ struct CliOptions {
   std::optional<std::uint64_t> fault_seed;
   std::string trace_out_path;
   std::string metrics_out_path;
+  std::string report_out_path;
+  std::string windows_out_path;
+  std::uint64_t window_cycles = 1'000'000;
+  std::size_t max_trace_events = EventTracer::kDefaultMaxEvents;
+  double tolerance = 0.5;  // bench-diff slack before failing
+  std::vector<std::string> positional;  // bench-diff file operands
   std::string scenario_path;
   std::string sweep_cores = "4";
   std::string sweep_gaps;  // empty: the scenario file's mean-gap
   std::string sweep_policies = "base,proposed";
   std::size_t shards = 0;  // 0: one shard per cell
   ExperimentOptions experiment;
+
+  bool wants_windows() const {
+    return !report_out_path.empty() || !windows_out_path.empty();
+  }
 };
 
 // Observability state for one CLI invocation: the shared metrics
@@ -93,6 +120,7 @@ struct CliOptions {
 struct ObsSession {
   std::string trace_path;
   std::string metrics_path;
+  std::size_t max_trace_events = EventTracer::kDefaultMaxEvents;
   MetricsRegistry metrics;
   EventTracer runtime;           // probe events only; no sim.* counters
   ProbeRecorder recorder{metrics, &runtime};
@@ -102,6 +130,7 @@ struct ObsSession {
 
   EventTracer& add_system_tracer(const std::string& system) {
     sim_tracers.emplace_back(&metrics, system + ".sim.");
+    sim_tracers.back().set_max_events(max_trace_events);
     processes.emplace_back(system, &sim_tracers.back());
     return sim_tracers.back();
   }
@@ -135,7 +164,10 @@ struct ObsSession {
   if (!error.empty()) std::cerr << "error: " << error << "\n\n";
   std::cerr <<
       "usage: hetsched_cli "
-      "<compare|run|characterize|train|scenario|sweep> [options]\n"
+      "<compare|run|characterize|train|scenario|sweep|bench-diff> "
+      "[options]\n"
+      "       hetsched_cli bench-diff BASELINE.json CURRENT.json\n"
+      "                    [--tolerance X]\n"
       "  --system S      base|optimal|energy-centric|proposed|realtime\n"
       "  --arrivals N    jobs in the stream (default 5000)\n"
       "  --gap CYCLES    mean inter-arrival gap (default 55000)\n"
@@ -160,6 +192,16 @@ struct ObsSession {
       "  --trace-out F   write a Chrome-trace/Perfetto JSON (ts in\n"
       "                  simulated cycles; open in ui.perfetto.dev)\n"
       "  --metrics-out F write the metrics-registry snapshot as JSON\n"
+      "  --max-trace-events N\n"
+      "                  retain at most N trace events per tracer\n"
+      "                  (0 = unlimited; default 1000000)\n"
+      "  --windows-out F write per-window telemetry JSONL (run/scenario/\n"
+      "                  sweep; one line per closed tumbling window)\n"
+      "  --window-cycles N\n"
+      "                  window width in simulated cycles (default 1e6)\n"
+      "  --report-out F  write the unified run-report JSON\n"
+      "  --tolerance X   (bench-diff) relative slack before a metric\n"
+      "                  counts as regressed (default 0.5)\n"
       "  --file F        (scenario/sweep) scenario description file\n"
       "  --sweep-cores L   (sweep) comma list of core counts (default 4)\n"
       "  --sweep-gaps L    (sweep) comma list of mean gaps (default: the\n"
@@ -266,6 +308,25 @@ CliOptions parse(int argc, char** argv) {
       if (options.metrics_out_path.empty()) {
         usage(flag + " expects a file path");
       }
+    } else if (flag == "--report-out") {
+      options.report_out_path = next();
+      if (options.report_out_path.empty()) {
+        usage(flag + " expects a file path");
+      }
+    } else if (flag == "--windows-out") {
+      options.windows_out_path = next();
+      if (options.windows_out_path.empty()) {
+        usage(flag + " expects a file path");
+      }
+    } else if (flag == "--window-cycles") {
+      options.window_cycles = parse_count(flag, next(), 1);
+    } else if (flag == "--max-trace-events") {
+      options.max_trace_events =
+          static_cast<std::size_t>(parse_count(flag, next(), 0));
+    } else if (flag == "--tolerance") {
+      options.tolerance = parse_real(flag, next(), 0.0, 1e6);
+    } else if (!flag.starts_with("--") && options.command == "bench-diff") {
+      options.positional.push_back(flag);
     } else if (flag == "--file") {
       options.scenario_path = next();
       if (options.scenario_path.empty()) usage(flag + " expects a file path");
@@ -348,6 +409,44 @@ void print_result(const std::string& name, const SimulationResult& r) {
   table.print(std::cout);
 }
 
+bool write_text_file(const std::string& path, const std::string& content,
+                     const char* what) {
+  std::ofstream out(path);
+  if (out) out << content;
+  if (!out) {
+    std::cerr << "cannot write " << path << "\n";
+    return false;
+  }
+  std::cout << what << " written to " << path << "\n";
+  return true;
+}
+
+std::string windows_jsonl(const WindowedCollector& collector) {
+  std::ostringstream out;
+  collector.write_jsonl(out);
+  return out.str();
+}
+
+// Shared tail of run/scenario/sweep: finish the report skeleton the
+// command filled in and write the requested artifacts.
+int export_reports(const CliOptions& options, ObsSession* obs,
+                   PhaseTimers& timers, RunReport report,
+                   const std::string& windows) {
+  if (!options.windows_out_path.empty() &&
+      !write_text_file(options.windows_out_path, windows, "windows")) {
+    return 1;
+  }
+  if (!options.report_out_path.empty()) {
+    if (obs != nullptr) report.metrics_json = obs->metrics.to_json();
+    report.phases_ms = timers.entries();
+    if (!write_text_file(options.report_out_path,
+                         run_report_to_json(report), "report")) {
+      return 1;
+    }
+  }
+  return 0;
+}
+
 int cmd_characterize(const CliOptions& options) {
   Experiment experiment(options.experiment);
   const CharacterizedSuite& suite = experiment.suite();
@@ -407,7 +506,13 @@ int cmd_train(const CliOptions& options) {
 }
 
 int cmd_run_or_compare(const CliOptions& options, ObsSession* obs) {
-  Experiment experiment(options.experiment);
+  PhaseTimers timers;
+  std::optional<Experiment> experiment_storage;
+  {
+    const auto scope = timers.scope("setup");
+    experiment_storage.emplace(options.experiment);
+  }
+  Experiment& experiment = *experiment_storage;
 
   // Optional deadline assignment.
   std::vector<JobArrival> arrivals = experiment.arrivals();
@@ -514,12 +619,50 @@ int cmd_run_or_compare(const CliOptions& options, ObsSession* obs) {
   if (options.command == "run") {
     EventTracer* tracer =
         obs != nullptr ? &obs->add_system_tracer(options.system) : nullptr;
-    const SimulationResult result = run_system(options.system, tracer);
+    std::optional<WindowedCollector> windowed;
+    if (options.wants_windows()) {
+      windowed.emplace(cores,
+                       WindowedOptions{options.window_cycles, 0},
+                       &experiment.suite());
+    }
+    FanoutObserver fanout(
+        {tracer, windowed.has_value() ? &*windowed : nullptr});
+    ScheduleObserver* observer =
+        windowed.has_value() ? static_cast<ScheduleObserver*>(&fanout)
+                             : tracer;
+    SimulationResult result;
+    {
+      const auto scope = timers.scope("run");
+      result = run_system(options.system, observer);
+    }
+    if (windowed.has_value()) windowed->finalize();
     if (obs != nullptr) {
       record_result_metrics(obs->metrics, options.system + ".", result);
     }
     print_result(options.system, result);
-    return 0;
+
+    RunReport report;
+    report.command = "run";
+    report.name = options.system;
+    report.policy = options.system;
+    report.system = options.system == "base"
+                        ? "fixed-base"
+                        : (cores == 4 ? "paper-quad" : "scaled");
+    report.discipline = options.discipline;
+    report.cores = cores;
+    report.seed = options.experiment.seed;
+    report.jobs = arrivals.size();
+    report.suite_key =
+        suite_cache_key(options.experiment.suite, experiment.energy());
+    report.completed_jobs = result.completed_jobs;
+    report.makespan = result.makespan;
+    report.total_energy_mj = result.total_energy().millijoules();
+    if (windowed.has_value()) {
+      attach_window_summary(report, *windowed, AnomalyConfig{});
+    }
+    return export_reports(options, obs, timers, std::move(report),
+                          windowed.has_value() ? windows_jsonl(*windowed)
+                                               : std::string());
   }
 
   // compare: the four systems are independent (fresh simulator, policy
@@ -574,20 +717,72 @@ std::optional<Scenario> load_scenario(const CliOptions& options) {
 }
 
 int cmd_scenario(const CliOptions& options, ObsSession* obs) {
+  PhaseTimers timers;
   const std::optional<Scenario> scenario = load_scenario(options);
   if (!scenario.has_value()) return 1;
-  const ScenarioContext context(*scenario,
-                                options.experiment.profile_cache_path);
-  const ScenarioOutcome outcome = run_scenario(*scenario, context);
-  print_result(scenario->name, outcome.result);
-  std::cout << "stream: " << outcome.stream.slices() << " slices, digest 0x"
-            << std::hex << outcome.stream.digest() << std::dec << ", "
-            << outcome.stream.invariant_violations()
+  std::optional<ScenarioContext> context;
+  {
+    const auto scope = timers.scope("setup");
+    context.emplace(*scenario, options.experiment.profile_cache_path);
+  }
+
+  EventTracer* tracer =
+      obs != nullptr ? &obs->add_system_tracer(scenario->name) : nullptr;
+  std::optional<WindowedCollector> windowed;
+  if (options.wants_windows()) {
+    windowed.emplace(scenario->make_system().core_count(),
+                     WindowedOptions{options.window_cycles, 0},
+                     &context->suite());
+  }
+  FanoutObserver fanout(
+      {tracer, windowed.has_value() ? &*windowed : nullptr});
+  ScheduleObserver* extra = nullptr;
+  if (tracer != nullptr && windowed.has_value()) {
+    extra = &fanout;
+  } else if (tracer != nullptr) {
+    extra = tracer;
+  } else if (windowed.has_value()) {
+    extra = &*windowed;
+  }
+
+  std::optional<ScenarioOutcome> outcome;
+  {
+    const auto scope = timers.scope("run");
+    outcome.emplace(run_scenario(*scenario, *context, extra));
+  }
+  if (windowed.has_value()) windowed->finalize();
+  print_result(scenario->name, outcome->result);
+  std::cout << "stream: " << outcome->stream.slices() << " slices, digest 0x"
+            << std::hex << outcome->stream.digest() << std::dec << ", "
+            << outcome->stream.invariant_violations()
             << " invariant violations\n";
   if (obs != nullptr) {
-    record_scenario_metrics(obs->metrics, scenario->name + ".", outcome);
+    record_scenario_metrics(obs->metrics, scenario->name + ".", *outcome);
   }
-  return outcome.stream.invariant_violations() == 0 ? 0 : 1;
+
+  RunReport report;
+  report.command = "scenario";
+  report.name = scenario->name;
+  report.policy = scenario->policy;
+  report.system = std::string(to_string(scenario->system));
+  report.discipline = std::string(to_string(scenario->discipline));
+  report.cores = scenario->make_system().core_count();
+  report.seed = scenario->seed;
+  report.jobs = scenario->arrivals.count;
+  report.suite_key = suite_cache_key(scenario->suite, context->energy());
+  report.completed_jobs = outcome->result.completed_jobs;
+  report.makespan = outcome->result.makespan;
+  report.total_energy_mj = outcome->result.total_energy().millijoules();
+  report.stream_digest = outcome->stream.digest();
+  if (windowed.has_value()) {
+    attach_window_summary(report, *windowed, AnomalyConfig{});
+  }
+  const int export_status =
+      export_reports(options, obs, timers, std::move(report),
+                     windowed.has_value() ? windows_jsonl(*windowed)
+                                          : std::string());
+  if (export_status != 0) return export_status;
+  return outcome->stream.invariant_violations() == 0 ? 0 : 1;
 }
 
 // "8,16" -> {8, 16}; parse errors go through the flag's usual parser.
@@ -604,6 +799,7 @@ std::vector<std::string> split_list(const std::string& flag,
 }
 
 int cmd_sweep(const CliOptions& options, ObsSession* obs) {
+  PhaseTimers timers;
   const std::optional<Scenario> base = load_scenario(options);
   if (!base.has_value()) return 1;
 
@@ -627,12 +823,58 @@ int cmd_sweep(const CliOptions& options, ObsSession* obs) {
   grid.policies = split_list("--sweep-policies", options.sweep_policies);
   grid.validate();
 
-  const ScenarioContext context(grid.context_scenario(),
-                                options.experiment.profile_cache_path);
+  std::optional<ScenarioContext> context;
+  {
+    const auto scope = timers.scope("setup");
+    context.emplace(grid.context_scenario(),
+                    options.experiment.profile_cache_path);
+  }
   const std::size_t shards =
       options.shards == 0 ? grid.cell_count() : options.shards;
-  const std::vector<SweepCell> cells =
-      run_sweep(grid, context, shards, ThreadPool::global());
+
+  // Per-cell recorders: one tracer and/or windowed collector per cell,
+  // created serially before the fan-out (stable registration order),
+  // each touched only by the shard running its cell.
+  auto cell_label = [&](std::size_t i) {
+    const Scenario cell = grid.cell_scenario(i);
+    const std::size_t gap_i =
+        (i / grid.policies.size()) % grid.mean_gaps.size();
+    return "c" + std::to_string(cell.cores) + ".g" + std::to_string(gap_i) +
+           "." + cell.policy;
+  };
+  std::deque<WindowedCollector> collectors;  // stable addresses
+  std::deque<FanoutObserver> fanouts;
+  std::vector<ScheduleObserver*> cell_observers;
+  if (obs != nullptr || options.wants_windows()) {
+    for (std::size_t i = 0; i < grid.cell_count(); ++i) {
+      EventTracer* tracer =
+          obs != nullptr ? &obs->add_system_tracer(cell_label(i)) : nullptr;
+      WindowedCollector* collector = nullptr;
+      if (options.wants_windows()) {
+        collectors.emplace_back(
+            grid.cell_scenario(i).make_system().core_count(),
+            WindowedOptions{options.window_cycles, 0}, &context->suite());
+        collector = &collectors.back();
+      }
+      if (tracer != nullptr && collector != nullptr) {
+        fanouts.emplace_back(
+            std::vector<ScheduleObserver*>{tracer, collector});
+        cell_observers.push_back(&fanouts.back());
+      } else if (tracer != nullptr) {
+        cell_observers.push_back(tracer);
+      } else {
+        cell_observers.push_back(collector);
+      }
+    }
+  }
+
+  std::vector<SweepCell> cells;
+  {
+    const auto scope = timers.scope("run");
+    cells = run_sweep(grid, *context, shards, ThreadPool::global(),
+                      cell_observers);
+  }
+  for (WindowedCollector& collector : collectors) collector.finalize();
 
   TablePrinter table({"cell", "completed", "total mJ", "makespan",
                       "digest"});
@@ -650,11 +892,78 @@ int cmd_sweep(const CliOptions& options, ObsSession* obs) {
             << ThreadPool::global().thread_count() << " threads):\n";
   table.print(std::cout);
   if (obs != nullptr) record_sweep_metrics(obs->metrics, "sweep.", cells);
+
+  // Aggregated sweep report: totals over the grid; window summary sums
+  // each cell's collector (per-cell windows land in --windows-out, one
+  // JSONL block per cell in grid order, window indices restarting at 0).
+  RunReport report;
+  report.command = "sweep";
+  report.name = base->name;
+  report.policy = options.sweep_policies;
+  report.system = "grid";
+  report.discipline = std::string(to_string(base->discipline));
+  report.cores = 0;
+  report.seed = base->seed;
+  report.jobs =
+      static_cast<std::uint64_t>(base->arrivals.count) * cells.size();
+  report.suite_key = suite_cache_key(base->suite, context->energy());
+  std::string windows;
+  for (const SweepCell& cell : cells) {
+    report.completed_jobs += cell.result.completed_jobs;
+    report.makespan = std::max<std::uint64_t>(report.makespan,
+                                              cell.result.makespan);
+    report.total_energy_mj += cell.result.total_energy().millijoules();
+  }
+  for (const WindowedCollector& collector : collectors) {
+    report.window_cycles = collector.window_cycles();
+    report.windows_closed += collector.windows_closed();
+    report.dropped_windows += collector.dropped_windows();
+    for (const WindowRecord& w : collector.windows()) {
+      report.window_jobs_completed += w.jobs_completed;
+      report.window_energy_mj += w.energy_mj;
+    }
+    windows += windows_jsonl(collector);
+  }
+  const int export_status =
+      export_reports(options, obs, timers, std::move(report), windows);
+  if (export_status != 0) return export_status;
+
   if (violations != 0) {
     std::cerr << "error: " << violations << " schedule invariant violations\n";
     return 1;
   }
   return 0;
+}
+
+int cmd_bench_diff(const CliOptions& options) {
+  if (options.positional.size() != 2) {
+    usage("bench-diff expects exactly two operands: BASELINE.json "
+          "CURRENT.json");
+  }
+  auto slurp = [](const std::string& path) -> std::optional<std::string> {
+    std::ifstream in(path);
+    if (!in) return std::nullopt;
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+  };
+  const std::optional<std::string> baseline = slurp(options.positional[0]);
+  if (!baseline.has_value()) {
+    std::cerr << "cannot open " << options.positional[0] << "\n";
+    return 2;
+  }
+  const std::optional<std::string> current = slurp(options.positional[1]);
+  if (!current.has_value()) {
+    std::cerr << "cannot open " << options.positional[1] << "\n";
+    return 2;
+  }
+  const BenchDiffResult diff =
+      bench_diff(*baseline, *current, options.tolerance);
+  std::cout << "bench-diff " << options.positional[0] << " -> "
+            << options.positional[1] << " (tolerance "
+            << options.tolerance << ")\n"
+            << diff.summary(options.tolerance);
+  return diff.regressed() ? 1 : 0;
 }
 
 }  // namespace
@@ -665,10 +974,13 @@ int main(int argc, char** argv) {
   // the simulators run observer-free (the zero-cost disabled path).
   std::optional<ObsSession> obs;
   std::optional<ScopedProbe> probe;
-  if (!options.trace_out_path.empty() || !options.metrics_out_path.empty()) {
+  if (!options.trace_out_path.empty() || !options.metrics_out_path.empty() ||
+      !options.report_out_path.empty()) {
     obs.emplace();
     obs->trace_path = options.trace_out_path;
     obs->metrics_path = options.metrics_out_path;
+    obs->max_trace_events = options.max_trace_events;
+    obs->runtime.set_max_events(options.max_trace_events);
     probe.emplace(&obs->recorder);
   }
   ObsSession* obs_ptr = obs.has_value() ? &*obs : nullptr;
@@ -684,6 +996,8 @@ int main(int argc, char** argv) {
       status = cmd_scenario(options, obs_ptr);
     } else if (options.command == "sweep") {
       status = cmd_sweep(options, obs_ptr);
+    } else if (options.command == "bench-diff") {
+      status = cmd_bench_diff(options);
     } else {
       usage("unknown command " + options.command);
     }
