@@ -19,11 +19,13 @@
 #include <fstream>
 #include <functional>
 #include <iostream>
+#include <sstream>
 #include <string>
 
 #include "experiment/experiment.hpp"
 #include "obs/observability.hpp"
 #include "obs/windowed.hpp"
+#include "util/atomic_file.hpp"
 #include "util/contracts.hpp"
 #include "util/table_printer.hpp"
 
@@ -130,7 +132,7 @@ int main() {
             << "\nWindows closed per run: " << windows_closed
             << "\nSimulation outputs identical across all modes.\n";
 
-  std::ofstream json("BENCH_obs_overhead.json");
+  std::ostringstream json;
   json << "{\n"
        << "  \"benchmark\": \"obs_overhead\",\n"
        << "  \"arrivals\": " << options.arrivals.count << ",\n"
@@ -145,6 +147,7 @@ int main() {
        << "  \"full_overhead\": " << full_ms / disabled_ms << ",\n"
        << "  \"windowed_overhead\": " << windowed_ms / disabled_ms << "\n"
        << "}\n";
+  atomic_write_file("BENCH_obs_overhead.json", json.str());
   std::cout << "Results written to BENCH_obs_overhead.json\n";
   return 0;
 }

@@ -18,9 +18,11 @@
 #include <fstream>
 #include <functional>
 #include <iostream>
+#include <sstream>
 #include <string>
 
 #include "energy/energy_model.hpp"
+#include "util/atomic_file.hpp"
 #include "util/table_printer.hpp"
 #include "util/thread_pool.hpp"
 #include "workload/characterization.hpp"
@@ -84,7 +86,7 @@ int main() {
   std::cout << "\nSuite: " << suite_size
             << " benchmark instances x 18 configurations\n";
 
-  std::ofstream json("BENCH_characterization.json");
+  std::ostringstream json;
   json << "{\n"
        << "  \"benchmark\": \"characterization\",\n"
        << "  \"suite_size\": " << suite_size << ",\n"
@@ -97,6 +99,7 @@ int main() {
        << "  \"pooled_speedup\": " << serial_ms / pooled_ms << ",\n"
        << "  \"snapshot_speedup\": " << serial_ms / snapshot_ms << "\n"
        << "}\n";
+  hetsched::atomic_write_file("BENCH_characterization.json", json.str());
   std::cout << "Results written to BENCH_characterization.json\n";
   return 0;
 }

@@ -9,6 +9,7 @@
 #include <chrono>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -17,6 +18,7 @@
 #endif
 
 #include "scenario/scenario_runner.hpp"
+#include "util/atomic_file.hpp"
 #include "util/contracts.hpp"
 #include "util/table_printer.hpp"
 
@@ -108,7 +110,7 @@ int main() {
             << TablePrinter::num(rss_growth, 2) << "x (streaming keeps "
             << "memory bounded by the machine, not the stream)\n";
 
-  std::ofstream json("BENCH_scenario.json");
+  std::ostringstream json;
   json << "{\n"
        << "  \"benchmark\": \"scenario_scale\",\n"
        << "  \"cores\": " << scenario.cores << ",\n"
@@ -125,6 +127,7 @@ int main() {
          << (i + 1 < rows.size() ? "," : "") << "\n";
   }
   json << "  ]\n}\n";
+  atomic_write_file("BENCH_scenario.json", json.str());
   std::cout << "Results written to BENCH_scenario.json\n";
   return 0;
 }

@@ -1,6 +1,10 @@
 #include "core/profiling_table.hpp"
 
+#include <istream>
+#include <ostream>
+
 #include "util/contracts.hpp"
+#include "util/snapshot_text.hpp"
 
 namespace hetsched {
 namespace {
@@ -102,6 +106,102 @@ void ProfilingTable::record(std::size_t benchmark_id,
                             const Observation& obs) {
   HETSCHED_REQUIRE(benchmark_id < entries_.size());
   entries_[benchmark_id].observations[config_index(config)] = obs;
+}
+
+void ProfilingTable::save_state(std::ostream& out) const {
+  out << "profiling-table " << entries_.size() << "\n";
+  for (std::size_t id = 0; id < entries_.size(); ++id) {
+    const Entry& entry = entries_[id];
+    out << "entry " << id << ' ' << (entry.profiled ? 1 : 0);
+    for (const double v : entry.statistics.to_vector()) {
+      out << ' ';
+      snapshot_text::write_double(out, v);
+    }
+    out << "\n";
+    if (entry.predicted_best_size_bytes.has_value()) {
+      out << "prediction 1 " << *entry.predicted_best_size_bytes << "\n";
+    } else {
+      out << "prediction 0\n";
+    }
+    out << "observations " << entry.observed_count() << "\n";
+    for (std::size_t i = 0; i < kConfigCount; ++i) {
+      const auto& obs = entry.observations[i];
+      if (!obs.has_value()) continue;
+      out << i << ' ';
+      snapshot_text::write_double(out, obs->total_energy.value());
+      out << ' ';
+      snapshot_text::write_double(out, obs->dynamic_energy.value());
+      out << ' ' << obs->cycles << "\n";
+    }
+  }
+}
+
+void ProfilingTable::restore_state(std::istream& in,
+                                   const std::string& context) {
+  std::string token;
+  if (!(in >> token) || token != "profiling-table") {
+    snapshot_text::fail(context, "expected 'profiling-table'");
+  }
+  const auto count =
+      snapshot_text::read_value<std::size_t>(in, "table size", context);
+  if (count != entries_.size()) {
+    snapshot_text::fail(context,
+                        "profiling table benchmark count does not match");
+  }
+  for (std::size_t id = 0; id < entries_.size(); ++id) {
+    if (!(in >> token) || token != "entry") {
+      snapshot_text::fail(context, "expected 'entry'");
+    }
+    const auto got =
+        snapshot_text::read_value<std::size_t>(in, "entry id", context);
+    if (got != id) snapshot_text::fail(context, "entry ids out of order");
+    Entry entry;
+    entry.profiled =
+        snapshot_text::read_value<int>(in, "profiled flag", context) != 0;
+    auto& s = entry.statistics;
+    double* const fields[kNumExecutionStatistics] = {
+        &s.total_instructions, &s.cycles,        &s.loads,
+        &s.stores,             &s.branches,      &s.taken_branches,
+        &s.int_ops,            &s.fp_ops,        &s.l1_accesses,
+        &s.l1_misses,          &s.l1_miss_rate,  &s.compulsory_misses,
+        &s.writebacks,         &s.working_set_bytes, &s.load_fraction,
+        &s.mem_intensity,      &s.compute_intensity, &s.branch_fraction};
+    for (double* field : fields) {
+      *field = snapshot_text::read_value<double>(in, "statistic", context);
+    }
+    if (!(in >> token) || token != "prediction") {
+      snapshot_text::fail(context, "expected 'prediction'");
+    }
+    if (snapshot_text::read_value<int>(in, "prediction flag", context) != 0) {
+      entry.predicted_best_size_bytes = snapshot_text::read_value<
+          std::uint32_t>(in, "predicted size", context);
+    }
+    if (!(in >> token) || token != "observations") {
+      snapshot_text::fail(context, "expected 'observations'");
+    }
+    const auto observed =
+        snapshot_text::read_value<std::size_t>(in, "observation count",
+                                               context);
+    if (observed > kConfigCount) {
+      snapshot_text::fail(context, "too many observations");
+    }
+    for (std::size_t n = 0; n < observed; ++n) {
+      const auto idx = snapshot_text::read_value<std::size_t>(
+          in, "observation index", context);
+      if (idx >= kConfigCount) {
+        snapshot_text::fail(context, "observation index out of range");
+      }
+      Observation obs;
+      obs.total_energy = NanoJoules(snapshot_text::read_value<double>(
+          in, "observation total energy", context));
+      obs.dynamic_energy = NanoJoules(snapshot_text::read_value<double>(
+          in, "observation dynamic energy", context));
+      obs.cycles =
+          snapshot_text::read_value<Cycles>(in, "observation cycles", context);
+      entry.observations[idx] = obs;
+    }
+    entries_[id] = entry;
+  }
 }
 
 }  // namespace hetsched

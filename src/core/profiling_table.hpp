@@ -15,7 +15,9 @@
 
 #include <array>
 #include <cstdint>
+#include <iosfwd>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "cache/cache_config.hpp"
@@ -69,6 +71,15 @@ class ProfilingTable {
   // deterministic, so values are identical).
   void record(std::size_t benchmark_id, const CacheConfig& config,
               const Observation& obs);
+
+  // Checkpoint support: serializes every entry (profiled statistics,
+  // prediction, observations) as whitespace tokens with doubles in
+  // hexfloat, so a restored table is bit-identical. restore_state
+  // requires a table constructed with the same benchmark count and
+  // throws std::runtime_error (tagged with `context`) on malformed or
+  // mismatched input.
+  void save_state(std::ostream& out) const;
+  void restore_state(std::istream& in, const std::string& context);
 
  private:
   std::vector<Entry> entries_;

@@ -2,13 +2,153 @@
 
 #include <algorithm>
 #include <cmath>
+#include <istream>
 #include <limits>
+#include <ostream>
 #include <stdexcept>
 #include <string>
 
 #include "util/contracts.hpp"
+#include "util/snapshot_text.hpp"
 
 namespace hetsched {
+
+namespace {
+
+namespace st = snapshot_text;
+
+void write_job(std::ostream& out, const Job& job) {
+  out << job.job_id << ' ' << job.benchmark_id << ' ' << job.arrival << ' '
+      << job.priority << ' ' << (job.deadline.has_value() ? 1 : 0);
+  if (job.deadline.has_value()) out << ' ' << *job.deadline;
+  out << ' ';
+  st::write_double(out, job.remaining_fraction);
+  out << "\n";
+}
+
+Job read_job(std::istream& in, const std::string& context) {
+  Job job;
+  job.job_id = st::read_value<std::uint64_t>(in, "job id", context);
+  job.benchmark_id = st::read_value<std::size_t>(in, "benchmark id", context);
+  job.arrival = st::read_value<SimTime>(in, "job arrival", context);
+  job.priority = st::read_value<int>(in, "job priority", context);
+  if (st::read_value<int>(in, "deadline flag", context) != 0) {
+    job.deadline = st::read_value<SimTime>(in, "job deadline", context);
+  }
+  job.remaining_fraction =
+      st::read_value<double>(in, "remaining fraction", context);
+  return job;
+}
+
+void expect_token(std::istream& in, const char* token,
+                  const std::string& context) {
+  std::string got;
+  if (!(in >> got) || got != token) {
+    st::fail(context, std::string("expected '") + token + "'");
+  }
+}
+
+}  // namespace
+
+void save_simulation_result(std::ostream& out, const SimulationResult& r) {
+  out << "result\nenergies";
+  for (const NanoJoules e :
+       {r.idle_energy, r.dynamic_energy, r.busy_static_energy, r.cpu_energy,
+        r.reconfig_energy, r.profiling_energy, r.tuning_energy}) {
+    out << ' ';
+    st::write_double(out, e.value());
+  }
+  out << "\ncounts " << r.makespan << ' ' << r.total_execution_cycles << ' '
+      << r.completed_jobs << ' ' << r.stall_events << ' '
+      << r.profiling_runs << ' ' << r.tuning_runs << ' '
+      << r.reconfigurations << ' ' << r.preemptions << ' '
+      << r.jobs_with_deadline << ' ' << r.deadline_misses << ' '
+      << r.total_response_cycles << "\n";
+  const FaultStats& f = r.faults;
+  out << "faults " << f.injected << ' ' << f.core_failures << ' '
+      << f.core_recoveries << ' ' << f.jobs_requeued << ' '
+      << f.counter_corruptions << ' ' << f.reconfig_failures << ' '
+      << f.reconfig_retries << ' ' << f.degraded_executions << ' '
+      << f.prediction_fallbacks << ' ' << f.watchdog_fires << "\n";
+  out << "per-priority " << r.per_priority.size() << "\n";
+  for (const auto& [priority, stats] : r.per_priority) {
+    out << priority << ' ' << stats.completed << ' '
+        << stats.total_response_cycles << ' ' << stats.deadline_misses
+        << "\n";
+  }
+  out << "per-core " << r.per_core.size() << "\n";
+  for (const CoreUsage& usage : r.per_core) {
+    out << usage.busy_cycles << ' ' << usage.executions << ' ';
+    st::write_double(out, usage.utilization);
+    out << "\n";
+  }
+}
+
+void load_simulation_result(std::istream& in, SimulationResult& r,
+                            const std::string& context) {
+  expect_token(in, "result", context);
+  expect_token(in, "energies", context);
+  for (NanoJoules* e :
+       {&r.idle_energy, &r.dynamic_energy, &r.busy_static_energy,
+        &r.cpu_energy, &r.reconfig_energy, &r.profiling_energy,
+        &r.tuning_energy}) {
+    *e = NanoJoules(st::read_value<double>(in, "energy", context));
+  }
+  expect_token(in, "counts", context);
+  r.makespan = st::read_value<Cycles>(in, "makespan", context);
+  r.total_execution_cycles =
+      st::read_value<Cycles>(in, "total execution cycles", context);
+  r.completed_jobs =
+      st::read_value<std::uint64_t>(in, "completed jobs", context);
+  r.stall_events = st::read_value<std::uint64_t>(in, "stall events", context);
+  r.profiling_runs =
+      st::read_value<std::uint64_t>(in, "profiling runs", context);
+  r.tuning_runs = st::read_value<std::uint64_t>(in, "tuning runs", context);
+  r.reconfigurations =
+      st::read_value<std::uint64_t>(in, "reconfigurations", context);
+  r.preemptions = st::read_value<std::uint64_t>(in, "preemptions", context);
+  r.jobs_with_deadline =
+      st::read_value<std::uint64_t>(in, "jobs with deadline", context);
+  r.deadline_misses =
+      st::read_value<std::uint64_t>(in, "deadline misses", context);
+  r.total_response_cycles =
+      st::read_value<Cycles>(in, "total response cycles", context);
+  expect_token(in, "faults", context);
+  FaultStats& f = r.faults;
+  for (std::uint64_t* field :
+       {&f.injected, &f.core_failures, &f.core_recoveries, &f.jobs_requeued,
+        &f.counter_corruptions, &f.reconfig_failures, &f.reconfig_retries,
+        &f.degraded_executions, &f.prediction_fallbacks,
+        &f.watchdog_fires}) {
+    *field = st::read_value<std::uint64_t>(in, "fault counter", context);
+  }
+  expect_token(in, "per-priority", context);
+  const auto priorities =
+      st::read_value<std::size_t>(in, "priority count", context);
+  r.per_priority.clear();
+  for (std::size_t i = 0; i < priorities; ++i) {
+    const int priority = st::read_value<int>(in, "priority level", context);
+    SimulationResult::PriorityStats stats;
+    stats.completed =
+        st::read_value<std::uint64_t>(in, "priority completed", context);
+    stats.total_response_cycles =
+        st::read_value<Cycles>(in, "priority response cycles", context);
+    stats.deadline_misses =
+        st::read_value<std::uint64_t>(in, "priority misses", context);
+    r.per_priority.emplace(priority, stats);
+  }
+  expect_token(in, "per-core", context);
+  const auto core_count =
+      st::read_value<std::size_t>(in, "core usage count", context);
+  r.per_core.assign(core_count, CoreUsage{});
+  for (CoreUsage& usage : r.per_core) {
+    usage.busy_cycles = st::read_value<Cycles>(in, "core busy", context);
+    usage.executions =
+        st::read_value<std::uint64_t>(in, "core executions", context);
+    usage.utilization =
+        st::read_value<double>(in, "core utilization", context);
+  }
+}
 
 std::string_view to_string(ExecutionKind k) {
   switch (k) {
@@ -543,21 +683,30 @@ SimulationResult MulticoreSimulator::run(
 }
 
 SimulationResult MulticoreSimulator::run_stream(ArrivalSource& source) {
+  start_stream(source);
+  advance_stream_until(source, std::numeric_limits<SimTime>::max());
+  return finish_stream();
+}
+
+void MulticoreSimulator::start_stream(ArrivalSource& source) {
   HETSCHED_REQUIRE(!ran_);
   ran_ = true;
+  streaming_ = true;
   // One-arrival lookahead: the only piece of the stream ever held.
-  std::optional<JobArrival> pending = source.next();
-  HETSCHED_REQUIRE(pending.has_value() && "empty arrival stream");
+  pending_ = source.next();
+  HETSCHED_REQUIRE(pending_.has_value() && "empty arrival stream");
+}
 
-  std::uint64_t admitted = 0;
-  std::uint64_t next_job_id = 0;
+bool MulticoreSimulator::advance_stream_until(ArrivalSource& source,
+                                              SimTime limit) {
+  HETSCHED_REQUIRE(streaming_);
 
-  while (pending.has_value() || !completions_.empty() || !ready_.empty()) {
+  while (pending_.has_value() || !completions_.empty() || !ready_.empty()) {
     // Next event time: earliest completion, arrival or fault event (a
     // scheduled recovery can be the only event able to unblock queued
     // work).
     const bool have_completion = !completions_.empty();
-    const bool have_arrival = pending.has_value();
+    const bool have_arrival = pending_.has_value();
     const std::optional<SimTime> fault_time =
         injector_ != nullptr ? injector_->next_core_event_time()
                              : std::nullopt;
@@ -573,8 +722,13 @@ SimulationResult MulticoreSimulator::run_stream(ArrivalSource& source) {
     }
     SimTime now = std::numeric_limits<SimTime>::max();
     if (have_completion) now = std::min(now, completions_.top().time);
-    if (have_arrival) now = std::min(now, pending->arrival);
+    if (have_arrival) now = std::min(now, pending_->arrival);
     if (fault_time.has_value()) now = std::min(now, *fault_time);
+
+    // Pause at the limit without touching anything scheduled at or after
+    // it: the caller can serialize here (or just breathe) and a later
+    // advance call resumes bit-identically.
+    if (now >= limit) return true;
 
     // Retire every live completion at `now` (deterministic core order);
     // entries orphaned by preemption or core failure are discarded, and
@@ -602,17 +756,17 @@ SimulationResult MulticoreSimulator::run_stream(ArrivalSource& source) {
       }
     }
     // Admit every arrival at `now`.
-    while (pending.has_value() && pending->arrival == now) {
+    while (pending_.has_value() && pending_->arrival == now) {
       Job job;
-      job.job_id = next_job_id++;
-      job.benchmark_id = pending->benchmark_id;
+      job.job_id = next_job_id_++;
+      job.benchmark_id = pending_->benchmark_id;
       job.arrival = now;
-      job.priority = pending->priority;
-      job.deadline = pending->deadline;
+      job.priority = pending_->priority;
+      job.deadline = pending_->deadline;
       ready_.push_back(job);
-      ++admitted;
-      pending = source.next();
-      HETSCHED_REQUIRE((!pending.has_value() || pending->arrival >= now) &&
+      ++admitted_;
+      pending_ = source.next();
+      HETSCHED_REQUIRE((!pending_.has_value() || pending_->arrival >= now) &&
                        "arrival stream must be non-decreasing in time");
     }
 
@@ -624,6 +778,14 @@ SimulationResult MulticoreSimulator::run_stream(ArrivalSource& source) {
 
     try_schedule(now);
   }
+  return false;
+}
+
+SimulationResult MulticoreSimulator::finish_stream() {
+  HETSCHED_REQUIRE(streaming_);
+  HETSCHED_REQUIRE(!pending_.has_value() && completions_.empty() &&
+                   ready_.empty() && "stream not drained");
+  streaming_ = false;
 
   // Close every core's trailing idle interval at the makespan; cores
   // still offline at the end accrued nothing since their failure.
@@ -641,8 +803,178 @@ SimulationResult MulticoreSimulator::run_stream(ArrivalSource& source) {
             : static_cast<double>(cores_[i].busy_cycles) /
                   static_cast<double>(result_.makespan);
   }
-  HETSCHED_ASSERT(result_.completed_jobs == admitted);
+  HETSCHED_ASSERT(result_.completed_jobs == admitted_);
   return result_;
+}
+
+void MulticoreSimulator::save_stream_state(std::ostream& out) const {
+  HETSCHED_REQUIRE(streaming_);
+  out << "simulator " << cores_.size() << "\n";
+  for (std::size_t i = 0; i < cores_.size(); ++i) {
+    const CoreRuntime& c = cores_[i];
+    out << "core " << i << ' ' << c.current_config.name() << ' '
+        << (c.busy ? 1 : 0) << ' ' << (c.online ? 1 : 0) << ' '
+        << c.busy_until << ' ' << c.running_job_id << ' '
+        << c.running_benchmark << ' ' << static_cast<int>(c.running_kind)
+        << ' ' << c.idle_since << ' ' << c.busy_cycles << ' '
+        << c.executions << "\n";
+  }
+  // Every running-job slot verbatim (stale slots included) so restored
+  // memory is byte-stable, not just behaviourally equivalent.
+  out << "running-jobs " << running_jobs_.size() << "\n";
+  for (const Job& job : running_jobs_) write_job(out, job);
+  out << "started-at";
+  for (const SimTime t : started_at_) out << ' ' << t;
+  out << "\nhung";
+  for (const char h : hung_) out << ' ' << static_cast<int>(h);
+  out << "\nready " << ready_.size() << "\n";
+  for (const Job& job : ready_) write_job(out, job);
+  // Drain a copy of the completion heap: pops come out sorted by
+  // (time, core), a canonical order independent of heap layout.
+  auto heap = completions_;
+  out << "completions " << heap.size() << "\n";
+  while (!heap.empty()) {
+    const Completion c = heap.top();
+    heap.pop();
+    out << c.time << ' ' << c.core << ' ' << c.job_id << "\n";
+  }
+  out << "watchdog " << watchdog_counts_.size() << "\n";
+  for (const auto& [job_id, fires] : watchdog_counts_) {
+    out << job_id << ' ' << fires << "\n";
+  }
+  table_.save_state(out);
+  save_simulation_result(out, result_);
+  out << "pending " << (pending_.has_value() ? 1 : 0);
+  if (pending_.has_value()) {
+    out << ' ' << pending_->benchmark_id << ' ' << pending_->arrival << ' '
+        << pending_->priority << ' '
+        << (pending_->deadline.has_value() ? 1 : 0);
+    if (pending_->deadline.has_value()) out << ' ' << *pending_->deadline;
+  }
+  out << "\nadmitted " << admitted_ << ' ' << next_job_id_ << "\n";
+}
+
+void MulticoreSimulator::restore_stream_state(std::istream& in,
+                                              const std::string& context) {
+  HETSCHED_REQUIRE(!ran_);
+  expect_token(in, "simulator", context);
+  const auto cores = st::read_value<std::size_t>(in, "core count", context);
+  if (cores != cores_.size()) {
+    st::fail(context, "core count does not match the configured system");
+  }
+  for (std::size_t i = 0; i < cores_.size(); ++i) {
+    expect_token(in, "core", context);
+    if (st::read_value<std::size_t>(in, "core index", context) != i) {
+      st::fail(context, "core indices out of order");
+    }
+    CoreRuntime& c = cores_[i];
+    std::string config_name;
+    if (!(in >> config_name)) {
+      st::fail(context, "cannot read core configuration");
+    }
+    const auto config = CacheConfig::parse(config_name);
+    if (!config.has_value() ||
+        config->size_bytes != c.spec.cache_size_bytes) {
+      st::fail(context, "core configuration '" + config_name +
+                            "' is invalid for this system");
+    }
+    c.current_config = *config;
+    c.busy = st::read_value<int>(in, "core busy", context) != 0;
+    c.online = st::read_value<int>(in, "core online", context) != 0;
+    c.busy_until = st::read_value<SimTime>(in, "core busy-until", context);
+    c.running_job_id =
+        st::read_value<std::uint64_t>(in, "core running job", context);
+    c.running_benchmark =
+        st::read_value<std::size_t>(in, "core running benchmark", context);
+    const int kind = st::read_value<int>(in, "core running kind", context);
+    if (kind < 0 || kind > static_cast<int>(ExecutionKind::kTuning)) {
+      st::fail(context, "core running kind out of range");
+    }
+    c.running_kind = static_cast<ExecutionKind>(kind);
+    c.idle_since = st::read_value<SimTime>(in, "core idle-since", context);
+    c.busy_cycles = st::read_value<Cycles>(in, "core busy cycles", context);
+    c.executions =
+        st::read_value<std::uint64_t>(in, "core executions", context);
+    if (c.running_benchmark >= suite_.size()) {
+      st::fail(context, "core running benchmark out of range");
+    }
+  }
+  expect_token(in, "running-jobs", context);
+  if (st::read_value<std::size_t>(in, "running-job count", context) !=
+      running_jobs_.size()) {
+    st::fail(context, "running-job count does not match core count");
+  }
+  for (Job& job : running_jobs_) job = read_job(in, context);
+  expect_token(in, "started-at", context);
+  for (SimTime& t : started_at_) {
+    t = st::read_value<SimTime>(in, "started-at", context);
+  }
+  expect_token(in, "hung", context);
+  for (char& h : hung_) {
+    h = static_cast<char>(st::read_value<int>(in, "hung flag", context));
+  }
+  expect_token(in, "ready", context);
+  const auto queued =
+      st::read_value<std::size_t>(in, "ready-queue size", context);
+  ready_.clear();
+  for (std::size_t i = 0; i < queued; ++i) {
+    Job job = read_job(in, context);
+    if (job.benchmark_id >= suite_.size()) {
+      st::fail(context, "queued benchmark id out of range");
+    }
+    ready_.push_back(job);
+  }
+  expect_token(in, "completions", context);
+  const auto in_flight =
+      st::read_value<std::size_t>(in, "completion count", context);
+  while (!completions_.empty()) completions_.pop();
+  for (std::size_t i = 0; i < in_flight; ++i) {
+    Completion c;
+    c.time = st::read_value<SimTime>(in, "completion time", context);
+    c.core = st::read_value<std::size_t>(in, "completion core", context);
+    c.job_id = st::read_value<std::uint64_t>(in, "completion job", context);
+    if (c.core >= cores_.size()) {
+      st::fail(context, "completion core out of range");
+    }
+    completions_.push(c);
+  }
+  expect_token(in, "watchdog", context);
+  const auto watchdogs =
+      st::read_value<std::size_t>(in, "watchdog count", context);
+  watchdog_counts_.clear();
+  for (std::size_t i = 0; i < watchdogs; ++i) {
+    const auto job_id =
+        st::read_value<std::uint64_t>(in, "watchdog job", context);
+    watchdog_counts_[job_id] =
+        st::read_value<std::uint32_t>(in, "watchdog fires", context);
+  }
+  table_.restore_state(in, context);
+  load_simulation_result(in, result_, context);
+  if (result_.per_core.size() != cores_.size()) {
+    st::fail(context, "per-core usage count does not match");
+  }
+  expect_token(in, "pending", context);
+  pending_.reset();
+  if (st::read_value<int>(in, "pending flag", context) != 0) {
+    JobArrival arrival;
+    arrival.benchmark_id =
+        st::read_value<std::size_t>(in, "pending benchmark", context);
+    arrival.arrival = st::read_value<SimTime>(in, "pending arrival", context);
+    arrival.priority = st::read_value<int>(in, "pending priority", context);
+    if (st::read_value<int>(in, "pending deadline flag", context) != 0) {
+      arrival.deadline =
+          st::read_value<SimTime>(in, "pending deadline", context);
+    }
+    if (arrival.benchmark_id >= suite_.size()) {
+      st::fail(context, "pending benchmark id out of range");
+    }
+    pending_ = arrival;
+  }
+  expect_token(in, "admitted", context);
+  admitted_ = st::read_value<std::uint64_t>(in, "admitted count", context);
+  next_job_id_ = st::read_value<std::uint64_t>(in, "next job id", context);
+  ran_ = true;
+  streaming_ = true;
 }
 
 }  // namespace hetsched

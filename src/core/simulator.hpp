@@ -27,9 +27,11 @@
 #pragma once
 
 #include <deque>
+#include <iosfwd>
 #include <map>
 #include <memory>
 #include <queue>
+#include <string>
 
 #include "core/schedule_log.hpp"
 #include "core/scheduler.hpp"
@@ -118,6 +120,15 @@ struct SimulationResult {
   }
 };
 
+// Checkpoint support: serializes/parses a SimulationResult as whitespace
+// tokens with energies in hexfloat, so accounting restored mid-run (or a
+// sweep-cell result replayed from a shard manifest) is bit-identical.
+// load_simulation_result throws std::runtime_error (tagged with
+// `context`) on malformed input.
+void save_simulation_result(std::ostream& out, const SimulationResult& r);
+void load_simulation_result(std::istream& in, SimulationResult& r,
+                            const std::string& context);
+
 // How the simulated system reacts to injected faults.
 struct ResilienceConfig {
   // Cycles a stuck execution occupies its core before the watchdog
@@ -149,6 +160,32 @@ class MulticoreSimulator {
   // memory bounded by the in-flight population — never the stream
   // length. run(vector) is exactly run_stream over a vector source.
   SimulationResult run_stream(ArrivalSource& source);
+
+  // Stepping interface underneath run_stream, for checkpointed and
+  // supervised execution. start_stream pulls the first arrival;
+  // advance_stream_until processes events strictly before `limit` and
+  // returns true when it paused at the limit (false when the stream
+  // drained); finish_stream closes trailing idle intervals and returns
+  // the accounting. run_stream(source) is exactly
+  //   start_stream(source);
+  //   advance_stream_until(source, SimTime max);
+  //   finish_stream();
+  // so stepping in any number of slices is bit-identical to one shot.
+  void start_stream(ArrivalSource& source);
+  bool advance_stream_until(ArrivalSource& source, SimTime limit);
+  SimulationResult finish_stream();
+
+  // Checkpoint support: serializes the complete mid-stream execution
+  // state (cores, queues, in-flight jobs, profiling table, accounting)
+  // as whitespace tokens with doubles in hexfloat. restore_stream_state
+  // must be called on a freshly constructed simulator with the identical
+  // system/suite/energy/policy/discipline (and injector when the saved
+  // run had one) before any run; the caller also restores the arrival
+  // source to its saved position, after which advance_stream_until
+  // continues bit-identically. Throws std::runtime_error (tagged with
+  // `context`) on malformed or mismatched input.
+  void save_stream_state(std::ostream& out) const;
+  void restore_stream_state(std::istream& in, const std::string& context);
 
   // Final profiling-table state (exploration counts etc.); valid after
   // run().
@@ -221,7 +258,15 @@ class MulticoreSimulator {
   ResilienceConfig resilience_;
   std::vector<char> hung_;  // per core: current execution is stuck
   std::map<std::uint64_t, std::uint32_t> watchdog_counts_;  // per job
+
+  // Streaming-loop state, members so a run can pause at a checkpoint
+  // boundary and serialize (one-arrival lookahead is the only piece of
+  // the stream ever held).
+  std::optional<JobArrival> pending_;
+  std::uint64_t admitted_ = 0;
+  std::uint64_t next_job_id_ = 0;
   bool ran_ = false;
+  bool streaming_ = false;  // between start_stream and finish_stream
 };
 
 }  // namespace hetsched

@@ -6,7 +6,9 @@
 // bit-identical for every shard count and every HETSCHED_THREADS value.
 #pragma once
 
+#include <cstdint>
 #include <span>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -52,6 +54,20 @@ struct SweepCell {
   SimulationResult result;
   std::uint64_t stream_digest = 0;  // StreamStats event-stream digest
   std::uint64_t invariant_violations = 0;
+
+  // Supervised execution extensions. `completed` is false for a cell
+  // that failed or timed out under supervision (its result fields are
+  // default-initialized, only the identity fields above are valid).
+  bool completed = true;
+  // Windowed-telemetry summary and raw JSONL lines, captured when the
+  // supervisor runs cells with window_cycles > 0; carried through the
+  // shard manifest so a resumed sweep reproduces the merged window
+  // output byte-identically without re-running completed cells.
+  std::uint64_t windows_closed = 0;
+  std::uint64_t dropped_windows = 0;
+  std::uint64_t window_jobs_completed = 0;
+  double window_energy_mj = 0.0;
+  std::string windows_jsonl;
 };
 
 // Runs every cell of `grid`, splitting the cell list into `shards`
@@ -78,5 +94,84 @@ std::vector<SweepCell> run_sweep(
 void record_sweep_metrics(MetricsRegistry& metrics,
                           const std::string& prefix,
                           const std::vector<SweepCell>& cells);
+
+// --- Supervised sweeps: timeout, retry, quarantine, resume --------------
+
+// Thrown inside a supervised cell whose wall-clock budget expired; the
+// supervisor converts it into a quarantined-cell record.
+class SweepTimeoutError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+struct SweepSupervisorOptions {
+  // Wall-clock budget per cell attempt in milliseconds; 0 disables the
+  // timeout (cells then only fail by throwing).
+  std::uint64_t cell_timeout_ms = 0;
+  // Attempts per cell before it is quarantined (>= 1).
+  std::uint32_t max_attempts = 1;
+  // Sleep between attempts of one cell.
+  std::uint64_t retry_backoff_ms = 0;
+  // Simulated-time slice between timeout checks: the cell is driven
+  // cooperatively in slices of this many cycles, so the deadline is
+  // honoured without detaching threads (sanitizer-clean).
+  SimTime supervision_slice_cycles = 1'000'000;
+  // Per-cell windowed telemetry width; 0 runs cells without a collector.
+  SimTime window_cycles = 0;
+  // Shard-manifest path, atomically rewritten after every completed
+  // cell; empty = no manifest persistence.
+  std::string manifest_out;
+  // Resume source: a manifest file path, or the literal manifest text
+  // (tests; takes precedence when non-empty). Cells recorded there are
+  // merged instead of re-run; the merged sweep is byte-identical to a
+  // clean run.
+  std::string resume_manifest;
+  std::string resume_manifest_text;
+};
+
+// One quarantined cell.
+struct SweepFailure {
+  std::size_t index = 0;
+  std::string label;
+  std::uint32_t attempts = 0;
+  bool timed_out = false;
+  std::string reason;  // what() of the last failure
+};
+
+struct SupervisedSweepResult {
+  // All cells in grid order; failed cells have completed == false.
+  std::vector<SweepCell> cells;
+  std::vector<SweepFailure> failed;  // sorted by index
+  std::uint64_t resumed_cells = 0;   // skipped thanks to the manifest
+};
+
+// Supervised variant of run_sweep: each cell runs under a cooperative
+// wall-clock timeout with bounded retry; failures are quarantined into
+// `failed` instead of aborting the sweep. Deterministic for the
+// completed set: a cell's payload does not depend on timing, shard
+// count or which other cells failed. Throws std::runtime_error on an
+// unreadable/corrupted/mismatched resume manifest or an unwritable
+// manifest path.
+SupervisedSweepResult run_sweep_supervised(
+    const SweepGrid& grid, const ScenarioContext& context,
+    std::size_t shards, ThreadPool& pool,
+    const SweepSupervisorOptions& options);
+
+// Shard-manifest round trip (exposed for tests and tooling). The
+// manifest records the grid fingerprint plus every completed cell's full
+// payload (result, digest, window summary and raw window JSONL,
+// length-prefixed), checksummed like every snapshot format.
+// parse_sweep_manifest validates against `grid` and throws
+// std::runtime_error (tagged with `context`) on malformed, truncated or
+// mismatched input.
+std::string serialize_sweep_manifest(const SweepGrid& grid,
+                                     const std::vector<SweepCell>& cells);
+std::vector<SweepCell> parse_sweep_manifest(const std::string& text,
+                                            const SweepGrid& grid,
+                                            const std::string& context);
+
+// FNV-1a fingerprint of the grid definition (base scenario plus axes);
+// stamped into manifests so one cannot resume a different sweep.
+std::uint64_t sweep_grid_fingerprint(const SweepGrid& grid);
 
 }  // namespace hetsched

@@ -2,10 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <istream>
 #include <limits>
 #include <numbers>
+#include <ostream>
+#include <set>
 
 #include "util/rng.hpp"
+#include "util/snapshot_text.hpp"
 
 namespace hetsched {
 namespace {
@@ -128,6 +132,37 @@ bool FaultInjector::corrupt_statistics(std::size_t benchmark_id,
       break;
   }
   return true;
+}
+
+void FaultInjector::save_state(std::ostream& out) const {
+  out << "fault-injector " << cursor_ << "\n";
+  // Sorted order: serialization must not depend on unordered_set layout.
+  const std::set<std::uint64_t> hung(jobs_hung_.begin(), jobs_hung_.end());
+  out << "hung-jobs " << hung.size() << "\n";
+  for (const std::uint64_t job_id : hung) out << job_id << "\n";
+}
+
+void FaultInjector::restore_state(std::istream& in,
+                                  const std::string& context) {
+  namespace st = snapshot_text;
+  std::string token;
+  if (!(in >> token) || token != "fault-injector") {
+    st::fail(context, "expected 'fault-injector'");
+  }
+  cursor_ = st::read_value<std::size_t>(in, "event cursor", context);
+  if (cursor_ > plan_.core_events.size()) {
+    st::fail(context, "event cursor beyond the plan");
+  }
+  if (!(in >> token) || token != "hung-jobs") {
+    st::fail(context, "expected 'hung-jobs'");
+  }
+  const auto hung =
+      st::read_value<std::size_t>(in, "hung-job count", context);
+  jobs_hung_.clear();
+  for (std::size_t i = 0; i < hung; ++i) {
+    jobs_hung_.insert(
+        st::read_value<std::uint64_t>(in, "hung job id", context));
+  }
 }
 
 }  // namespace hetsched

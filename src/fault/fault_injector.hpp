@@ -10,7 +10,9 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <optional>
+#include <string>
 #include <unordered_set>
 #include <vector>
 
@@ -46,6 +48,14 @@ class FaultInjector {
   // statistics; returns true when they were corrupted.
   bool corrupt_statistics(std::size_t benchmark_id,
                           ExecutionStatistics& stats);
+
+  // Checkpoint support: serializes the consumed-event cursor and the
+  // jobs-already-hung set (rate faults are pure hashes and need no
+  // state). restore_state requires an injector built from the identical
+  // plan and throws std::runtime_error (tagged with `context`) on
+  // malformed or mismatched input.
+  void save_state(std::ostream& out) const;
+  void restore_state(std::istream& in, const std::string& context);
 
  private:
   // Pure uniform draw in [0, 1) from (seed, stream, a, b).

@@ -1,6 +1,7 @@
 #include "obs/bench_diff.hpp"
 
 #include <cctype>
+#include <cmath>
 #include <cstdlib>
 #include <stdexcept>
 #include <unordered_map>
@@ -249,7 +250,7 @@ BenchDiffResult bench_diff(std::string_view baseline_json,
       result.missing_in_current.push_back(path);
       continue;
     }
-    if (base <= 0.0) {
+    if (base <= 0.0 || !std::isfinite(base)) {
       result.skipped.push_back(path);
       continue;
     }
@@ -258,9 +259,13 @@ BenchDiffResult bench_diff(std::string_view baseline_json,
     c.baseline = base;
     c.current = it->second;
     c.direction = direction;
-    c.regressed = direction == MetricDirection::kLowerIsBetter
-                      ? c.current > base * (1.0 + tolerance)
-                      : c.current < base / (1.0 + tolerance);
+    // A NaN/Inf candidate value is always a regression: NaN compares
+    // false against everything, so without this guard a broken bench
+    // would sail through the gate.
+    c.regressed = !std::isfinite(c.current) ||
+                  (direction == MetricDirection::kLowerIsBetter
+                       ? c.current > base * (1.0 + tolerance)
+                       : c.current < base / (1.0 + tolerance));
     result.compared.push_back(std::move(c));
   }
   return result;

@@ -37,7 +37,7 @@ std::string anomaly_to_json(const Anomaly& a) {
 }
 
 std::string run_report_to_json(const RunReport& r) {
-  std::string out = "{\n  \"schema\": 1,\n";
+  std::string out = "{\n  \"schema\": 2,\n";
   out += "  \"command\": \"" + json_escape(r.command) + "\",\n";
   out += "  \"config\": {";
   out += "\"name\": \"" + json_escape(r.name) + "\"";
@@ -67,11 +67,24 @@ std::string run_report_to_json(const RunReport& r) {
     out += (i == 0 ? "" : ", ") + anomaly_to_json(r.anomalies[i]);
   }
   out += "]},\n";
-  out += "  \"phases_ms\": {";
-  for (std::size_t i = 0; i < r.phases_ms.size(); ++i) {
+  out += "  \"failed_cells\": [";
+  for (std::size_t i = 0; i < r.failed_cells.size(); ++i) {
+    const RunReport::FailedCell& cell = r.failed_cells[i];
     out += (i == 0 ? "" : ", ");
-    out += "\"" + json_escape(r.phases_ms[i].first) +
-           "\": " + CsvWriter::number(r.phases_ms[i].second);
+    out += "{\"label\": \"" + json_escape(cell.label) + "\"";
+    out += ", \"attempts\": " + std::to_string(cell.attempts);
+    out += ", \"timed_out\": ";
+    out += cell.timed_out ? "true" : "false";
+    out += ", \"reason\": \"" + json_escape(cell.reason) + "\"}";
+  }
+  out += "],\n";
+  out += "  \"phases_ms\": {";
+  if (r.include_phases) {
+    for (std::size_t i = 0; i < r.phases_ms.size(); ++i) {
+      out += (i == 0 ? "" : ", ");
+      out += "\"" + json_escape(r.phases_ms[i].first) +
+             "\": " + CsvWriter::number(r.phases_ms[i].second);
+    }
   }
   out += "}\n}\n";
   return out;

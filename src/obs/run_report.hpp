@@ -87,7 +87,21 @@ struct RunReport {
   double window_energy_mj = 0.0;
   std::vector<Anomaly> anomalies;
 
+  // Supervised-sweep quarantine: cells that failed or timed out and were
+  // excluded from the merged results (empty for unsupervised runs).
+  struct FailedCell {
+    std::string label;
+    std::uint32_t attempts = 0;
+    bool timed_out = false;
+    std::string reason;
+  };
+  std::vector<FailedCell> failed_cells;
+
   std::vector<std::pair<std::string, double>> phases_ms;
+  // When false, "phases_ms" is emitted empty — the deterministic-report
+  // mode used to compare a resumed run against an uninterrupted one
+  // byte-for-byte.
+  bool include_phases = true;
 };
 
 // Copies a finalized collector's summary and anomaly verdicts into the

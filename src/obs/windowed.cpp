@@ -1,12 +1,57 @@
 #include "obs/windowed.hpp"
 
 #include <algorithm>
+#include <istream>
+#include <map>
 #include <ostream>
 
 #include "util/contracts.hpp"
 #include "util/csv.hpp"
+#include "util/snapshot_text.hpp"
 
 namespace hetsched {
+namespace {
+
+namespace st = snapshot_text;
+
+void write_window(std::ostream& out, const WindowRecord& w) {
+  out << w.index << ' ' << w.start << ' ' << w.end << ' '
+      << w.jobs_completed << ' ' << w.slices << ' ' << w.dispatches << ' '
+      << w.preemptions << ' ' << w.stalls << ' ' << w.migrations << ' '
+      << w.queue_peak << ' ' << w.prediction_hits << ' '
+      << w.prediction_misses << ' ' << w.reconfig_attempts << ' '
+      << w.faults << ' ';
+  st::write_double(out, w.energy_mj);
+  for (const Cycles c : w.busy_cycles) out << ' ' << c;
+  for (const Cycles c : w.idle_cycles) out << ' ' << c;
+  out << "\n";
+}
+
+WindowRecord read_window(std::istream& in, std::size_t cores,
+                         const std::string& context) {
+  WindowRecord w;
+  w.index = st::read_value<std::uint64_t>(in, "window index", context);
+  w.start = st::read_value<SimTime>(in, "window start", context);
+  w.end = st::read_value<SimTime>(in, "window end", context);
+  for (std::uint64_t* field :
+       {&w.jobs_completed, &w.slices, &w.dispatches, &w.preemptions,
+        &w.stalls, &w.migrations, &w.queue_peak, &w.prediction_hits,
+        &w.prediction_misses, &w.reconfig_attempts, &w.faults}) {
+    *field = st::read_value<std::uint64_t>(in, "window counter", context);
+  }
+  w.energy_mj = st::read_value<double>(in, "window energy", context);
+  w.busy_cycles.resize(cores, 0);
+  w.idle_cycles.resize(cores, 0);
+  for (Cycles& c : w.busy_cycles) {
+    c = st::read_value<Cycles>(in, "window busy cycles", context);
+  }
+  for (Cycles& c : w.idle_cycles) {
+    c = st::read_value<Cycles>(in, "window idle cycles", context);
+  }
+  return w;
+}
+
+}  // namespace
 
 Cycles WindowRecord::total_busy_cycles() const {
   Cycles total = 0;
@@ -152,6 +197,83 @@ void WindowedCollector::finalize() {
   // current window span (a run ending exactly on a boundary, or an
   // eventless collector, adds no trailing zero row).
   if (saw_event_) close_window();
+}
+
+void WindowedCollector::save_state(std::ostream& out) const {
+  const std::size_t cores = current_.busy_cycles.size();
+  out << "windowed " << cores << ' ' << options_.window_cycles << ' '
+      << options_.max_windows << "\n";
+  out << "state " << (saw_event_ ? 1 : 0) << ' ' << (finalized_ ? 1 : 0)
+      << ' ' << windows_closed_ << ' ' << dropped_windows_ << "\n";
+  out << "current ";
+  write_window(out, current_);
+  out << "retained " << windows_.size() << "\n";
+  for (const WindowRecord& w : windows_) write_window(out, w);
+  // last_core_ in sorted order: the serialized form must not depend on
+  // unordered_map iteration.
+  const std::map<std::uint64_t, std::size_t> sorted(last_core_.begin(),
+                                                    last_core_.end());
+  out << "last-core " << sorted.size() << "\n";
+  for (const auto& [job_id, core] : sorted) {
+    out << job_id << ' ' << core << "\n";
+  }
+}
+
+void WindowedCollector::restore_state(std::istream& in,
+                                      const std::string& context) {
+  const std::size_t cores = current_.busy_cycles.size();
+  std::string token;
+  if (!(in >> token) || token != "windowed") {
+    st::fail(context, "expected 'windowed'");
+  }
+  if (st::read_value<std::size_t>(in, "core count", context) != cores) {
+    st::fail(context, "windowed-collector core count does not match");
+  }
+  if (st::read_value<SimTime>(in, "window width", context) !=
+      options_.window_cycles) {
+    st::fail(context, "window width does not match");
+  }
+  if (st::read_value<std::size_t>(in, "retention limit", context) !=
+      options_.max_windows) {
+    st::fail(context, "window retention limit does not match");
+  }
+  if (!(in >> token) || token != "state") {
+    st::fail(context, "expected 'state'");
+  }
+  saw_event_ = st::read_value<int>(in, "saw-event flag", context) != 0;
+  finalized_ = st::read_value<int>(in, "finalized flag", context) != 0;
+  windows_closed_ =
+      st::read_value<std::uint64_t>(in, "windows closed", context);
+  dropped_windows_ =
+      st::read_value<std::uint64_t>(in, "dropped windows", context);
+  if (!(in >> token) || token != "current") {
+    st::fail(context, "expected 'current'");
+  }
+  current_ = read_window(in, cores, context);
+  if (current_.end != current_.start + options_.window_cycles) {
+    st::fail(context, "current window span does not match the width");
+  }
+  if (!(in >> token) || token != "retained") {
+    st::fail(context, "expected 'retained'");
+  }
+  const auto retained =
+      st::read_value<std::size_t>(in, "retained count", context);
+  windows_.clear();
+  for (std::size_t i = 0; i < retained; ++i) {
+    windows_.push_back(read_window(in, cores, context));
+  }
+  if (!(in >> token) || token != "last-core") {
+    st::fail(context, "expected 'last-core'");
+  }
+  const auto tracked =
+      st::read_value<std::size_t>(in, "tracked job count", context);
+  last_core_.clear();
+  for (std::size_t i = 0; i < tracked; ++i) {
+    const auto job_id =
+        st::read_value<std::uint64_t>(in, "tracked job id", context);
+    last_core_[job_id] =
+        st::read_value<std::size_t>(in, "tracked core", context);
+  }
 }
 
 void WindowedCollector::write_jsonl(std::ostream& out) const {

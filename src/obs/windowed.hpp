@@ -115,6 +115,16 @@ class WindowedCollector final : public ScheduleObserver {
   // Writes the retained windows as JSONL (one object per line).
   void write_jsonl(std::ostream& out) const;
 
+  // Checkpoint support: serializes the in-progress window, the retained
+  // closed windows and the migration-detector state, so a restored
+  // collector folds the remaining events into the exact window stream
+  // the uninterrupted run would produce. restore_state requires a
+  // collector constructed with the same core count and window width and
+  // throws std::runtime_error (tagged with `context`) on malformed or
+  // mismatched input.
+  void save_state(std::ostream& out) const;
+  void restore_state(std::istream& in, const std::string& context);
+
  private:
   void advance(SimTime t);  // close windows until t falls in the current
   void close_window();

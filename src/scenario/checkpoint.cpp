@@ -1,0 +1,187 @@
+#include "scenario/checkpoint.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/atomic_file.hpp"
+#include "util/contracts.hpp"
+#include "util/hash.hpp"
+#include "util/snapshot_text.hpp"
+
+namespace hetsched {
+namespace {
+
+namespace st = snapshot_text;
+
+constexpr int kCheckpointVersion = 1;
+
+std::string make_checkpoint_text(const Scenario& scenario,
+                                 const CheckpointRunOptions& options,
+                                 std::uint64_t boundary, ScenarioRun& run,
+                                 const WindowedCollector& collector) {
+  std::ostringstream body;
+  body << "hetsched-checkpoint " << kCheckpointVersion << "\n";
+  body << "scenario-hash " << scenario_fingerprint(scenario) << "\n";
+  body << "window-cycles " << options.window_cycles << ' '
+       << options.checkpoint_every << "\n";
+  body << "boundary " << boundary << "\n";
+  run.simulator().save_stream_state(body);
+  run.arrivals().save_state(body);
+  run.stats().save_state(body);
+  collector.save_state(body);
+  body << "faults " << (run.injector() != nullptr ? 1 : 0) << "\n";
+  if (run.injector() != nullptr) run.injector()->save_state(body);
+  std::ostringstream out;
+  st::write_with_checksum(out, body.str());
+  return out.str();
+}
+
+// Parses and verifies `text`, restores every component into `run` and
+// `collector`, and returns the stride boundary the snapshot was taken
+// at. The ScenarioRun must be freshly constructed (not started).
+std::uint64_t restore_checkpoint_text(const std::string& text,
+                                      const Scenario& scenario,
+                                      const CheckpointRunOptions& options,
+                                      ScenarioRun& run,
+                                      WindowedCollector& collector,
+                                      const std::string& context) {
+  std::istringstream raw(text);
+  const std::string body = st::read_verified(raw, context);
+  std::istringstream in(body);
+
+  std::string token;
+  if (!(in >> token) || token != "hetsched-checkpoint") {
+    st::fail(context, "not a hetsched checkpoint");
+  }
+  if (st::read_value<int>(in, "version", context) != kCheckpointVersion) {
+    st::fail(context, "unsupported checkpoint version");
+  }
+  if (!(in >> token) || token != "scenario-hash") {
+    st::fail(context, "expected 'scenario-hash'");
+  }
+  if (st::read_value<std::uint64_t>(in, "scenario hash", context) !=
+      scenario_fingerprint(scenario)) {
+    st::fail(context,
+             "checkpoint was taken for a different scenario definition");
+  }
+  if (!(in >> token) || token != "window-cycles") {
+    st::fail(context, "expected 'window-cycles'");
+  }
+  if (st::read_value<SimTime>(in, "window cycles", context) !=
+          options.window_cycles ||
+      st::read_value<std::uint64_t>(in, "checkpoint stride", context) !=
+          options.checkpoint_every) {
+    st::fail(context,
+             "checkpoint window/stride parameters do not match this run");
+  }
+  if (!(in >> token) || token != "boundary") {
+    st::fail(context, "expected 'boundary'");
+  }
+  const auto boundary =
+      st::read_value<std::uint64_t>(in, "boundary index", context);
+  if (boundary == 0) st::fail(context, "boundary index must be positive");
+
+  run.simulator().restore_stream_state(in, context);
+  run.arrivals().restore_state(in, context);
+  run.stats().restore_state(in, context);
+  collector.restore_state(in, context);
+  if (!(in >> token) || token != "faults") {
+    st::fail(context, "expected 'faults'");
+  }
+  const bool had_injector =
+      st::read_value<int>(in, "fault flag", context) != 0;
+  if (had_injector != (run.injector() != nullptr)) {
+    st::fail(context,
+             "checkpoint fault-injection state does not match the scenario");
+  }
+  if (run.injector() != nullptr) {
+    run.injector()->restore_state(in, context);
+  }
+  return boundary;
+}
+
+std::string load_resume_text(const CheckpointRunOptions& options) {
+  if (!options.resume_text.empty()) return options.resume_text;
+  std::ifstream in(options.resume_from, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("cannot read checkpoint file: " +
+                             options.resume_from);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+}  // namespace
+
+std::uint64_t scenario_fingerprint(const Scenario& scenario) {
+  std::ostringstream out;
+  scenario.save(out);
+  return fnv1a(out.str());
+}
+
+CheckpointRunOutcome run_scenario_checkpointed(
+    const Scenario& scenario, const ScenarioContext& context,
+    const CheckpointRunOptions& options) {
+  HETSCHED_REQUIRE(options.window_cycles > 0);
+  HETSCHED_REQUIRE(options.checkpoint_every > 0);
+
+  WindowedCollector collector(
+      scenario.make_system().core_count(),
+      WindowedOptions{options.window_cycles, 0}, &context.suite());
+  ScenarioRun run(scenario, context, &collector);
+
+  std::uint64_t boundary = 0;
+  std::uint64_t resumed_from = 0;
+  const bool resuming =
+      !options.resume_text.empty() || !options.resume_from.empty();
+  if (resuming) {
+    const std::string context_name = options.resume_from.empty()
+                                         ? std::string("checkpoint")
+                                         : options.resume_from;
+    boundary = restore_checkpoint_text(load_resume_text(options), scenario,
+                                       options, run, collector,
+                                       context_name);
+    resumed_from = boundary;
+  } else {
+    run.start();
+  }
+
+  const SimTime stride = options.window_cycles * options.checkpoint_every;
+  std::uint64_t written = 0;
+  for (;;) {
+    ++boundary;
+    const bool paused = run.advance_until(boundary * stride);
+    if (!paused) break;  // stream drained before the boundary
+
+    const std::string text =
+        make_checkpoint_text(scenario, options, boundary, run, collector);
+    if (options.capture_checkpoints != nullptr) {
+      options.capture_checkpoints->push_back(text);
+    }
+    if (!options.checkpoint_out.empty() &&
+        !atomic_write_file(options.checkpoint_out, text)) {
+      throw std::runtime_error("cannot write checkpoint file: " +
+                               options.checkpoint_out);
+    }
+    ++written;
+    if (options.halt_after_checkpoints > 0 &&
+        written >= options.halt_after_checkpoints) {
+      return CheckpointRunOutcome{SimulationResult{},
+                                  std::move(run.stats()),
+                                  std::move(collector),
+                                  written,
+                                  resumed_from,
+                                  true};
+    }
+  }
+
+  const SimulationResult result = run.finish();
+  collector.finalize();
+  return CheckpointRunOutcome{result,  std::move(run.stats()),
+                              std::move(collector), written,
+                              resumed_from,         false};
+}
+
+}  // namespace hetsched

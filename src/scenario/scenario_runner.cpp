@@ -1,5 +1,6 @@
 #include "scenario/scenario_runner.hpp"
 
+#include <limits>
 #include <optional>
 
 #include "cache/cache_config.hpp"
@@ -23,8 +24,10 @@ CharacterizedSuite build_suite(const EnergyModel& energy,
   return CharacterizedSuite::build(energy, scenario.suite);
 }
 
-std::unique_ptr<SchedulerPolicy> make_policy(const Scenario& scenario,
-                                             const ScenarioContext& context) {
+}  // namespace
+
+std::unique_ptr<SchedulerPolicy> make_scenario_policy(
+    const Scenario& scenario, const ScenarioContext& context) {
   if (scenario.policy == "base") return std::make_unique<BasePolicy>();
   if (scenario.policy == "optimal") return std::make_unique<OptimalPolicy>();
   HETSCHED_REQUIRE(context.predictor() != nullptr &&
@@ -39,8 +42,6 @@ std::unique_ptr<SchedulerPolicy> make_policy(const Scenario& scenario,
   HETSCHED_REQUIRE(scenario.policy == "proposed");
   return std::make_unique<ProposedPolicy>(*context.predictor());
 }
-
-}  // namespace
 
 ScenarioContext::ScenarioContext(const Scenario& scenario,
                                  const std::string& profile_cache_path)
@@ -78,39 +79,38 @@ ScenarioContext::ScenarioContext(const Scenario& scenario,
   }
 }
 
+ScenarioRun::ScenarioRun(const Scenario& scenario,
+                         const ScenarioContext& context,
+                         ScheduleObserver* extra)
+    : system_((scenario.validate(), scenario.make_system())),
+      policy_(make_scenario_policy(scenario, context)),
+      simulator_(system_, context.suite(), context.energy(), *policy_,
+                 scenario.discipline),
+      stats_(system_.core_count()),
+      fanout_({&stats_, extra}),
+      // Seed derivations match Experiment (arrivals) and the CLI
+      // (real-time attributes), so a scenario reproduces those streams
+      // exactly.
+      stream_(context.scheduling_ids(), scenario.arrivals,
+              scenario.seed ^ 0xa5a5a5a5ULL) {
+  simulator_.set_observer(&fanout_);
+  if (!scenario.faults.empty()) {
+    injector_.emplace(scenario.faults);
+    simulator_.set_fault_injector(&*injector_);
+  }
+  if (scenario.realtime.has_value()) {
+    stream_.set_realtime(context.base_reference_cycles(), *scenario.realtime,
+                         scenario.seed ^ 0x5151ULL);
+  }
+}
+
 ScenarioOutcome run_scenario(const Scenario& scenario,
                              const ScenarioContext& context,
                              ScheduleObserver* extra) {
-  scenario.validate();
-  const SystemConfig system = scenario.make_system();
-  const std::unique_ptr<SchedulerPolicy> policy =
-      make_policy(scenario, context);
-
-  MulticoreSimulator simulator(system, context.suite(), context.energy(),
-                               *policy, scenario.discipline);
-  StreamStats stats(system.core_count());
-  FanoutObserver fanout({&stats, extra});
-  simulator.set_observer(extra == nullptr
-                             ? static_cast<ScheduleObserver*>(&stats)
-                             : &fanout);
-
-  std::optional<FaultInjector> injector;
-  if (!scenario.faults.empty()) {
-    injector.emplace(scenario.faults);
-    simulator.set_fault_injector(&*injector);
-  }
-
-  // Seed derivations match Experiment (arrivals) and the CLI (real-time
-  // attributes), so a scenario reproduces those streams exactly.
-  GeneratedArrivalStream stream(context.scheduling_ids(), scenario.arrivals,
-                                scenario.seed ^ 0xa5a5a5a5ULL);
-  if (scenario.realtime.has_value()) {
-    stream.set_realtime(context.base_reference_cycles(), *scenario.realtime,
-                        scenario.seed ^ 0x5151ULL);
-  }
-
-  ScenarioOutcome outcome{simulator.run_stream(stream), std::move(stats)};
-  return outcome;
+  ScenarioRun run(scenario, context, extra);
+  run.start();
+  run.advance_until(std::numeric_limits<SimTime>::max());
+  return ScenarioOutcome{run.finish(), std::move(run.stats())};
 }
 
 void record_scenario_metrics(MetricsRegistry& metrics,

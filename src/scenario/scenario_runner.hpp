@@ -7,6 +7,7 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "core/predictor.hpp"
@@ -53,6 +54,50 @@ class ScenarioContext {
 struct ScenarioOutcome {
   SimulationResult result;
   StreamStats stream;  // compacted schedule + event-stream digest
+};
+
+// Instantiates the scheduler policy a scenario names, wired to the
+// context's predictor when the policy consults one.
+std::unique_ptr<SchedulerPolicy> make_scenario_policy(
+    const Scenario& scenario, const ScenarioContext& context);
+
+// One scenario execution held open so it can be driven in slices —
+// the substrate for checkpointed runs and supervised (timeout-guarded)
+// sweep cells. Owns the policy, simulator, arrival stream, StreamStats
+// and optional fault injector that run_scenario would wire up
+// internally; running start() / advance_until(max) / finish() is
+// bit-identical to run_scenario. The scenario and context must outlive
+// the run.
+class ScenarioRun {
+ public:
+  // `extra` (optional) receives every observer callback alongside the
+  // internal StreamStats and must outlive the run.
+  ScenarioRun(const Scenario& scenario, const ScenarioContext& context,
+              ScheduleObserver* extra = nullptr);
+
+  // Stepping interface; see MulticoreSimulator's equivalents.
+  void start() { simulator_.start_stream(stream_); }
+  bool advance_until(SimTime limit) {
+    return simulator_.advance_stream_until(stream_, limit);
+  }
+  SimulationResult finish() { return simulator_.finish_stream(); }
+
+  MulticoreSimulator& simulator() { return simulator_; }
+  StreamStats& stats() { return stats_; }
+  GeneratedArrivalStream& arrivals() { return stream_; }
+  // Null when the scenario has no fault plan.
+  FaultInjector* injector() {
+    return injector_.has_value() ? &*injector_ : nullptr;
+  }
+
+ private:
+  SystemConfig system_;
+  std::unique_ptr<SchedulerPolicy> policy_;
+  MulticoreSimulator simulator_;
+  StreamStats stats_;
+  FanoutObserver fanout_;
+  std::optional<FaultInjector> injector_;
+  GeneratedArrivalStream stream_;
 };
 
 // Runs `scenario` under the streaming driver. Deterministic: the same

@@ -1,5 +1,10 @@
 #include "scenario/stream_stats.hpp"
 
+#include <istream>
+#include <ostream>
+
+#include "util/snapshot_text.hpp"
+
 namespace hetsched {
 namespace {
 
@@ -105,6 +110,58 @@ void StreamStats::on_preempt(const PreemptEvent& event) {
       .update_value(event.job_id)
       .update_value(event.was_hung);
   ++preemptions_;
+}
+
+void StreamStats::save_state(std::ostream& out) const {
+  out << "stream-stats " << per_core_.size() << "\n"
+      << "totals " << slices_ << ' ' << completed_slices_ << ' '
+      << busy_cycles_ << ' ' << idle_cycles_ << ' ' << longest_slice_ << ' '
+      << dispatches_ << ' ' << preemptions_ << ' ' << idle_intervals_ << ' '
+      << reconfig_attempts_ << ' ' << reconfig_failures_ << ' ' << faults_
+      << ' ' << invariant_violations_ << "\n";
+  for (const CoreAggregate& core : per_core_) {
+    out << core.slices << ' ' << core.completed_slices << ' '
+        << core.busy_cycles << ' ' << core.idle_cycles << ' '
+        << core.last_slice_end << "\n";
+  }
+  out << "digest " << digest_.digest() << "\n";
+}
+
+void StreamStats::restore_state(std::istream& in,
+                                const std::string& context) {
+  namespace st = snapshot_text;
+  std::string token;
+  if (!(in >> token) || token != "stream-stats") {
+    st::fail(context, "expected 'stream-stats'");
+  }
+  if (st::read_value<std::size_t>(in, "core count", context) !=
+      per_core_.size()) {
+    st::fail(context, "stream-stats core count does not match");
+  }
+  if (!(in >> token) || token != "totals") {
+    st::fail(context, "expected 'totals'");
+  }
+  for (std::uint64_t* field :
+       {&slices_, &completed_slices_, &busy_cycles_, &idle_cycles_,
+        &longest_slice_, &dispatches_, &preemptions_, &idle_intervals_,
+        &reconfig_attempts_, &reconfig_failures_, &faults_,
+        &invariant_violations_}) {
+    *field = st::read_value<std::uint64_t>(in, "stream total", context);
+  }
+  for (CoreAggregate& core : per_core_) {
+    core.slices = st::read_value<std::uint64_t>(in, "core slices", context);
+    core.completed_slices =
+        st::read_value<std::uint64_t>(in, "core completed", context);
+    core.busy_cycles = st::read_value<Cycles>(in, "core busy", context);
+    core.idle_cycles = st::read_value<Cycles>(in, "core idle", context);
+    core.last_slice_end =
+        st::read_value<SimTime>(in, "core last slice end", context);
+  }
+  if (!(in >> token) || token != "digest") {
+    st::fail(context, "expected 'digest'");
+  }
+  digest_ =
+      Fnv1a(st::read_value<std::uint64_t>(in, "stream digest", context));
 }
 
 }  // namespace hetsched

@@ -16,6 +16,8 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
+#include <string>
 #include <vector>
 
 #include "core/schedule_log.hpp"
@@ -65,6 +67,15 @@ class StreamStats final : public ScheduleObserver {
 
   // Order-sensitive fingerprint of every event observed so far.
   std::uint64_t digest() const { return digest_.digest(); }
+
+  // Checkpoint support: serializes every aggregate plus the running
+  // digest state, so a restored collector continues folding events into
+  // the same fingerprint the uninterrupted run would produce.
+  // restore_state requires a collector constructed with the same core
+  // count and throws std::runtime_error (tagged with `context`) on
+  // malformed or mismatched input.
+  void save_state(std::ostream& out) const;
+  void restore_state(std::istream& in, const std::string& context);
 
  private:
   std::vector<CoreAggregate> per_core_;

@@ -1,6 +1,10 @@
 #include "util/rng.hpp"
 
 #include <cmath>
+#include <istream>
+#include <ostream>
+
+#include "util/snapshot_text.hpp"
 
 namespace hetsched {
 
@@ -53,6 +57,29 @@ Rng Rng::split() {
   // Hash the current state into a fresh seed; advances this stream once so
   // successive splits differ.
   return Rng(next() ^ 0x9e3779b97f4a7c15ULL);
+}
+
+void Rng::save_state(std::ostream& out) const {
+  out << "rng";
+  for (const std::uint64_t s : state_) out << ' ' << s;
+  out << ' ' << (has_spare_normal_ ? 1 : 0) << ' ';
+  snapshot_text::write_double(out, spare_normal_);
+  out << "\n";
+}
+
+void Rng::restore_state(std::istream& in, const std::string& context) {
+  std::string token;
+  if (!(in >> token) || token != "rng") {
+    snapshot_text::fail(context, "expected 'rng'");
+  }
+  for (std::uint64_t& s : state_) {
+    s = snapshot_text::read_value<std::uint64_t>(in, "rng state word",
+                                                 context);
+  }
+  has_spare_normal_ =
+      snapshot_text::read_value<int>(in, "rng spare flag", context) != 0;
+  spare_normal_ =
+      snapshot_text::read_value<double>(in, "rng spare normal", context);
 }
 
 }  // namespace hetsched

@@ -11,6 +11,8 @@
 
 #include <array>
 #include <cstdint>
+#include <iosfwd>
+#include <string>
 #include <vector>
 
 #include "util/contracts.hpp"
@@ -120,6 +122,14 @@ class Rng {
   // Derive an independent child stream (e.g. one per bagged ANN) without
   // perturbing this generator's sequence.
   Rng split();
+
+  // Checkpoint support: serializes the full generator state (xoshiro
+  // words plus the Marsaglia spare normal) as whitespace tokens; a
+  // restored generator continues the stream bit-identically.
+  // restore_state throws std::runtime_error (tagged with `context`) on
+  // malformed input.
+  void save_state(std::ostream& out) const;
+  void restore_state(std::istream& in, const std::string& context);
 
  private:
   static std::uint64_t rotl(std::uint64_t x, int k) {

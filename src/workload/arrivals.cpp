@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <istream>
+#include <ostream>
 
 #include "util/contracts.hpp"
+#include "util/snapshot_text.hpp"
 
 namespace hetsched {
 namespace {
@@ -131,6 +134,44 @@ std::optional<JobArrival> GeneratedArrivalStream::next() {
   }
   ++emitted_;
   return a;
+}
+
+void GeneratedArrivalStream::save_state(std::ostream& out) const {
+  out << "arrival-stream\n";
+  rng_.save_state(out);
+  out << "clock ";
+  snapshot_text::write_double(out, t_);
+  out << ' ' << (in_burst_ ? 1 : 0) << ' ' << emitted_ << "\n";
+  out << "realtime " << (realtime_ ? 1 : 0) << "\n";
+  if (realtime_) realtime_rng_.save_state(out);
+}
+
+void GeneratedArrivalStream::restore_state(std::istream& in,
+                                           const std::string& context) {
+  std::string token;
+  if (!(in >> token) || token != "arrival-stream") {
+    snapshot_text::fail(context, "expected 'arrival-stream'");
+  }
+  rng_.restore_state(in, context);
+  if (!(in >> token) || token != "clock") {
+    snapshot_text::fail(context, "expected 'clock'");
+  }
+  t_ = snapshot_text::read_value<double>(in, "arrival clock", context);
+  in_burst_ =
+      snapshot_text::read_value<int>(in, "burst phase", context) != 0;
+  emitted_ =
+      snapshot_text::read_value<std::uint64_t>(in, "emitted count", context);
+  if (!(in >> token) || token != "realtime") {
+    snapshot_text::fail(context, "expected 'realtime'");
+  }
+  const bool was_realtime =
+      snapshot_text::read_value<int>(in, "realtime flag", context) != 0;
+  if (was_realtime != realtime_) {
+    snapshot_text::fail(context,
+                        "real-time configuration does not match the "
+                        "checkpointed stream");
+  }
+  if (realtime_) realtime_rng_.restore_state(in, context);
 }
 
 }  // namespace hetsched

@@ -4,7 +4,9 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "util/rng.hpp"
@@ -108,6 +110,16 @@ class GeneratedArrivalStream final : public ArrivalSource {
   std::optional<JobArrival> next() override;
 
   std::uint64_t emitted() const { return emitted_; }
+
+  // Checkpoint support: serializes the generator position (both RNG
+  // states, the running arrival clock and the burst phase). The options,
+  // benchmark ids and real-time configuration are NOT serialized — a
+  // restored stream must be constructed (and set_realtime'd) exactly as
+  // the original, then restore_state'd before the next next() call;
+  // continuation is then bit-identical. restore_state throws
+  // std::runtime_error (tagged with `context`) on malformed input.
+  void save_state(std::ostream& out) const;
+  void restore_state(std::istream& in, const std::string& context);
 
  private:
   std::vector<std::size_t> benchmark_ids_;

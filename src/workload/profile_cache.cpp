@@ -2,12 +2,12 @@
 
 #include <bit>
 #include <cmath>
-#include <cstdio>
 #include <fstream>
 #include <istream>
 #include <ostream>
 #include <sstream>
 
+#include "util/atomic_file.hpp"
 #include "util/contracts.hpp"
 #include "util/hash.hpp"
 #include "util/probes.hpp"
@@ -271,17 +271,11 @@ CharacterizedSuite load_or_build_suite(const std::string& path,
       pool != nullptr ? CharacterizedSuite::build(model, options, *pool)
                       : CharacterizedSuite::build(model, options);
 
-  // Refresh via temp-file + rename so a crashed or concurrent writer can
-  // never leave a torn snapshot behind; failures only cost the cache.
-  const std::string tmp = path + ".tmp";
-  std::ofstream out(tmp);
-  if (out) {
-    save_suite_snapshot(out, suite, key);
-    out.close();
-    if (!out || std::rename(tmp.c_str(), path.c_str()) != 0) {
-      std::remove(tmp.c_str());
-    }
-  }
+  // Refresh atomically so a crashed or concurrent writer can never leave
+  // a torn snapshot behind; failures only cost the cache.
+  std::ostringstream out;
+  save_suite_snapshot(out, suite, key);
+  atomic_write_file(path, out.str());
   return suite;
 }
 

@@ -364,14 +364,28 @@ TEST(RunReport, JsonContainsEverySectionAndAnomalies) {
   timers.record("run", 12.5);
   report.phases_ms = timers.entries();
 
+  report.failed_cells.push_back({"c4.g0.base", 2, true, "timed out"});
+
   const std::string json = run_report_to_json(report);
+  EXPECT_NE(json.find("\"schema\": 2"), std::string::npos);
   EXPECT_NE(json.find("\"command\": \"run\""), std::string::npos);
   EXPECT_NE(json.find("\"suite_key\": 12345"), std::string::npos);
   EXPECT_NE(json.find("\"windows\""), std::string::npos);
   EXPECT_NE(json.find("\"closed\": 1"), std::string::npos);
   EXPECT_NE(json.find("\"anomalies\": []"), std::string::npos);
   EXPECT_NE(json.find("\"run\": 12.5"), std::string::npos);
+  EXPECT_NE(json.find("\"failed_cells\": [{\"label\": \"c4.g0.base\", "
+                      "\"attempts\": 2, \"timed_out\": true, "
+                      "\"reason\": \"timed out\"}]"),
+            std::string::npos);
   EXPECT_EQ(report.window_jobs_completed, 1u);
+
+  // Deterministic-report mode: phase timers stay out of the document so
+  // identical runs render byte-identical JSON.
+  report.include_phases = false;
+  const std::string stripped = run_report_to_json(report);
+  EXPECT_NE(stripped.find("\"phases_ms\": {}"), std::string::npos);
+  EXPECT_EQ(stripped.find("12.5"), std::string::npos);
 
   Anomaly anomaly;
   anomaly.rule = Anomaly::Rule::kIdleSpike;

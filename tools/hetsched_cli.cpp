@@ -52,10 +52,33 @@
 //   --report-out FILE    write the unified run report JSON (config +
 //                        suite key, result, metrics, window summary,
 //                        anomalies, wall-clock phase timers)
+//   --report-deterministic
+//                        emit the report with an empty phases_ms section
+//                        so two identical runs produce byte-identical
+//                        reports (the resume-verification mode)
+//
+// Crash-safe execution (scenario):
+//   --checkpoint-out F   write a resumable checkpoint atomically at every
+//                        stride boundary (window-cycles * checkpoint-every)
+//   --checkpoint-every N windows per checkpoint stride (default 1)
+//   --resume-from F      resume a scenario from a checkpoint file (or a
+//                        sweep from a shard manifest); outputs are
+//                        bit-identical to the uninterrupted run
+//   --halt-after-checkpoints N
+//                        stop (exit 3) after writing N checkpoints —
+//                        a deterministic stand-in for a crash
+//
+// Supervised sweeps (sweep):
+//   --cell-timeout-ms N  wall-clock budget per cell attempt
+//   --cell-retries N     attempts per cell before quarantine (default 1)
+//   --cell-backoff-ms N  sleep between attempts of one cell
+//   --manifest-out F     persist a shard manifest after every completed
+//                        cell; --resume-from it to skip completed cells
 #include <charconv>
 #include <cmath>
 #include <cstdlib>
 #include <deque>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -73,7 +96,9 @@
 #include "obs/observability.hpp"
 #include "obs/run_report.hpp"
 #include "obs/windowed.hpp"
+#include "scenario/checkpoint.hpp"
 #include "scenario/scenario_runner.hpp"
+#include "util/atomic_file.hpp"
 #include "util/table_printer.hpp"
 #include "util/thread_pool.hpp"
 #include "workload/profile_cache.hpp"
@@ -108,8 +133,27 @@ struct CliOptions {
   std::size_t shards = 0;  // 0: one shard per cell
   ExperimentOptions experiment;
 
+  // Crash-safe execution.
+  std::string checkpoint_out_path;
+  std::uint64_t checkpoint_every = 1;
+  std::string resume_from_path;  // scenario: checkpoint; sweep: manifest
+  std::uint64_t halt_after_checkpoints = 0;
+  std::uint64_t cell_timeout_ms = 0;
+  std::uint32_t cell_retries = 1;
+  std::uint64_t cell_backoff_ms = 0;
+  std::string manifest_out_path;
+  bool deterministic_report = false;
+
   bool wants_windows() const {
     return !report_out_path.empty() || !windows_out_path.empty();
+  }
+  bool wants_checkpointing() const {
+    return !checkpoint_out_path.empty() || !resume_from_path.empty() ||
+           halt_after_checkpoints > 0;
+  }
+  bool wants_supervision() const {
+    return cell_timeout_ms > 0 || cell_retries > 1 || cell_backoff_ms > 0 ||
+           !manifest_out_path.empty() || !resume_from_path.empty();
   }
 };
 
@@ -139,18 +183,18 @@ struct ObsSession {
   // be written.
   bool finish() {
     if (!trace_path.empty()) {
-      std::ofstream out(trace_path);
-      if (out) write_chrome_trace(out, processes);
-      if (!out) {
+      std::ostringstream out;
+      write_chrome_trace(out, processes);
+      if (!atomic_write_file(trace_path, out.str())) {
         std::cerr << "cannot write " << trace_path << "\n";
         return false;
       }
       std::cout << "trace written to " << trace_path << "\n";
     }
     if (!metrics_path.empty()) {
-      std::ofstream out(metrics_path);
-      if (out) metrics.write_json(out);
-      if (!out) {
+      std::ostringstream out;
+      metrics.write_json(out);
+      if (!atomic_write_file(metrics_path, out.str())) {
         std::cerr << "cannot write " << metrics_path << "\n";
         return false;
       }
@@ -200,6 +244,28 @@ struct ObsSession {
       "  --window-cycles N\n"
       "                  window width in simulated cycles (default 1e6)\n"
       "  --report-out F  write the unified run-report JSON\n"
+      "  --report-deterministic\n"
+      "                  emit the report with empty phases_ms so identical\n"
+      "                  runs produce byte-identical reports\n"
+      "  --checkpoint-out F\n"
+      "                  (scenario) write a resumable checkpoint atomically\n"
+      "                  at every stride boundary\n"
+      "  --checkpoint-every N\n"
+      "                  (scenario) windows per checkpoint stride (default 1)\n"
+      "  --resume-from F (scenario) resume from a checkpoint file;\n"
+      "                  (sweep) resume from a shard manifest\n"
+      "  --halt-after-checkpoints N\n"
+      "                  (scenario) stop with exit 3 after N checkpoints,\n"
+      "                  simulating a crash deterministically\n"
+      "  --cell-timeout-ms N\n"
+      "                  (sweep) wall-clock budget per cell attempt\n"
+      "  --cell-retries N\n"
+      "                  (sweep) attempts per cell before quarantine\n"
+      "  --cell-backoff-ms N\n"
+      "                  (sweep) sleep between attempts of one cell\n"
+      "  --manifest-out F\n"
+      "                  (sweep) persist the shard manifest after every\n"
+      "                  completed cell\n"
       "  --tolerance X   (bench-diff) relative slack before a metric\n"
       "                  counts as regressed (default 0.5)\n"
       "  --file F        (scenario/sweep) scenario description file\n"
@@ -231,6 +297,19 @@ std::uint64_t parse_count(const std::string& flag, const std::string& text,
           ", got '" + text + "'");
   }
   return value;
+}
+
+// Output-path hardening: fail fast (before minutes of simulation) when a
+// requested artifact would land in a directory that does not exist —
+// atomic temp+rename cannot create parents.
+void require_parent_dir(const std::string& flag, const std::string& path) {
+  if (path.empty()) return;
+  const std::filesystem::path parent =
+      std::filesystem::path(path).parent_path();
+  std::error_code ec;
+  if (!parent.empty() && !std::filesystem::is_directory(parent, ec)) {
+    usage(flag + ": directory '" + parent.string() + "' does not exist");
+  }
 }
 
 double parse_real(const std::string& flag, const std::string& text,
@@ -338,10 +417,45 @@ CliOptions parse(int argc, char** argv) {
       options.sweep_policies = next();
     } else if (flag == "--shards") {
       options.shards = static_cast<std::size_t>(parse_count(flag, next(), 1));
+    } else if (flag == "--checkpoint-out") {
+      options.checkpoint_out_path = next();
+      if (options.checkpoint_out_path.empty()) {
+        usage(flag + " expects a file path");
+      }
+    } else if (flag == "--checkpoint-every") {
+      options.checkpoint_every = parse_count(flag, next(), 1);
+    } else if (flag == "--resume-from") {
+      options.resume_from_path = next();
+      if (options.resume_from_path.empty()) {
+        usage(flag + " expects a file path");
+      }
+    } else if (flag == "--halt-after-checkpoints") {
+      options.halt_after_checkpoints = parse_count(flag, next(), 1);
+    } else if (flag == "--cell-timeout-ms") {
+      options.cell_timeout_ms = parse_count(flag, next(), 1);
+    } else if (flag == "--cell-retries") {
+      options.cell_retries =
+          static_cast<std::uint32_t>(parse_count(flag, next(), 1));
+    } else if (flag == "--cell-backoff-ms") {
+      options.cell_backoff_ms = parse_count(flag, next(), 0);
+    } else if (flag == "--manifest-out") {
+      options.manifest_out_path = next();
+      if (options.manifest_out_path.empty()) {
+        usage(flag + " expects a file path");
+      }
+    } else if (flag == "--report-deterministic") {
+      options.deterministic_report = true;
     } else {
       usage("unknown flag " + flag);
     }
   }
+  require_parent_dir("--trace-out", options.trace_out_path);
+  require_parent_dir("--metrics-out", options.metrics_out_path);
+  require_parent_dir("--report-out", options.report_out_path);
+  require_parent_dir("--windows-out", options.windows_out_path);
+  require_parent_dir("--checkpoint-out", options.checkpoint_out_path);
+  require_parent_dir("--manifest-out", options.manifest_out_path);
+  require_parent_dir("--save", options.save_path);
   return options;
 }
 
@@ -411,9 +525,7 @@ void print_result(const std::string& name, const SimulationResult& r) {
 
 bool write_text_file(const std::string& path, const std::string& content,
                      const char* what) {
-  std::ofstream out(path);
-  if (out) out << content;
-  if (!out) {
+  if (!atomic_write_file(path, content)) {
     std::cerr << "cannot write " << path << "\n";
     return false;
   }
@@ -439,6 +551,7 @@ int export_reports(const CliOptions& options, ObsSession* obs,
   if (!options.report_out_path.empty()) {
     if (obs != nullptr) report.metrics_json = obs->metrics.to_json();
     report.phases_ms = timers.entries();
+    report.include_phases = !options.deterministic_report;
     if (!write_text_file(options.report_out_path,
                          run_report_to_json(report), "report")) {
       return 1;
@@ -494,12 +607,12 @@ int cmd_train(const CliOptions& options) {
   const PredictorReport& report = experiment.predictor().report();
   std::cout << "trained on " << report.dataset_rows << " rows; test accuracy "
             << TablePrinter::num(report.test_accuracy * 100.0, 1) << "%\n";
-  std::ofstream out(options.save_path);
-  if (!out) {
-    std::cerr << "cannot open " << options.save_path << "\n";
+  std::ostringstream out;
+  PredictorSnapshot::from(experiment.predictor()).save(out);
+  if (!atomic_write_file(options.save_path, out.str())) {
+    std::cerr << "cannot write " << options.save_path << "\n";
     return 1;
   }
-  PredictorSnapshot::from(experiment.predictor()).save(out);
   std::cout << "predictor snapshot written to " << options.save_path
             << "\n";
   return 0;
@@ -716,6 +829,81 @@ std::optional<Scenario> load_scenario(const CliOptions& options) {
   return Scenario::parse(in);
 }
 
+// Checkpointed scenario execution. The checkpointing driver owns the
+// windowed collector (its accumulators are part of the resumable state),
+// no sim tracer is attached (trace buffers are not checkpointed, so a
+// resumed trace could never match), and the report's metrics snapshot
+// comes from a local registry fed only by the deterministic scenario
+// metrics — together with --report-deterministic this makes every output
+// of a resumed run byte-identical to the uninterrupted one.
+int cmd_scenario_checkpointed(const CliOptions& options, ObsSession* obs,
+                              const Scenario& scenario,
+                              const ScenarioContext& context,
+                              PhaseTimers& timers) {
+  CheckpointRunOptions copts;
+  copts.window_cycles = options.window_cycles;
+  copts.checkpoint_every = options.checkpoint_every;
+  copts.checkpoint_out = options.checkpoint_out_path;
+  copts.resume_from = options.resume_from_path;
+  copts.halt_after_checkpoints = options.halt_after_checkpoints;
+
+  std::optional<CheckpointRunOutcome> outcome;
+  {
+    const auto scope = timers.scope("run");
+    outcome.emplace(run_scenario_checkpointed(scenario, context, copts));
+  }
+  if (outcome->resumed_from > 0) {
+    std::cout << "resumed from checkpoint boundary " << outcome->resumed_from
+              << "\n";
+  }
+  if (!copts.checkpoint_out.empty() && outcome->checkpoints_written > 0) {
+    std::cout << outcome->checkpoints_written << " checkpoint(s) written to "
+              << copts.checkpoint_out << "\n";
+  }
+  if (outcome->halted) {
+    std::cout << "halted after " << outcome->checkpoints_written
+              << " checkpoint(s); resume with --resume-from "
+              << copts.checkpoint_out << "\n";
+    return 3;
+  }
+
+  print_result(scenario.name, outcome->result);
+  std::cout << "stream: " << outcome->stream.slices() << " slices, digest 0x"
+            << std::hex << outcome->stream.digest() << std::dec << ", "
+            << outcome->stream.invariant_violations()
+            << " invariant violations\n";
+  const ScenarioOutcome view{outcome->result, outcome->stream};
+  if (obs != nullptr) {
+    record_scenario_metrics(obs->metrics, scenario.name + ".", view);
+  }
+
+  RunReport report;
+  report.command = "scenario";
+  report.name = scenario.name;
+  report.policy = scenario.policy;
+  report.system = std::string(to_string(scenario.system));
+  report.discipline = std::string(to_string(scenario.discipline));
+  report.cores = scenario.make_system().core_count();
+  report.seed = scenario.seed;
+  report.jobs = scenario.arrivals.count;
+  report.suite_key = suite_cache_key(scenario.suite, context.energy());
+  report.completed_jobs = outcome->result.completed_jobs;
+  report.makespan = outcome->result.makespan;
+  report.total_energy_mj = outcome->result.total_energy().millijoules();
+  report.stream_digest = outcome->stream.digest();
+  attach_window_summary(report, outcome->windows, AnomalyConfig{});
+  MetricsRegistry local;
+  record_scenario_metrics(local, scenario.name + ".", view);
+  report.metrics_json = local.to_json();
+  // obs deliberately not forwarded: the report must not absorb the
+  // wall-clock-dependent probe metrics.
+  const int export_status =
+      export_reports(options, nullptr, timers, std::move(report),
+                     windows_jsonl(outcome->windows));
+  if (export_status != 0) return export_status;
+  return outcome->stream.invariant_violations() == 0 ? 0 : 1;
+}
+
 int cmd_scenario(const CliOptions& options, ObsSession* obs) {
   PhaseTimers timers;
   const std::optional<Scenario> scenario = load_scenario(options);
@@ -724,6 +912,15 @@ int cmd_scenario(const CliOptions& options, ObsSession* obs) {
   {
     const auto scope = timers.scope("setup");
     context.emplace(*scenario, options.experiment.profile_cache_path);
+  }
+
+  if (options.wants_checkpointing()) {
+    if (!options.trace_out_path.empty()) {
+      usage("--trace-out cannot be combined with checkpoint/resume flags "
+            "(trace buffers are not part of the checkpointed state)");
+    }
+    return cmd_scenario_checkpointed(options, obs, *scenario, *context,
+                                     timers);
   }
 
   EventTracer* tracer =
@@ -831,6 +1028,112 @@ int cmd_sweep(const CliOptions& options, ObsSession* obs) {
   }
   const std::size_t shards =
       options.shards == 0 ? grid.cell_count() : options.shards;
+
+  // Supervised mode: per-cell timeout/retry/quarantine, optional shard
+  // manifest for resume. Cell telemetry is captured by the supervisor
+  // itself (and carried through the manifest), so no per-cell tracers —
+  // a resumed sweep must reproduce the merged outputs byte-identically
+  // without re-running completed cells.
+  if (options.wants_supervision()) {
+    if (!options.trace_out_path.empty()) {
+      usage("--trace-out cannot be combined with supervised-sweep flags "
+            "(completed cells resumed from a manifest are not re-run)");
+    }
+    SweepSupervisorOptions sopts;
+    sopts.cell_timeout_ms = options.cell_timeout_ms;
+    sopts.max_attempts = options.cell_retries;
+    sopts.retry_backoff_ms = options.cell_backoff_ms;
+    sopts.window_cycles =
+        options.wants_windows() ? options.window_cycles : 0;
+    sopts.manifest_out = options.manifest_out_path;
+    sopts.resume_manifest = options.resume_from_path;
+
+    std::optional<SupervisedSweepResult> sweep;
+    {
+      const auto scope = timers.scope("run");
+      sweep.emplace(run_sweep_supervised(grid, *context, shards,
+                                         ThreadPool::global(), sopts));
+    }
+    if (sweep->resumed_cells > 0) {
+      std::cout << sweep->resumed_cells
+                << " cell(s) resumed from the manifest\n";
+    }
+
+    TablePrinter table({"cell", "status", "completed", "total mJ",
+                        "makespan", "digest"});
+    std::uint64_t violations = 0;
+    for (const SweepCell& cell : sweep->cells) {
+      if (!cell.completed) {
+        table.add_row({cell.label, "FAILED", "-", "-", "-", "-"});
+        continue;
+      }
+      std::ostringstream digest;
+      digest << std::hex << cell.stream_digest;
+      table.add_row(
+          {cell.label, "ok", std::to_string(cell.result.completed_jobs),
+           TablePrinter::num(cell.result.total_energy().millijoules(), 2),
+           std::to_string(cell.result.makespan), digest.str()});
+      violations += cell.invariant_violations;
+    }
+    std::cout << grid.cell_count() << " cells in " << shards << " shards ("
+              << ThreadPool::global().thread_count() << " threads, "
+              << sweep->failed.size() << " quarantined):\n";
+    table.print(std::cout);
+    for (const SweepFailure& f : sweep->failed) {
+      std::cerr << "quarantined " << f.label << " after " << f.attempts
+                << " attempt(s): " << (f.timed_out ? "timeout: " : "")
+                << f.reason << "\n";
+    }
+    if (obs != nullptr) {
+      record_sweep_metrics(obs->metrics, "sweep.", sweep->cells);
+    }
+
+    RunReport report;
+    report.command = "sweep";
+    report.name = base->name;
+    report.policy = options.sweep_policies;
+    report.system = "grid";
+    report.discipline = std::string(to_string(base->discipline));
+    report.cores = 0;
+    report.seed = base->seed;
+    report.jobs = static_cast<std::uint64_t>(base->arrivals.count) *
+                  sweep->cells.size();
+    report.suite_key = suite_cache_key(base->suite, context->energy());
+    std::string windows;
+    for (const SweepCell& cell : sweep->cells) {
+      if (!cell.completed) continue;
+      report.completed_jobs += cell.result.completed_jobs;
+      report.makespan =
+          std::max<std::uint64_t>(report.makespan, cell.result.makespan);
+      report.total_energy_mj += cell.result.total_energy().millijoules();
+      report.window_cycles = sopts.window_cycles;
+      report.windows_closed += cell.windows_closed;
+      report.dropped_windows += cell.dropped_windows;
+      report.window_jobs_completed += cell.window_jobs_completed;
+      report.window_energy_mj += cell.window_energy_mj;
+      windows += cell.windows_jsonl;
+    }
+    for (const SweepFailure& f : sweep->failed) {
+      report.failed_cells.push_back(
+          {f.label, f.attempts, f.timed_out, f.reason});
+    }
+    // Like the checkpointed scenario path, the report's metrics come
+    // from a local registry so a resumed sweep's report is
+    // byte-identical to a clean run's.
+    MetricsRegistry local;
+    record_sweep_metrics(local, "sweep.", sweep->cells);
+    report.metrics_json = local.to_json();
+    const int export_status =
+        export_reports(options, nullptr, timers, std::move(report), windows);
+    if (export_status != 0) return export_status;
+    if (!sweep->failed.empty()) return 1;
+    if (violations != 0) {
+      std::cerr << "error: " << violations
+                << " schedule invariant violations\n";
+      return 1;
+    }
+    return 0;
+  }
 
   // Per-cell recorders: one tracer and/or windowed collector per cell,
   // created serially before the fan-out (stable registration order),
