@@ -61,13 +61,17 @@ const std::vector<std::uint32_t>& DesignSpace::sizes() {
   return kSizes;
 }
 
-std::vector<std::uint32_t> DesignSpace::associativities_for(
+const std::vector<std::uint32_t>& DesignSpace::associativities_for(
     std::uint32_t size_bytes) {
+  static const std::vector<std::uint32_t> kOne = {1};
+  static const std::vector<std::uint32_t> kTwo = {1, 2};
+  static const std::vector<std::uint32_t> kThree = {1, 2, 4};
+  static const std::vector<std::uint32_t> kNone;
   switch (size_bytes) {
-    case 2048: return {1};
-    case 4096: return {1, 2};
-    case 8192: return {1, 2, 4};
-    default: return {};
+    case 2048: return kOne;
+    case 4096: return kTwo;
+    case 8192: return kThree;
+    default: return kNone;
   }
 }
 
@@ -86,11 +90,35 @@ std::vector<CacheConfig> DesignSpace::configs_for_size(
 }
 
 std::optional<std::size_t> DesignSpace::index_of(const CacheConfig& config) {
-  const auto& configs = all();
-  for (std::size_t i = 0; i < configs.size(); ++i) {
-    if (configs[i] == config) return i;
+  // O(1) arithmetic over the canonical (size-major, ways, line) order.
+  // Hot: the profiling table and characterisation lookups route every
+  // observation through here; cache_test pins agreement with a linear
+  // search of all().
+  std::size_t line_idx = 0;
+  switch (config.line_bytes) {
+    case 16: line_idx = 0; break;
+    case 32: line_idx = 1; break;
+    case 64: line_idx = 2; break;
+    default: return std::nullopt;
   }
-  return std::nullopt;
+  std::size_t way_idx = 0;
+  switch (config.associativity) {
+    case 1: way_idx = 0; break;
+    case 2: way_idx = 1; break;
+    case 4: way_idx = 2; break;
+    default: return std::nullopt;
+  }
+  switch (config.size_bytes) {
+    case 2048:
+      return way_idx == 0 ? std::optional<std::size_t>(line_idx)
+                          : std::nullopt;
+    case 4096:
+      return way_idx <= 1
+                 ? std::optional<std::size_t>(3 + way_idx * 3 + line_idx)
+                 : std::nullopt;
+    case 8192: return 9 + way_idx * 3 + line_idx;
+    default: return std::nullopt;
+  }
 }
 
 }  // namespace hetsched

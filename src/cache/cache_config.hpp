@@ -58,8 +58,10 @@ class DesignSpace {
   static const std::vector<std::uint32_t>& sizes();
 
   // Associativities Table 1 allows for a size (2KB:{1}, 4KB:{1,2},
-  // 8KB:{1,2,4}).
-  static std::vector<std::uint32_t> associativities_for(
+  // 8KB:{1,2,4}; empty for off-space sizes). Returns a reference to a
+  // static table — the tuning heuristic consults this on every decide,
+  // so it must not allocate.
+  static const std::vector<std::uint32_t>& associativities_for(
       std::uint32_t size_bytes);
 
   // Line sizes (same for every size): {16, 32, 64}.

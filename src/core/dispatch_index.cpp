@@ -1,0 +1,247 @@
+#include "core/dispatch_index.hpp"
+
+#include <algorithm>
+
+#include "core/scheduler.hpp"
+#include "util/contracts.hpp"
+
+namespace hetsched {
+
+namespace {
+
+constexpr std::size_t kWordBits = 64;
+
+inline std::size_t word_count(std::size_t cores) {
+  return (cores + kWordBits - 1) / kWordBits;
+}
+
+}  // namespace
+
+DispatchIndex::DispatchIndex(const SystemConfig& system)
+    : core_count_(system.core_count()) {
+  HETSCHED_REQUIRE(core_count_ > 0);
+
+  // Clusters: one per (cache size, can_profile) class, in order of first
+  // appearance; members ascending by construction.
+  for (std::size_t i = 0; i < core_count_; ++i) {
+    const CoreSpec& spec = system.cores[i];
+    auto it = std::find_if(clusters_.begin(), clusters_.end(),
+                           [&](const Cluster& c) {
+                             return c.cache_size_bytes ==
+                                        spec.cache_size_bytes &&
+                                    c.can_profile == spec.can_profile;
+                           });
+    if (it == clusters_.end()) {
+      clusters_.push_back(
+          Cluster{spec.cache_size_bytes, spec.can_profile, {}});
+      it = clusters_.end() - 1;
+    }
+    it->members.push_back(i);
+  }
+
+  // Size classes: clusters aggregated by cache size, ascending.
+  std::vector<std::uint32_t> sizes;
+  for (const Cluster& cluster : clusters_) sizes.push_back(cluster.cache_size_bytes);
+  std::sort(sizes.begin(), sizes.end());
+  sizes.erase(std::unique(sizes.begin(), sizes.end()), sizes.end());
+  class_of_core_.assign(core_count_, 0);
+  for (const std::uint32_t size : sizes) {
+    SizeClass sc;
+    sc.cache_size_bytes = size;
+    sc.member_mask.assign(word_count(core_count_), 0);
+    for (std::size_t i = 0; i < core_count_; ++i) {
+      if (system.cores[i].cache_size_bytes != size) continue;
+      sc.members.push_back(i);
+      sc.member_mask[i / kWordBits] |= std::uint64_t{1} << (i % kWordBits);
+      class_of_core_[i] =
+          static_cast<std::uint32_t>(size_classes_.size());
+    }
+    sc.online_members = sc.members.size();  // all cores boot online
+    size_classes_.push_back(std::move(sc));
+  }
+
+  // All cores start online and idle, matching the simulator constructor.
+  idle_.assign(word_count(core_count_), 0);
+  for (std::size_t i = 0; i < core_count_; ++i) {
+    idle_[i / kWordBits] |= std::uint64_t{1} << (i % kWordBits);
+  }
+  idle_count_ = core_count_;
+}
+
+void DispatchIndex::mark_busy(std::size_t core) {
+  HETSCHED_ASSERT(core < core_count_);
+  std::uint64_t& word = idle_[core / kWordBits];
+  const std::uint64_t bit = std::uint64_t{1} << (core % kWordBits);
+  HETSCHED_ASSERT((word & bit) != 0);
+  word &= ~bit;
+  --idle_count_;
+}
+
+void DispatchIndex::mark_idle(std::size_t core) {
+  HETSCHED_ASSERT(core < core_count_);
+  std::uint64_t& word = idle_[core / kWordBits];
+  const std::uint64_t bit = std::uint64_t{1} << (core % kWordBits);
+  HETSCHED_ASSERT((word & bit) == 0);
+  word |= bit;
+  ++idle_count_;
+}
+
+void DispatchIndex::mark_offline(std::size_t core) {
+  HETSCHED_ASSERT(core < core_count_);
+  // The core may have been busy (bit already clear) or idle.
+  std::uint64_t& word = idle_[core / kWordBits];
+  const std::uint64_t bit = std::uint64_t{1} << (core % kWordBits);
+  if ((word & bit) != 0) {
+    word &= ~bit;
+    --idle_count_;
+  }
+  SizeClass& sc = size_classes_[class_of_core_[core]];
+  HETSCHED_ASSERT(sc.online_members > 0);
+  --sc.online_members;
+  ++epoch_;
+}
+
+void DispatchIndex::mark_online(std::size_t core) {
+  HETSCHED_ASSERT(core < core_count_);
+  // A recovered core returns idle.
+  std::uint64_t& word = idle_[core / kWordBits];
+  const std::uint64_t bit = std::uint64_t{1} << (core % kWordBits);
+  HETSCHED_ASSERT((word & bit) == 0);
+  word |= bit;
+  ++idle_count_;
+  ++size_classes_[class_of_core_[core]].online_members;
+  ++epoch_;
+}
+
+void DispatchIndex::rebuild(std::span<const CoreRuntime> cores) {
+  HETSCHED_REQUIRE(cores.size() == core_count_);
+  std::fill(idle_.begin(), idle_.end(), 0);
+  idle_count_ = 0;
+  for (SizeClass& sc : size_classes_) sc.online_members = 0;
+  for (std::size_t i = 0; i < core_count_; ++i) {
+    if (cores[i].online) {
+      ++size_classes_[class_of_core_[i]].online_members;
+      if (!cores[i].busy) {
+        idle_[i / kWordBits] |= std::uint64_t{1} << (i % kWordBits);
+        ++idle_count_;
+      }
+    }
+  }
+  // Anything memoised against the previous topology is stale now.
+  ++epoch_;
+  ++telemetry_.rebuilds;
+}
+
+std::size_t DispatchIndex::first_idle() const {
+  ++telemetry_.idle_queries;
+  for (std::size_t w = 0; w < idle_.size(); ++w) {
+    ++telemetry_.words_scanned;
+    if (idle_[w] != 0) {
+      return w * kWordBits +
+             static_cast<std::size_t>(std::countr_zero(idle_[w]));
+    }
+  }
+  return npos;
+}
+
+std::size_t DispatchIndex::first_idle_with_size(
+    std::uint32_t size_bytes) const {
+  ++telemetry_.idle_queries;
+  const SizeClass* sc = find_size_class(size_bytes);
+  if (sc == nullptr) return npos;
+  for (std::size_t w = 0; w < idle_.size(); ++w) {
+    ++telemetry_.words_scanned;
+    const std::uint64_t word = idle_[w] & sc->member_mask[w];
+    if (word != 0) {
+      return w * kWordBits +
+             static_cast<std::size_t>(std::countr_zero(word));
+    }
+  }
+  return npos;
+}
+
+std::size_t DispatchIndex::first_idle_with_size_at_least(
+    std::uint32_t min_size) const {
+  // Size classes ascend, so the first class with an idle member gives
+  // the smallest sufficient cache; find-first-set gives the lowest
+  // index within it — exactly the naive min-(size, index) scan.
+  for (const SizeClass& sc : size_classes_) {
+    if (sc.cache_size_bytes < min_size) continue;
+    const std::size_t core = first_idle_with_size(sc.cache_size_bytes);
+    if (core != npos) return core;
+  }
+  return npos;
+}
+
+std::span<const std::size_t> DispatchIndex::cores_with_size(
+    std::uint32_t size_bytes) const {
+  const SizeClass* sc = find_size_class(size_bytes);
+  if (sc == nullptr) return {};
+  return sc->members;
+}
+
+std::size_t DispatchIndex::online_count(std::uint32_t size_bytes) const {
+  const SizeClass* sc = find_size_class(size_bytes);
+  return sc == nullptr ? 0 : sc->online_members;
+}
+
+const DispatchIndex::SizeClass* DispatchIndex::find_size_class(
+    std::uint32_t size_bytes) const {
+  for (const SizeClass& sc : size_classes_) {
+    if (sc.cache_size_bytes == size_bytes) return &sc;
+  }
+  return nullptr;
+}
+
+std::uint32_t DispatchIndex::compute_clamp_to_available(
+    std::uint32_t size_bytes) const {
+  // Two passes, mirroring the naive scan: prefer sizes some online core
+  // offers; under transient mass failure fall back to all sizes. The
+  // result is a pure function of the set of (online) sizes — iterating
+  // size classes instead of cores changes nothing because the naive
+  // tie-break (nearest distance, then larger size) is order-free.
+  for (const bool online_only : {true, false}) {
+    std::uint32_t best = 0;
+    std::uint64_t best_distance = ~0ULL;
+    for (const SizeClass& sc : size_classes_) {
+      if (online_only && sc.online_members == 0) continue;
+      const std::uint32_t size = sc.cache_size_bytes;
+      const std::uint64_t distance =
+          size >= size_bytes ? size - size_bytes : size_bytes - size;
+      if (distance < best_distance ||
+          (distance == best_distance && size > best)) {
+        best_distance = distance;
+        best = size;
+      }
+    }
+    if (best != 0) return best;
+  }
+  HETSCHED_ASSERT(false && "system has no cores");
+  return size_bytes;
+}
+
+std::uint32_t DispatchIndex::clamp_to_available(
+    std::uint32_t size_bytes) const {
+  ++telemetry_.clamp_lookups;
+  if (cache_epoch_ != epoch_) {
+    clamp_cache_.clear();
+    cache_epoch_ = epoch_;
+  }
+  for (const auto& [requested, result] : clamp_cache_) {
+    if (requested == size_bytes) {
+      ++telemetry_.clamp_hits;
+      return result;
+    }
+  }
+  const std::uint32_t result = compute_clamp_to_available(size_bytes);
+  clamp_cache_.emplace_back(size_bytes, result);
+  return result;
+}
+
+std::uint32_t DispatchIndex::clamp_to_online(
+    std::uint32_t size_bytes) const {
+  if (online_count(size_bytes) > 0) return size_bytes;
+  return clamp_to_available(size_bytes);
+}
+
+}  // namespace hetsched

@@ -31,53 +31,27 @@ std::optional<Decision> profiling_decision(const Job& job,
 
 Decision run_with_heuristic(std::size_t core, std::uint32_t size_bytes,
                             const ProfilingTable::Entry& entry) {
-  if (TuningHeuristic::complete(entry, size_bytes)) {
-    return Decision::run(core, TuningHeuristic::best_known(entry, size_bytes),
-                         ExecutionKind::kNormal);
+  const TuningHeuristic::WalkState state =
+      TuningHeuristic::walk(entry, size_bytes);
+  if (!state.next.has_value()) {
+    return Decision::run(core, state.best, ExecutionKind::kNormal);
   }
-  const auto next = TuningHeuristic::next_config(entry, size_bytes);
-  HETSCHED_ASSERT(next.has_value());
-  return Decision::run(core, *next, ExecutionKind::kTuning);
+  return Decision::run(core, *state.next, ExecutionKind::kTuning);
 }
 
 std::uint32_t clamp_to_available(const SystemView& view,
                                  std::uint32_t size_bytes) {
-  // Two passes: prefer sizes some online core offers; when every core is
-  // offline (transient mass failure) fall back to all sizes so the stored
-  // prediction is still meaningful once cores recover.
-  for (const bool online_only : {true, false}) {
-    std::uint32_t best = 0;
-    std::uint64_t best_distance = ~0ULL;
-    for (std::size_t i = 0; i < view.core_count(); ++i) {
-      if (online_only && !view.core(i).online) continue;
-      const std::uint32_t size = view.core(i).spec.cache_size_bytes;
-      const std::uint64_t distance =
-          size >= size_bytes ? size - size_bytes : size_bytes - size;
-      // Nearest wins; on a tie prefer the larger size (never slower).
-      if (distance < best_distance ||
-          (distance == best_distance && size > best)) {
-        best_distance = distance;
-        best = size;
-      }
-    }
-    if (best != 0) return best;
-  }
-  HETSCHED_ASSERT(false && "system has no cores");
-  return size_bytes;
+  // Nearest size some online core offers (ties upward; all cores as the
+  // mass-failure fallback), memoised per (size, topology epoch) by the
+  // dispatch index so repeated predictions never rescan the machine.
+  return view.clamp_to_available(size_bytes);
 }
 
 std::uint32_t clamp_to_online(const SystemView& view,
                               std::uint32_t size_bytes) {
-  for (std::size_t i = 0; i < view.core_count(); ++i) {
-    if (view.core(i).online &&
-        view.core(i).spec.cache_size_bytes == size_bytes) {
-      return size_bytes;
-    }
-  }
-  // Every core of the predicted size is offline; waiting for one could
-  // stall the job forever. Retarget the nearest size an online core
-  // offers.
-  return clamp_to_available(view, size_bytes);
+  // Keeps the size if an online core offers it; otherwise retargets via
+  // clamp_to_available so a job is never pinned to a failed core.
+  return view.clamp_to_online(size_bytes);
 }
 
 std::uint32_t predict_best_size(const SizePredictor& predictor,
@@ -118,11 +92,10 @@ using policy_detail::run_with_heuristic;
 // in that fixed configuration.
 Decision BasePolicy::decide(const Job& job, SystemView& view) {
   (void)job;
-  for (std::size_t i = 0; i < view.core_count(); ++i) {
-    if (view.available(i)) {
-      return Decision::run(i, view.core(i).spec.initial_config,
-                           ExecutionKind::kNormal);
-    }
+  const std::size_t core = view.first_idle();
+  if (core != SystemView::npos) {
+    return Decision::run(core, view.core(core).spec.initial_config,
+                         ExecutionKind::kNormal);
   }
   HETSCHED_ASSERT(false && "decide() called with no idle core");
   return Decision::stall();
@@ -135,23 +108,27 @@ Decision OptimalPolicy::decide(const Job& job, SystemView& view) {
     return *profiling;
   }
   const ProfilingTable::Entry& entry = view.table().entry(job.benchmark_id);
-  const std::vector<std::size_t> idle = view.idle_cores();
-  HETSCHED_ASSERT(!idle.empty());
+  HETSCHED_ASSERT(view.any_idle());
 
   // While any configuration anywhere is unexplored, use executions on
   // idle cores to advance the exhaustive search: prefer an idle core
   // whose size still has unexplored configurations.
   if (!entry.fully_explored()) {
-    for (std::size_t core : idle) {
+    std::optional<Decision> tuning;
+    view.for_each_idle([&](std::size_t core) {
       const auto next = entry.next_unexplored_for_size(
           view.core(core).spec.cache_size_bytes);
       if (next.has_value()) {
-        return Decision::run(core, *next, ExecutionKind::kTuning);
+        tuning = Decision::run(core, *next, ExecutionKind::kTuning);
+        return true;
       }
-    }
+      return false;
+    });
+    if (tuning.has_value()) return *tuning;
     // Every idle core's size is already fully explored: run the best
     // observed configuration for the first idle core's size.
-    const std::size_t core = idle.front();
+    const std::size_t core = view.first_idle();
+    HETSCHED_ASSERT(core != SystemView::npos);
     const auto best = entry.best_observed_for_size(
         view.core(core).spec.cache_size_bytes);
     HETSCHED_ASSERT(best.has_value());
@@ -163,13 +140,13 @@ Decision OptimalPolicy::decide(const Job& job, SystemView& view) {
   // size's best configuration — the optimal system never stalls.
   const auto best_overall = entry.best_observed();
   HETSCHED_ASSERT(best_overall.has_value());
-  for (std::size_t core : idle) {
-    if (view.core(core).spec.cache_size_bytes ==
-        best_overall->size_bytes) {
-      return Decision::run(core, *best_overall, ExecutionKind::kNormal);
-    }
+  const std::size_t best_core =
+      view.first_idle_with_size(best_overall->size_bytes);
+  if (best_core != SystemView::npos) {
+    return Decision::run(best_core, *best_overall, ExecutionKind::kNormal);
   }
-  const std::size_t core = idle.front();
+  const std::size_t core = view.first_idle();
+  HETSCHED_ASSERT(core != SystemView::npos);
   const auto best = entry.best_observed_for_size(
       view.core(core).spec.cache_size_bytes);
   HETSCHED_ASSERT(best.has_value());
@@ -192,13 +169,12 @@ Decision EnergyCentricPolicy::decide(const Job& job, SystemView& view) {
   }
   const ProfilingTable::Entry& entry = view.table().entry(job.benchmark_id);
   HETSCHED_ASSERT(entry.predicted_best_size_bytes.has_value());
-  const std::uint32_t best_size = policy_detail::clamp_to_online(
-      view, *entry.predicted_best_size_bytes);
+  const std::uint32_t best_size =
+      view.clamp_to_online(*entry.predicted_best_size_bytes);
 
-  for (std::size_t core : view.system().cores_with_size(best_size)) {
-    if (view.available(core)) {
-      return run_with_heuristic(core, best_size, entry);
-    }
+  const std::size_t core = view.first_idle_with_size(best_size);
+  if (core != SystemView::npos) {
+    return run_with_heuristic(core, best_size, entry);
   }
   return Decision::stall();
 }
@@ -218,43 +194,47 @@ Decision ProposedPolicy::decide(const Job& job, SystemView& view) {
   }
   const ProfilingTable::Entry& entry = view.table().entry(job.benchmark_id);
   HETSCHED_ASSERT(entry.predicted_best_size_bytes.has_value());
-  const std::uint32_t best_size = policy_detail::clamp_to_online(
-      view, *entry.predicted_best_size_bytes);
+  const std::uint32_t best_size =
+      view.clamp_to_online(*entry.predicted_best_size_bytes);
 
   // Best core idle → schedule there (best-known config, or continue the
   // Figure-5 exploration).
-  const std::vector<std::size_t> best_cores =
-      view.system().cores_with_size(best_size);
-  for (std::size_t core : best_cores) {
-    if (view.available(core)) {
-      return run_with_heuristic(core, best_size, entry);
-    }
+  const std::size_t best_idle = view.first_idle_with_size(best_size);
+  if (best_idle != SystemView::npos) {
+    return run_with_heuristic(best_idle, best_size, entry);
   }
 
   // Best core(s) busy. If some idle core's best configuration for this
   // application is unknown, the scheduler cannot evaluate the energy
   // tradeoff — schedule to such a core (arbitrarily: the first) to gather
   // design-space information (Section IV.E).
-  const std::vector<std::size_t> idle = view.idle_cores();
-  HETSCHED_ASSERT(!idle.empty());
-  for (std::size_t core : idle) {
+  HETSCHED_ASSERT(view.any_idle());
+  std::optional<Decision> explore;
+  view.for_each_idle([&](std::size_t core) {
     const std::uint32_t size = view.core(core).spec.cache_size_bytes;
     if (!TuningHeuristic::complete(entry, size)) {
-      return run_with_heuristic(core, size, entry);
+      explore = run_with_heuristic(core, size, entry);
+      return true;
     }
-  }
+    return false;
+  });
+  if (explore.has_value()) return *explore;
 
   // All idle cores have known best configurations. The energy-advantage
   // evaluation additionally needs B's energy on its best core; if that is
   // still unknown the job stalls for its best core ("if and only if the
   // best configuration is known for all cores").
-  if (!TuningHeuristic::complete(entry, best_size)) {
+  const TuningHeuristic::WalkState best_walk =
+      TuningHeuristic::walk(entry, best_size);
+  if (best_walk.next.has_value()) {
     return Decision::stall();
   }
 
-  EnergyAdvantageInput input;
-  const CacheConfig best_config =
-      TuningHeuristic::best_known(entry, best_size);
+  // `scratch_` is a policy-lifetime buffer: clear() keeps its capacity,
+  // so the evaluation allocates nothing per decision in steady state.
+  EnergyAdvantageInput& input = scratch_;
+  input.candidates.clear();
+  const CacheConfig best_config = best_walk.best;
   const Observation* best_obs = entry.find(best_config);
   HETSCHED_ASSERT(best_obs != nullptr);
   input.energy_on_best = best_obs->total_energy;
@@ -264,17 +244,17 @@ Decision ProposedPolicy::decide(const Job& job, SystemView& view) {
   // look free.
   Cycles wait = 0;
   bool first = true;
-  for (std::size_t core : best_cores) {
-    if (!view.core(core).online) continue;
+  view.for_each_core_with_size(best_size, [&](std::size_t core) {
+    if (!view.core(core).online) return;
     const Cycles remaining = view.remaining_cycles(core);
     if (first || remaining < wait) {
       wait = remaining;
       first = false;
     }
-  }
+  });
   input.wait_cycles = wait;
 
-  for (std::size_t core : idle) {
+  view.for_each_idle([&](std::size_t core) {
     const std::uint32_t size = view.core(core).spec.cache_size_bytes;
     const CacheConfig config = TuningHeuristic::best_known(entry, size);
     const Observation* obs = entry.find(config);
@@ -285,7 +265,8 @@ Decision ProposedPolicy::decide(const Job& job, SystemView& view) {
     candidate.idle_energy_per_cycle =
         view.energy().idle_per_cycle(view.core(core).current_config);
     input.candidates.push_back(candidate);
-  }
+    return false;
+  });
 
   const EnergyAdvantageResult advantage = evaluate_energy_advantage(input);
   if (advantage.run_on_non_best) {

@@ -15,6 +15,7 @@
 //                         energy-advantageous stall-vs-run decision.
 #pragma once
 
+#include "core/energy_decision.hpp"
 #include "core/predictor.hpp"
 #include "core/scheduler.hpp"
 
@@ -56,6 +57,9 @@ class ProposedPolicy final : public SchedulerPolicy {
 
  private:
   const SizePredictor* predictor_;
+  // Reusable energy-advantage evaluation buffer: cleared (capacity
+  // retained) per decision so the hot path allocates nothing.
+  EnergyAdvantageInput scratch_;
 };
 
 namespace policy_detail {

@@ -59,6 +59,26 @@ class ProfilingTable {
     // (drives the optimal system's exhaustive exploration).
     std::optional<CacheConfig> next_unexplored_for_size(
         std::uint32_t size_bytes) const;
+
+    // Monotone change counter, bumped on every observation write, so
+    // derived caches (the tuning heuristic's walk memo below) detect
+    // staleness exactly. Not serialized: a restored entry starts at 0
+    // with empty memos, which forces recomputation — derived state only.
+    std::uint64_t version = 0;
+
+    // Memoised TuningHeuristic::walk result for one design-space size,
+    // valid while `version` matches. The walk is a pure function of the
+    // observations, so a memo hit is bit-identical to recomputing; it
+    // turns the per-decision complete()/best_known() pair from repeated
+    // table scans into two counter compares.
+    struct WalkMemo {
+      std::uint64_t version = ~std::uint64_t{0};  // never matches fresh
+      bool has_next = false;
+      CacheConfig next{};
+      CacheConfig best{};
+      std::size_t explored = 0;
+    };
+    mutable std::array<WalkMemo, 3> walk_memo{};  // per size: 2/4/8KB
   };
 
   explicit ProfilingTable(std::size_t benchmark_count);

@@ -21,38 +21,33 @@ Decision RealtimeEdfPolicy::decide(const Job& job, SystemView& view) {
   }
   const ProfilingTable::Entry& entry = view.table().entry(job.benchmark_id);
   HETSCHED_ASSERT(entry.predicted_best_size_bytes.has_value());
-  const std::uint32_t best_size = policy_detail::clamp_to_online(
-      view, *entry.predicted_best_size_bytes);
+  const std::uint32_t best_size =
+      view.clamp_to_online(*entry.predicted_best_size_bytes);
 
   // Idle best core first (fastest known placement for this job).
-  for (std::size_t core : view.system().cores_with_size(best_size)) {
-    if (view.available(core)) {
-      return policy_detail::run_with_heuristic(core, best_size, entry);
-    }
+  const std::size_t best_idle = view.first_idle_with_size(best_size);
+  if (best_idle != SystemView::npos) {
+    return policy_detail::run_with_heuristic(best_idle, best_size, entry);
   }
   // Otherwise run on an idle core whose cache is *larger* than the best
   // size: a bigger cache never slows the job in this architecture,
   // whereas a smaller one can stretch it 2-3x and blow the very deadline
   // the placement was meant to save. Smaller idle cores are left for the
-  // jobs they fit.
-  const std::vector<std::size_t> idle = view.idle_cores();
-  std::size_t chosen = view.core_count();
-  for (std::size_t candidate : idle) {
-    const std::uint32_t size = view.core(candidate).spec.cache_size_bytes;
-    if (size < best_size) continue;
-    if (chosen == view.core_count() ||
-        size < view.core(chosen).spec.cache_size_bytes) {
-      chosen = candidate;  // smallest sufficient cache
-    }
-  }
-  if (chosen < view.core_count()) {
+  // jobs they fit (smallest sufficient cache, lowest index wins).
+  const std::size_t chosen = view.first_idle_with_size_at_least(best_size);
+  if (chosen != SystemView::npos) {
     return policy_detail::run_with_heuristic(
         chosen, view.core(chosen).spec.cache_size_bytes, entry);
   }
 
   // All cores busy: EDF eviction. Find the running job with the latest
   // deadline (best-effort jobs count as infinitely late); preempt it if
-  // this job is strictly more urgent.
+  // this job is strictly more urgent. This stays an index-ascending
+  // linear scan on purpose: the victim is a property of *running* jobs
+  // (deadlines change per dispatch, unlike the static clusters), it is
+  // only reached when every sufficient core is busy, and the tie-break
+  // (first maximum in index order) must match the pre-index scan
+  // bit-for-bit.
   if (allow_preemption_ && job.deadline.has_value()) {
     std::size_t victim_core = view.core_count();
     SimTime victim_deadline = 0;

@@ -11,6 +11,7 @@
 #include <string_view>
 #include <vector>
 
+#include "core/dispatch_index.hpp"
 #include "core/job.hpp"
 #include "core/profiling_table.hpp"
 #include "core/system_config.hpp"
@@ -60,13 +61,22 @@ struct FaultStats {
 
 class SystemView {
  public:
+  static constexpr std::size_t npos = DispatchIndex::npos;
+
+  // `index` (when non-null) answers the idle/size selection queries in
+  // O(size classes) instead of O(cores); `naive` forces the reference
+  // linear scans even when an index is present (the differential-fuzz
+  // switch). Both paths answer every query identically — the index is
+  // a pure mechanical-sympathy optimisation.
   SystemView(SimTime now, const SystemConfig& system,
              std::span<const CoreRuntime> cores, ProfilingTable& table,
              const EnergyModel& energy,
              std::span<const Job> running_jobs = {},
-             FaultStats* faults = nullptr)
+             FaultStats* faults = nullptr,
+             const DispatchIndex* index = nullptr, bool naive = false)
       : now_(now), system_(&system), cores_(cores), table_(&table),
-        energy_(&energy), running_jobs_(running_jobs), faults_(faults) {}
+        energy_(&energy), running_jobs_(running_jobs), faults_(faults),
+        index_(index), naive_(naive) {}
 
   SimTime now() const { return now_; }
   const SystemConfig& system() const { return *system_; }
@@ -78,12 +88,106 @@ class SystemView {
     return cores_[i].online && !cores_[i].busy;
   }
 
+  // Allocates; kept for custom out-of-tree policies and examples. The
+  // in-tree decide paths use the allocation-free queries below.
   std::vector<std::size_t> idle_cores() const {
     std::vector<std::size_t> idle;
-    for (std::size_t i = 0; i < cores_.size(); ++i) {
-      if (available(i)) idle.push_back(i);
-    }
+    for_each_idle([&](std::size_t i) {
+      idle.push_back(i);
+      return false;
+    });
     return idle;
+  }
+
+  // --- Indexed selection queries --------------------------------------
+  // Each query is bit-identical to the naive lowest-index-first linear
+  // scan it replaces (and falls back to that scan when no index is
+  // attached or naive mode is forced).
+
+  bool any_idle() const {
+    if (indexed()) return index_->any_idle();
+    for (std::size_t i = 0; i < cores_.size(); ++i) {
+      if (available(i)) return true;
+    }
+    return false;
+  }
+
+  // Lowest-index idle core, npos when every core is busy or offline.
+  std::size_t first_idle() const {
+    if (indexed()) return index_->first_idle();
+    for (std::size_t i = 0; i < cores_.size(); ++i) {
+      if (available(i)) return i;
+    }
+    return npos;
+  }
+
+  // Lowest-index idle core with exactly this cache size.
+  std::size_t first_idle_with_size(std::uint32_t size_bytes) const {
+    if (indexed()) return index_->first_idle_with_size(size_bytes);
+    for (std::size_t i = 0; i < cores_.size(); ++i) {
+      if (available(i) && cores_[i].spec.cache_size_bytes == size_bytes) {
+        return i;
+      }
+    }
+    return npos;
+  }
+
+  // Idle core minimising (cache size, index) among sizes >= min_size —
+  // the real-time "smallest sufficient cache" placement.
+  std::size_t first_idle_with_size_at_least(std::uint32_t min_size) const {
+    if (indexed()) return index_->first_idle_with_size_at_least(min_size);
+    std::size_t chosen = npos;
+    for (std::size_t i = 0; i < cores_.size(); ++i) {
+      if (!available(i)) continue;
+      const std::uint32_t size = cores_[i].spec.cache_size_bytes;
+      if (size < min_size) continue;
+      if (chosen == npos || size < cores_[chosen].spec.cache_size_bytes) {
+        chosen = i;
+      }
+    }
+    return chosen;
+  }
+
+  // Ascending iteration over idle cores; stops when `fn` returns true.
+  template <typename Fn>
+  bool for_each_idle(Fn&& fn) const {
+    if (indexed()) return index_->for_each_idle(fn);
+    for (std::size_t i = 0; i < cores_.size(); ++i) {
+      if (available(i) && fn(i)) return true;
+    }
+    return false;
+  }
+
+  // Ascending iteration over all cores (busy or not) of one cache size.
+  template <typename Fn>
+  void for_each_core_with_size(std::uint32_t size_bytes, Fn&& fn) const {
+    if (index_ != nullptr) {  // static membership; valid in naive mode too
+      for (const std::size_t core : index_->cores_with_size(size_bytes)) {
+        fn(core);
+      }
+      return;
+    }
+    for (std::size_t i = 0; i < cores_.size(); ++i) {
+      if (cores_[i].spec.cache_size_bytes == size_bytes) fn(i);
+    }
+  }
+
+  // Size snapping (semantics in policies.hpp); served from the index's
+  // per-(size, topology-epoch) cache when available.
+  std::uint32_t clamp_to_available(std::uint32_t size_bytes) const {
+    if (indexed()) return index_->clamp_to_available(size_bytes);
+    return clamp_to_available_naive(size_bytes);
+  }
+
+  std::uint32_t clamp_to_online(std::uint32_t size_bytes) const {
+    if (indexed()) return index_->clamp_to_online(size_bytes);
+    for (std::size_t i = 0; i < cores_.size(); ++i) {
+      if (cores_[i].online &&
+          cores_[i].spec.cache_size_bytes == size_bytes) {
+        return size_bytes;
+      }
+    }
+    return clamp_to_available_naive(size_bytes);
   }
 
   // Cycles until the core frees up (0 when idle).
@@ -111,6 +215,31 @@ class SystemView {
   }
 
  private:
+  bool indexed() const { return index_ != nullptr && !naive_; }
+
+  // Reference implementation the index must agree with: nearest
+  // available size, ties upward; online cores first, all cores as the
+  // mass-failure fallback.
+  std::uint32_t clamp_to_available_naive(std::uint32_t size_bytes) const {
+    for (const bool online_only : {true, false}) {
+      std::uint32_t best = 0;
+      std::uint64_t best_distance = ~0ULL;
+      for (std::size_t i = 0; i < cores_.size(); ++i) {
+        if (online_only && !cores_[i].online) continue;
+        const std::uint32_t size = cores_[i].spec.cache_size_bytes;
+        const std::uint64_t distance =
+            size >= size_bytes ? size - size_bytes : size_bytes - size;
+        if (distance < best_distance ||
+            (distance == best_distance && size > best)) {
+          best_distance = distance;
+          best = size;
+        }
+      }
+      if (best != 0) return best;
+    }
+    return size_bytes;
+  }
+
   SimTime now_;
   const SystemConfig* system_;
   std::span<const CoreRuntime> cores_;
@@ -118,6 +247,8 @@ class SystemView {
   const EnergyModel* energy_;
   std::span<const Job> running_jobs_;
   FaultStats* faults_ = nullptr;
+  const DispatchIndex* index_ = nullptr;
+  bool naive_ = false;
 };
 
 // What the policy wants done with the job at the head of the ready queue.

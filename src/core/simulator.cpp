@@ -165,7 +165,7 @@ MulticoreSimulator::MulticoreSimulator(const SystemConfig& system,
                                        SchedulerPolicy& policy,
                                        QueueDiscipline discipline)
     : system_(system), suite_(suite), energy_(energy), policy_(policy),
-      discipline_(discipline), table_(suite.size()) {
+      discipline_(discipline), index_(system_), table_(suite.size()) {
   HETSCHED_REQUIRE(system_.valid());
   HETSCHED_REQUIRE(suite_.size() > 0);
   cores_.reserve(system_.cores.size());
@@ -177,6 +177,7 @@ MulticoreSimulator::MulticoreSimulator(const SystemConfig& system,
   }
   running_jobs_.resize(cores_.size());
   started_at_.resize(cores_.size(), 0);
+  running_profile_.resize(cores_.size(), nullptr);
   hung_.resize(cores_.size(), 0);
   result_.per_core.resize(cores_.size());
 }
@@ -195,7 +196,7 @@ void MulticoreSimulator::set_fault_injector(FaultInjector* injector,
 
 SystemView MulticoreSimulator::make_view(SimTime now) {
   return SystemView(now, system_, cores_, table_, energy_, running_jobs_,
-                    &result_.faults);
+                    &result_.faults, &index_, naive_dispatch_);
 }
 
 void MulticoreSimulator::record_fault(FaultRecord::Kind kind, SimTime now,
@@ -318,6 +319,7 @@ void MulticoreSimulator::start_execution(const Job& job,
   // stale one when reconfiguration degraded.
   const BenchmarkProfile& profile = suite_.benchmark(job.benchmark_id);
   const ConfigProfile& cp = profile.profile_for(core.current_config);
+  running_profile_[decision.core] = &cp;
   const auto duration = std::max<Cycles>(
       1, static_cast<Cycles>(std::llround(
              job.remaining_fraction *
@@ -337,6 +339,7 @@ void MulticoreSimulator::start_execution(const Job& job,
   }
 
   core.busy = true;
+  index_.mark_busy(decision.core);
   core.busy_until = hangs ? now + resilience_.watchdog_timeout
                           : now + backoff + duration;
   core.running_job_id = job.job_id;
@@ -360,9 +363,7 @@ double MulticoreSimulator::settle_execution(std::size_t core_index,
                                             SimTime now) {
   CoreRuntime& core = cores_[core_index];
   HETSCHED_ASSERT(core.busy);
-  const BenchmarkProfile& profile =
-      suite_.benchmark(core.running_benchmark);
-  const ConfigProfile& cp = profile.profile_for(core.current_config);
+  const ConfigProfile& cp = *running_profile_[core_index];
 
   // `started_at` can still lie ahead of `now` if the execution is cut
   // down during a reconfiguration-retry backoff window: nothing ran yet.
@@ -388,14 +389,16 @@ void MulticoreSimulator::finish_execution(std::size_t core_index,
 
   const double portion = settle_execution(core_index, now);
   const std::size_t benchmark = core.running_benchmark;
-  const BenchmarkProfile& profile = suite_.benchmark(benchmark);
-  const ConfigProfile& cp = profile.profile_for(core.current_config);
+  const ConfigProfile& cp = *running_profile_[core_index];
   const Job& job = running_jobs_[core_index];
 
   ++result_.completed_jobs;
   result_.total_response_cycles += now - job.arrival;
-  SimulationResult::PriorityStats& level =
-      result_.per_priority[job.priority];
+  if (cached_level_ == nullptr || cached_priority_ != job.priority) {
+    cached_priority_ = job.priority;
+    cached_level_ = &result_.per_priority[job.priority];
+  }
+  SimulationResult::PriorityStats& level = *cached_level_;
   ++level.completed;
   level.total_response_cycles += now - job.arrival;
   if (job.deadline.has_value()) {
@@ -428,6 +431,7 @@ void MulticoreSimulator::finish_execution(std::size_t core_index,
 
   const bool was_profiling = core.running_kind == ExecutionKind::kProfiling;
   if (was_profiling) {
+    const BenchmarkProfile& profile = suite_.benchmark(benchmark);
     ProfilingTable::Entry& entry = table_.entry(benchmark);
     entry.profiled = true;
     entry.statistics = profile.base_statistics;
@@ -451,6 +455,7 @@ void MulticoreSimulator::finish_execution(std::size_t core_index,
   }
 
   core.busy = false;
+  index_.mark_idle(core_index);
   core.idle_since = now;
   result_.makespan = std::max(result_.makespan, now);
 
@@ -483,6 +488,7 @@ void MulticoreSimulator::preempt_execution(std::size_t core_index,
     }
     hung_[core_index] = 0;
     core.busy = false;
+    index_.mark_idle(core_index);
     core.idle_since = now;
     return;
   }
@@ -511,6 +517,7 @@ void MulticoreSimulator::preempt_execution(std::size_t core_index,
   }
 
   core.busy = false;
+  index_.mark_idle(core_index);
   core.idle_since = now;
   // The stale completion entry for this execution is skipped via job_id
   // validation when it surfaces.
@@ -559,12 +566,16 @@ void MulticoreSimulator::apply_core_event(const CoreFaultEvent& event,
       accrue_idle(event.core, now);
     }
     core.online = false;
+    // mark_offline handles both prior states: clears the idle bit when
+    // the core was idle, no-op on the bit when it was busy.
+    index_.mark_offline(event.core);
     record_fault(FaultRecord::Kind::kCoreFailure, now, event.core,
                  victim_id);
   } else {
     if (core.online) return;  // redundant recovery
     ++result_.faults.core_recoveries;
     core.online = true;
+    index_.mark_online(event.core);
     core.idle_since = now;
     record_fault(FaultRecord::Kind::kCoreRecovery, now, event.core, 0);
   }
@@ -594,6 +605,7 @@ void MulticoreSimulator::expire_watchdog(std::size_t core_index,
 
   hung_[core_index] = 0;
   core.busy = false;
+  index_.mark_idle(core_index);
   core.idle_since = now;
 }
 
@@ -628,15 +640,19 @@ void MulticoreSimulator::try_schedule(SimTime now) {
   bool any_started = false;
   while (attempts-- > 0 && !ready_.empty()) {
     const bool has_idle =
-        std::any_of(cores_.begin(), cores_.end(), [](const CoreRuntime& c) {
-          return !c.busy && c.online;
-        });
+        naive_dispatch_
+            ? std::any_of(cores_.begin(), cores_.end(),
+                          [](const CoreRuntime& c) {
+                            return !c.busy && c.online;
+                          })
+            : index_.any_idle();
     if (!has_idle && !policy_.can_preempt()) break;
 
     Job job = ready_.front();
     ready_.pop_front();
 
     SystemView view = make_view(now);
+    index_.note_decision();
     const Decision decision = policy_.decide(job, view);
     switch (decision.kind) {
       case Decision::Kind::kRun:
@@ -899,6 +915,15 @@ void MulticoreSimulator::restore_stream_state(std::istream& in,
       st::fail(context, "core running benchmark out of range");
     }
   }
+  // Derived per-core state: the running-execution profile pointer is
+  // re-resolved from the restored (benchmark, configuration) pair.
+  for (std::size_t i = 0; i < cores_.size(); ++i) {
+    running_profile_[i] =
+        cores_[i].busy
+            ? &suite_.benchmark(cores_[i].running_benchmark)
+                   .profile_for(cores_[i].current_config)
+            : nullptr;
+  }
   expect_token(in, "running-jobs", context);
   if (st::read_value<std::size_t>(in, "running-job count", context) !=
       running_jobs_.size()) {
@@ -950,6 +975,7 @@ void MulticoreSimulator::restore_stream_state(std::istream& in,
   }
   table_.restore_state(in, context);
   load_simulation_result(in, result_, context);
+  cached_level_ = nullptr;  // result_ was replaced; map nodes are new
   if (result_.per_core.size() != cores_.size()) {
     st::fail(context, "per-core usage count does not match");
   }
@@ -973,6 +999,10 @@ void MulticoreSimulator::restore_stream_state(std::istream& in,
   expect_token(in, "admitted", context);
   admitted_ = st::read_value<std::uint64_t>(in, "admitted count", context);
   next_job_id_ = st::read_value<std::uint64_t>(in, "next job id", context);
+  // The index is derived state: rebuild it from the restored cores
+  // instead of serializing it, so checkpoints stay format-stable and the
+  // resumed run is bit-identical by construction.
+  index_.rebuild(cores_);
   ran_ = true;
   streaming_ = true;
 }

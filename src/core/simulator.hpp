@@ -36,6 +36,7 @@
 #include "core/schedule_log.hpp"
 #include "core/scheduler.hpp"
 #include "fault/fault_injector.hpp"
+#include "util/contracts.hpp"
 #include "workload/arrivals.hpp"
 #include "workload/characterization.hpp"
 
@@ -200,6 +201,21 @@ class MulticoreSimulator {
   void set_fault_injector(FaultInjector* injector,
                           ResilienceConfig resilience = {});
 
+  // Differential-testing switch: forces policies onto the reference
+  // linear scans instead of the dispatch index. Decisions are identical
+  // either way (the fuzz suite proves it); only speed differs. Set
+  // before run().
+  void set_naive_dispatch(bool naive) {
+    HETSCHED_REQUIRE(!ran_);
+    naive_dispatch_ = naive;
+  }
+
+  // Dispatch-path counters (decisions, bitmap words scanned, clamp-cache
+  // hits, rebuilds); valid any time, cumulative over the run.
+  const DispatchTelemetry& dispatch_telemetry() const {
+    return index_.telemetry();
+  }
+
  private:
   struct Completion {
     SimTime time = 0;
@@ -244,6 +260,10 @@ class MulticoreSimulator {
   const QueueDiscipline discipline_;
 
   std::vector<CoreRuntime> cores_;
+  // Incrementally maintained idle/size-class bitmaps; every core.busy /
+  // core.online transition below is mirrored into it.
+  DispatchIndex index_;
+  bool naive_dispatch_ = false;
   ProfilingTable table_;
   std::deque<Job> ready_;
   std::priority_queue<Completion, std::vector<Completion>,
@@ -251,8 +271,19 @@ class MulticoreSimulator {
       completions_;
   std::vector<Job> running_jobs_;    // per core, valid while busy
   std::vector<SimTime> started_at_;  // per core, valid while busy
+  // Per core, while busy: the characterised profile of the running
+  // (benchmark, configuration) pair, resolved once at dispatch so
+  // settle/finish never repeat the lookup. Derived state — rebuilt on
+  // checkpoint restore, never serialized.
+  std::vector<const ConfigProfile*> running_profile_;
 
   SimulationResult result_;
+  // One-entry memo for result_.per_priority lookups: streams are
+  // usually single-priority, and std::map nodes are pointer-stable, so
+  // the common case skips the tree walk. Reset when result_ is replaced
+  // wholesale (checkpoint restore).
+  int cached_priority_ = 0;
+  SimulationResult::PriorityStats* cached_level_ = nullptr;
   ScheduleObserver* observer_ = nullptr;
   FaultInjector* injector_ = nullptr;
   ResilienceConfig resilience_;

@@ -6,9 +6,38 @@ namespace hetsched {
 
 TuningHeuristic::WalkState TuningHeuristic::walk(
     const ProfilingTable::Entry& entry, std::uint32_t size_bytes) {
-  const auto assocs = DesignSpace::associativities_for(size_bytes);
+  HETSCHED_REQUIRE(!DesignSpace::associativities_for(size_bytes).empty());
+
+  // Memo fast path: the walk is a pure function of the entry's
+  // observations, which only change through record() (bumping
+  // entry.version), so a version match means the cached result is
+  // bit-identical to recomputing. decide() consults complete() /
+  // best_known() / next_config() several times per dispatch; in steady
+  // state they all collapse to this compare.
+  const std::size_t slot =
+      size_bytes == 2048 ? 0 : (size_bytes == 4096 ? 1 : 2);
+  ProfilingTable::Entry::WalkMemo& memo = entry.walk_memo[slot];
+  if (memo.version == entry.version) {
+    WalkState cached;
+    if (memo.has_next) cached.next = memo.next;
+    cached.best = memo.best;
+    cached.explored = memo.explored;
+    return cached;
+  }
+
+  const WalkState state = walk_uncached(entry, size_bytes);
+  memo.version = entry.version;
+  memo.has_next = state.next.has_value();
+  memo.next = state.next.value_or(CacheConfig{});
+  memo.best = state.best;
+  memo.explored = state.explored;
+  return state;
+}
+
+TuningHeuristic::WalkState TuningHeuristic::walk_uncached(
+    const ProfilingTable::Entry& entry, std::uint32_t size_bytes) {
+  const auto& assocs = DesignSpace::associativities_for(size_bytes);
   const auto& lines = DesignSpace::line_sizes();
-  HETSCHED_REQUIRE(!assocs.empty());
 
   WalkState state;
   auto energy_of = [&](std::uint32_t ways,

@@ -38,14 +38,20 @@ class TuningHeuristic {
   static std::size_t explored_count(const ProfilingTable::Entry& entry,
                                     std::uint32_t size_bytes);
 
- private:
   struct WalkState {
     std::optional<CacheConfig> next;  // config to try, if any
     CacheConfig best;                 // best converged-so-far config
     std::size_t explored = 0;         // observations consumed by the walk
   };
+  // Full walk state in one (memoised) query. Hot decision paths should
+  // call this once instead of separate complete() / best_known() /
+  // next_config() calls, which each repeat the memo lookup.
   static WalkState walk(const ProfilingTable::Entry& entry,
                         std::uint32_t size_bytes);
+
+ private:
+  static WalkState walk_uncached(const ProfilingTable::Entry& entry,
+                                 std::uint32_t size_bytes);
 };
 
 }  // namespace hetsched

@@ -81,7 +81,7 @@ ScenarioContext::ScenarioContext(const Scenario& scenario,
 
 ScenarioRun::ScenarioRun(const Scenario& scenario,
                          const ScenarioContext& context,
-                         ScheduleObserver* extra)
+                         ScheduleObserver* extra, ObserverMode mode)
     : system_((scenario.validate(), scenario.make_system())),
       policy_(make_scenario_policy(scenario, context)),
       simulator_(system_, context.suite(), context.energy(), *policy_,
@@ -93,7 +93,13 @@ ScenarioRun::ScenarioRun(const Scenario& scenario,
       // exactly.
       stream_(context.scheduling_ids(), scenario.arrivals,
               scenario.seed ^ 0xa5a5a5a5ULL) {
-  simulator_.set_observer(&fanout_);
+  if (mode == ObserverMode::kObserved) {
+    // Without an extra observer, attach the stats sink directly: the
+    // fanout hop costs an indirect call per event on the hot path.
+    simulator_.set_observer(
+        extra == nullptr ? static_cast<ScheduleObserver*>(&stats_)
+                         : &fanout_);
+  }
   if (!scenario.faults.empty()) {
     injector_.emplace(scenario.faults);
     simulator_.set_fault_injector(&*injector_);
@@ -110,7 +116,9 @@ ScenarioOutcome run_scenario(const Scenario& scenario,
   ScenarioRun run(scenario, context, extra);
   run.start();
   run.advance_until(std::numeric_limits<SimTime>::max());
-  return ScenarioOutcome{run.finish(), std::move(run.stats())};
+  SimulationResult result = run.finish();
+  return ScenarioOutcome{std::move(result), std::move(run.stats()),
+                         run.simulator().dispatch_telemetry()};
 }
 
 void record_scenario_metrics(MetricsRegistry& metrics,
@@ -134,6 +142,17 @@ void record_scenario_metrics(MetricsRegistry& metrics,
   metrics.counter(prefix + "stream.invariant_violations")
       .add(s.invariant_violations());
   metrics.counter(prefix + "stream.digest").add(s.digest());
+}
+
+void record_dispatch_metrics(MetricsRegistry& metrics,
+                             const std::string& prefix,
+                             const DispatchTelemetry& dispatch) {
+  metrics.counter(prefix + "decisions").add(dispatch.decisions);
+  metrics.counter(prefix + "idle_queries").add(dispatch.idle_queries);
+  metrics.counter(prefix + "words_scanned").add(dispatch.words_scanned);
+  metrics.counter(prefix + "clamp_lookups").add(dispatch.clamp_lookups);
+  metrics.counter(prefix + "clamp_hits").add(dispatch.clamp_hits);
+  metrics.counter(prefix + "rebuilds").add(dispatch.rebuilds);
 }
 
 }  // namespace hetsched

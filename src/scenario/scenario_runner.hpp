@@ -54,6 +54,9 @@ class ScenarioContext {
 struct ScenarioOutcome {
   SimulationResult result;
   StreamStats stream;  // compacted schedule + event-stream digest
+  // Dispatch-path scan counters (decisions, bitmap words scanned, clamp
+  // cache hits); purely observational, never part of the result digest.
+  DispatchTelemetry dispatch;
 };
 
 // Instantiates the scheduler policy a scenario names, wired to the
@@ -70,10 +73,18 @@ std::unique_ptr<SchedulerPolicy> make_scenario_policy(
 // the run.
 class ScenarioRun {
  public:
+  // kObserved folds every event into the internal StreamStats (the
+  // digest-bearing default); kRaw attaches no observer at all, which is
+  // the simulator's pure dispatch throughput — observers never feed back
+  // into simulation state, so the SimulationResult is identical either
+  // way (stats() is simply empty).
+  enum class ObserverMode { kObserved, kRaw };
+
   // `extra` (optional) receives every observer callback alongside the
   // internal StreamStats and must outlive the run.
   ScenarioRun(const Scenario& scenario, const ScenarioContext& context,
-              ScheduleObserver* extra = nullptr);
+              ScheduleObserver* extra = nullptr,
+              ObserverMode mode = ObserverMode::kObserved);
 
   // Stepping interface; see MulticoreSimulator's equivalents.
   void start() { simulator_.start_stream(stream_); }
@@ -115,5 +126,12 @@ ScenarioOutcome run_scenario(const Scenario& scenario,
 void record_scenario_metrics(MetricsRegistry& metrics,
                              const std::string& prefix,
                              const ScenarioOutcome& outcome);
+
+// Deposits the dispatch-index telemetry under `prefix` (e.g.
+// "scale64.dispatch."). Deliberately separate from
+// record_scenario_metrics, whose output is golden-pinned byte-for-byte.
+void record_dispatch_metrics(MetricsRegistry& metrics,
+                             const std::string& prefix,
+                             const DispatchTelemetry& dispatch);
 
 }  // namespace hetsched

@@ -191,6 +191,32 @@ TEST(CheckpointResume, KillAtEveryBoundaryWithFaultsIsBitIdentical) {
   expect_kill_resume_identity(faulty, w.context);
 }
 
+// 64-core machine: the dispatch index is derived state, rebuilt (not
+// serialized) on restore, so a resume must reconstruct multi-word idle
+// bitmaps, per-size online counts and the clamp memo epoch exactly —
+// including boundaries where failed cores are offline. The context is
+// reusable because it never depends on the machine shape.
+TEST(CheckpointResume, SixtyFourCoreKillAtEveryBoundaryIsBitIdentical) {
+  World& w = world();
+  Scenario big = w.base;
+  big.name = "chaos-fixture-64core";
+  big.cores = 64;
+  // Keep the per-core load of the 4-core fixture so the run still spans
+  // several checkpoint windows.
+  big.arrivals.mean_interarrival_cycles = 40000.0 * 4.0 / 64.0;
+  big.arrivals.count = 2000;
+  // Overlapping outages in different size classes, so some checkpoint
+  // boundaries land with cores down in more than one bitmap word.
+  big.faults.seed = 11;
+  big.faults.core_events.push_back({1'500'000, 9, true});
+  big.faults.core_events.push_back({4'500'000, 9, false});
+  big.faults.core_events.push_back({2'000'000, 33, true});
+  big.faults.core_events.push_back({5'500'000, 33, false});
+  big.faults.core_events.push_back({2'500'000, 60, true});
+  big.faults.core_events.push_back({6'000'000, 60, false});
+  expect_kill_resume_identity(big, w.context);
+}
+
 // File-level crash walkthrough: halt after two checkpoints (exit-3 path
 // in the CLI), then resume from the file on disk.
 TEST(CheckpointResume, HaltAndResumeFromFile) {

@@ -1,0 +1,259 @@
+// DispatchIndex unit suite: cluster/size-class construction against
+// SystemConfig, incremental idle-set maintenance against naive linear
+// scans, the (size, topology-epoch) clamp memo — including invalidation
+// across fault transitions — and the O(1) DesignSpace::index_of against
+// a linear search of the canonical space.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/dispatch_index.hpp"
+#include "core/scheduler.hpp"
+#include "core/system_config.hpp"
+#include "util/rng.hpp"
+
+namespace hetsched {
+namespace {
+
+std::vector<CoreRuntime> boot_cores(const SystemConfig& system) {
+  std::vector<CoreRuntime> cores;
+  cores.reserve(system.cores.size());
+  for (const CoreSpec& spec : system.cores) {
+    CoreRuntime core;
+    core.spec = spec;
+    core.current_config = spec.initial_config;
+    cores.push_back(core);
+  }
+  return cores;
+}
+
+// Reference scans over the CoreRuntime array — the pre-index scheduler's
+// selection semantics, restated naively.
+std::size_t naive_first_idle(const std::vector<CoreRuntime>& cores) {
+  for (std::size_t i = 0; i < cores.size(); ++i) {
+    if (cores[i].online && !cores[i].busy) return i;
+  }
+  return DispatchIndex::npos;
+}
+
+std::size_t naive_first_idle_with_size(const std::vector<CoreRuntime>& cores,
+                                       std::uint32_t size_bytes) {
+  for (std::size_t i = 0; i < cores.size(); ++i) {
+    if (cores[i].online && !cores[i].busy &&
+        cores[i].spec.cache_size_bytes == size_bytes) {
+      return i;
+    }
+  }
+  return DispatchIndex::npos;
+}
+
+std::size_t naive_smallest_sufficient(const std::vector<CoreRuntime>& cores,
+                                      std::uint32_t min_size) {
+  std::size_t best = DispatchIndex::npos;
+  std::uint32_t best_size = 0;
+  for (std::size_t i = 0; i < cores.size(); ++i) {
+    const std::uint32_t size = cores[i].spec.cache_size_bytes;
+    if (!cores[i].online || cores[i].busy || size < min_size) continue;
+    if (best == DispatchIndex::npos || size < best_size) {
+      best = i;
+      best_size = size;
+    }
+  }
+  return best;
+}
+
+std::uint32_t naive_clamp_to_available(const std::vector<CoreRuntime>& cores,
+                                       std::uint32_t size_bytes) {
+  for (const bool online_only : {true, false}) {
+    std::uint32_t best = 0;
+    std::uint64_t best_distance = ~0ULL;
+    for (const CoreRuntime& core : cores) {
+      if (online_only && !core.online) continue;
+      const std::uint32_t size = core.spec.cache_size_bytes;
+      const std::uint64_t distance =
+          size >= size_bytes ? size - size_bytes : size_bytes - size;
+      if (distance < best_distance ||
+          (distance == best_distance && size > best)) {
+        best_distance = distance;
+        best = size;
+      }
+    }
+    if (best != 0) return best;
+  }
+  return size_bytes;
+}
+
+TEST(DispatchIndexStructure, SizeClassesMatchSystemConfig) {
+  for (const std::size_t n : {2u, 4u, 16u, 64u, 129u, 256u}) {
+    const SystemConfig system = SystemConfig::scaled_heterogeneous(n);
+    const DispatchIndex index(system);
+
+    // Size classes ascend and reproduce cores_with_size exactly.
+    std::uint32_t previous = 0;
+    std::size_t covered = 0;
+    for (const DispatchIndex::SizeClass& sc : index.size_classes()) {
+      EXPECT_GT(sc.cache_size_bytes, previous);
+      previous = sc.cache_size_bytes;
+      const std::vector<std::size_t> expected =
+          system.cores_with_size(sc.cache_size_bytes);
+      EXPECT_EQ(sc.members, expected) << n << " cores, size "
+                                      << sc.cache_size_bytes;
+      const auto span = index.cores_with_size(sc.cache_size_bytes);
+      EXPECT_TRUE(std::equal(span.begin(), span.end(), expected.begin(),
+                             expected.end()));
+      EXPECT_EQ(sc.online_members, expected.size());
+      covered += sc.members.size();
+    }
+    EXPECT_EQ(covered, n);
+
+    // Clusters partition the machine and agree with the specs.
+    std::vector<int> seen(n, 0);
+    for (const DispatchIndex::Cluster& cluster : index.clusters()) {
+      for (const std::size_t core : cluster.members) {
+        ++seen[core];
+        EXPECT_EQ(system.cores[core].cache_size_bytes,
+                  cluster.cache_size_bytes);
+        EXPECT_EQ(system.cores[core].can_profile, cluster.can_profile);
+      }
+    }
+    for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(seen[i], 1) << i;
+
+    EXPECT_EQ(index.cores_with_size(3072).size(), 0u);
+    EXPECT_EQ(index.online_count(3072), 0u);
+  }
+}
+
+TEST(DispatchIndexIdleSet, RandomTransitionsMatchNaiveScans) {
+  const std::vector<std::uint32_t> probe_sizes = {2048, 4096, 8192, 3072};
+  Rng rng(0xd15bacc5ULL);
+  for (const std::size_t n : {4u, 64u, 131u, 256u}) {
+    const SystemConfig system = SystemConfig::scaled_heterogeneous(n);
+    std::vector<CoreRuntime> cores = boot_cores(system);
+    DispatchIndex index(system);
+
+    for (int step = 0; step < 2000; ++step) {
+      const std::size_t core = rng.below(n);
+      CoreRuntime& c = cores[core];
+      switch (rng.below(4)) {
+        case 0:  // dispatch
+          if (c.online && !c.busy) {
+            c.busy = true;
+            index.mark_busy(core);
+          }
+          break;
+        case 1:  // completion / preemption
+          if (c.online && c.busy) {
+            c.busy = false;
+            index.mark_idle(core);
+          }
+          break;
+        case 2:  // failure (busy or idle)
+          if (c.online) {
+            c.online = false;
+            c.busy = false;
+            index.mark_offline(core);
+          }
+          break;
+        default:  // recovery: the core returns idle
+          if (!c.online) {
+            c.online = true;
+            c.busy = false;
+            index.mark_online(core);
+          }
+          break;
+      }
+
+      ASSERT_EQ(index.first_idle(), naive_first_idle(cores)) << "step "
+                                                             << step;
+      ASSERT_EQ(index.any_idle(),
+                naive_first_idle(cores) != DispatchIndex::npos);
+      for (const std::uint32_t size : probe_sizes) {
+        ASSERT_EQ(index.first_idle_with_size(size),
+                  naive_first_idle_with_size(cores, size))
+            << "step " << step << " size " << size;
+        ASSERT_EQ(index.first_idle_with_size_at_least(size),
+                  naive_smallest_sufficient(cores, size))
+            << "step " << step << " size " << size;
+        ASSERT_EQ(index.clamp_to_available(size),
+                  naive_clamp_to_available(cores, size))
+            << "step " << step << " size " << size;
+      }
+    }
+
+    // A from-scratch rebuild of the same core state answers identically
+    // (the checkpoint-restore path).
+    DispatchIndex rebuilt(system);
+    rebuilt.rebuild(cores);
+    EXPECT_EQ(rebuilt.first_idle(), index.first_idle());
+    EXPECT_EQ(rebuilt.idle_count(), index.idle_count());
+    for (const std::uint32_t size : probe_sizes) {
+      EXPECT_EQ(rebuilt.first_idle_with_size(size),
+                index.first_idle_with_size(size));
+      EXPECT_EQ(rebuilt.online_count(size), index.online_count(size));
+      EXPECT_EQ(rebuilt.clamp_to_available(size),
+                index.clamp_to_available(size));
+    }
+  }
+}
+
+TEST(DispatchIndexClampCache, HitsUntilFaultTransitionInvalidates) {
+  const SystemConfig system = SystemConfig::scaled_heterogeneous(4);
+  DispatchIndex index(system);
+
+  // First lookup computes, second is served from the epoch cache.
+  EXPECT_EQ(index.clamp_to_available(4096), 4096u);
+  const std::uint64_t hits_before = index.telemetry().clamp_hits;
+  EXPECT_EQ(index.clamp_to_available(4096), 4096u);
+  EXPECT_EQ(index.telemetry().clamp_hits, hits_before + 1);
+
+  // Fault transition: the only 4 KB core goes down. The epoch bump must
+  // invalidate the memo — the next lookup recomputes (no new hit) and
+  // snaps to the nearest online size (2 KB is closer than 8 KB).
+  const std::vector<std::size_t> quad_4k = system.cores_with_size(4096);
+  ASSERT_EQ(quad_4k.size(), 1u);
+  const std::uint64_t epoch_before = index.topology_epoch();
+  index.mark_offline(quad_4k.front());
+  EXPECT_GT(index.topology_epoch(), epoch_before);
+
+  const std::uint64_t hits_after_fault = index.telemetry().clamp_hits;
+  EXPECT_EQ(index.clamp_to_available(4096), 2048u);
+  EXPECT_EQ(index.telemetry().clamp_hits, hits_after_fault);
+  EXPECT_EQ(index.clamp_to_online(4096), 2048u);
+
+  // Recovery invalidates again: the requested size is offered once more.
+  index.mark_online(quad_4k.front());
+  EXPECT_EQ(index.clamp_to_available(4096), 4096u);
+  EXPECT_EQ(index.clamp_to_online(4096), 4096u);
+
+  // Mass failure exercises the all-cores fallback: every core offline
+  // still answers (nearest size over the full machine), and nothing
+  // caches stale answers on the way back up.
+  for (std::size_t i = 0; i < system.core_count(); ++i) {
+    index.mark_offline(i);
+  }
+  EXPECT_EQ(index.clamp_to_available(4096), 4096u);
+  for (std::size_t i = 0; i < system.core_count(); ++i) {
+    index.mark_online(i);
+  }
+  EXPECT_EQ(index.clamp_to_available(8192), 8192u);
+}
+
+TEST(DesignSpaceIndexOf, MatchesLinearSearchOfCanonicalOrder) {
+  const auto& space = DesignSpace::all();
+  for (std::size_t i = 0; i < space.size(); ++i) {
+    const auto idx = DesignSpace::index_of(space[i]);
+    ASSERT_TRUE(idx.has_value()) << space[i].name();
+    EXPECT_EQ(*idx, i) << space[i].name();
+  }
+  // Off-space shapes: legal-looking geometry outside the Table-1 points.
+  EXPECT_FALSE(DesignSpace::index_of(CacheConfig{2048, 2, 16}).has_value());
+  EXPECT_FALSE(DesignSpace::index_of(CacheConfig{4096, 4, 32}).has_value());
+  EXPECT_FALSE(DesignSpace::index_of(CacheConfig{8192, 8, 64}).has_value());
+  EXPECT_FALSE(DesignSpace::index_of(CacheConfig{1024, 1, 16}).has_value());
+  EXPECT_FALSE(DesignSpace::index_of(CacheConfig{8192, 4, 128}).has_value());
+  EXPECT_FALSE(DesignSpace::index_of(CacheConfig{0, 0, 0}).has_value());
+}
+
+}  // namespace
+}  // namespace hetsched

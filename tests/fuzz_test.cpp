@@ -11,12 +11,15 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <limits>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "cache/multi_sim.hpp"
 #include "core/schedule_log.hpp"
 #include "experiment/experiment.hpp"
+#include "scenario/scenario_runner.hpp"
 #include "util/rng.hpp"
 
 namespace hetsched {
@@ -149,6 +152,110 @@ TEST(FuzzSchedule, BusyCyclesMatchNaiveRecount) {
   {
     ScheduleLog log;
     check_busy_recount(experiment.run_proposed(&log), log);
+  }
+}
+
+// --- Dispatch-index differential ----------------------------------------
+//
+// The hierarchical dispatch index must be a pure speedup: for ANY
+// machine size, policy and fault schedule, the indexed decision paths
+// pick the same core as the reference linear scans on every single
+// decision. Rather than comparing decisions one at a time, each random
+// scenario runs twice — indexed and with set_naive_dispatch(true) — and
+// the full outputs must agree byte for byte: one divergent pick anywhere
+// would cascade into a different schedule, digest and result.
+
+ScenarioOutcome run_outcome(const Scenario& scenario,
+                            const ScenarioContext& context, bool naive) {
+  ScenarioRun run(scenario, context);
+  run.simulator().set_naive_dispatch(naive);
+  run.start();
+  run.advance_until(std::numeric_limits<SimTime>::max());
+  SimulationResult result = run.finish();
+  return ScenarioOutcome{std::move(result), std::move(run.stats()),
+                         run.simulator().dispatch_telemetry()};
+}
+
+std::string result_text(const SimulationResult& result) {
+  std::ostringstream out;
+  save_simulation_result(out, result);
+  return out.str();
+}
+
+TEST(FuzzDispatch, IndexedSelectionMatchesNaiveScanBitForBit) {
+  const std::uint64_t base = fuzz_base_seed();
+
+  // One context (suite + trained predictor) serves every iteration: the
+  // context depends on suite/predictor parameters only, never on the
+  // machine shape, policy or fault plan being fuzzed.
+  Scenario family;
+  family.name = "fuzz-dispatch";
+  family.system = Scenario::SystemKind::kScaledHeterogeneous;
+  family.policy = "proposed";  // forces predictor training
+  family.suite.kernel_scale = 0.25;
+  family.suite.variants_per_kernel = 1;
+  family.predictor_ensemble = 5;
+  family.predictor_max_epochs = 120;
+  family.seed = base;
+  const ScenarioContext context(family);
+
+  const std::vector<std::string> policies = {
+      "base", "optimal", "energy-centric", "proposed", "realtime"};
+
+  const int kIterations = 25;
+  for (int iteration = 0; iteration < kIterations; ++iteration) {
+    const std::uint64_t seed = base + 1000 + iteration;
+    Rng rng(seed);
+
+    Scenario scenario = family;
+    scenario.seed = seed;
+    // Random machine: 4..256 cores of the scaled heterogeneous mix.
+    scenario.cores = 4 + rng.below(253);
+    scenario.policy = policies[rng.below(policies.size())];
+    if (scenario.policy == "realtime") {
+      scenario.discipline = QueueDiscipline::kEdf;
+      RealtimeOptions rt;
+      rt.slack_factor = 1.5 + rng.below(3) * 0.5;
+      rt.priority_levels = 1 + static_cast<int>(rng.below(3));
+      scenario.realtime = rt;
+    }
+    scenario.arrivals.count = 150 + rng.below(150);
+    scenario.arrivals.mean_interarrival_cycles =
+        20000.0 * 16.0 / static_cast<double>(scenario.cores);
+
+    // Random fault schedule: every failure gets a recovery, so the
+    // stream always drains; rates exercise the degraded-mode paths.
+    const std::size_t failures = rng.below(4);
+    for (std::size_t f = 0; f < failures; ++f) {
+      const std::size_t core = rng.below(scenario.cores);
+      const SimTime fail_at = 100'000 + rng.below(4'000'000);
+      const SimTime recover_at = fail_at + 200'000 + rng.below(2'000'000);
+      scenario.faults.core_events.push_back({fail_at, core, true});
+      scenario.faults.core_events.push_back({recover_at, core, false});
+    }
+    if (failures > 0) {
+      scenario.faults.seed = seed;
+      scenario.faults.reconfig_failure_rate = rng.below(2) ? 0.05 : 0.0;
+      scenario.faults.stuck_job_rate = rng.below(2) ? 0.05 : 0.0;
+    }
+
+    const std::string where =
+        "seed " + std::to_string(seed) + ", " +
+        std::to_string(scenario.cores) + " cores, policy " +
+        scenario.policy + ", " + std::to_string(failures) +
+        " fault pairs (reproduce with HETSCHED_FUZZ_SEED=" +
+        std::to_string(base) + ")";
+
+    const ScenarioOutcome indexed = run_outcome(scenario, context, false);
+    const ScenarioOutcome naive = run_outcome(scenario, context, true);
+
+    ASSERT_EQ(indexed.stream.digest(), naive.stream.digest()) << where;
+    ASSERT_EQ(result_text(indexed.result), result_text(naive.result))
+        << where;
+    ASSERT_EQ(indexed.stream.slices(), naive.stream.slices()) << where;
+    // Same decision count either way; only the scan mechanics differ.
+    ASSERT_EQ(indexed.dispatch.decisions, naive.dispatch.decisions)
+        << where;
   }
 }
 

@@ -872,7 +872,10 @@ int cmd_scenario_checkpointed(const CliOptions& options, ObsSession* obs,
             << std::hex << outcome->stream.digest() << std::dec << ", "
             << outcome->stream.invariant_violations()
             << " invariant violations\n";
-  const ScenarioOutcome view{outcome->result, outcome->stream};
+  // Checkpoint outcomes carry no dispatch telemetry (it is per-process,
+  // not part of the resumable state); record an empty block.
+  const ScenarioOutcome view{outcome->result, outcome->stream,
+                             DispatchTelemetry{}};
   if (obs != nullptr) {
     record_scenario_metrics(obs->metrics, scenario.name + ".", view);
   }
