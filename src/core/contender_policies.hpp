@@ -1,0 +1,64 @@
+// Contender policies for the competitive portfolio (ROADMAP item 2).
+//
+// Four additional schedulers that compete inside PortfolioPolicy (and can
+// run standalone through the registry):
+//
+//   ShortestJobFirstPolicy — places the head job on the idle core with the
+//                            lowest *observed* cycle count for that core's
+//                            cache size (profiling-table knowledge only).
+//   EnergyGreedyPolicy     — same shape, but minimises observed total
+//                            energy instead of cycles.
+//   RandomPolicy           — uniform choice over idle cores from its own
+//                            seeded Rng; the Rng state serialises through
+//                            SchedulerPolicy::save_state so checkpoint
+//                            resume replays the identical stream.
+//   OraclePolicy           — deliberately breaks the information model: it
+//                            reads the characterised ground truth and
+//                            replays the known-best per-job configuration.
+//                            Upper-bound reference, never a fair contender.
+#pragma once
+
+#include "core/scheduler.hpp"
+#include "util/rng.hpp"
+
+namespace hetsched {
+
+class CharacterizedSuite;
+
+class ShortestJobFirstPolicy final : public SchedulerPolicy {
+ public:
+  std::string_view name() const override { return "sjf"; }
+  Decision decide(const Job& job, SystemView& view) override;
+};
+
+class EnergyGreedyPolicy final : public SchedulerPolicy {
+ public:
+  std::string_view name() const override { return "energy-greedy"; }
+  Decision decide(const Job& job, SystemView& view) override;
+};
+
+class RandomPolicy final : public SchedulerPolicy {
+ public:
+  explicit RandomPolicy(std::uint64_t seed) : rng_(seed) {}
+
+  std::string_view name() const override { return "random"; }
+  Decision decide(const Job& job, SystemView& view) override;
+  void save_state(std::ostream& out) const override;
+  void restore_state(std::istream& in, const std::string& context) override;
+
+ private:
+  Rng rng_;
+};
+
+class OraclePolicy final : public SchedulerPolicy {
+ public:
+  explicit OraclePolicy(const CharacterizedSuite& suite) : suite_(&suite) {}
+
+  std::string_view name() const override { return "oracle"; }
+  Decision decide(const Job& job, SystemView& view) override;
+
+ private:
+  const CharacterizedSuite* suite_;
+};
+
+}  // namespace hetsched

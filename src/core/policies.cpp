@@ -2,12 +2,33 @@
 
 #include <algorithm>
 #include <cmath>
+#include <istream>
+#include <ostream>
 
 #include "core/energy_decision.hpp"
 #include "core/tuning_heuristic.hpp"
 #include "util/contracts.hpp"
+#include "util/snapshot_text.hpp"
 
 namespace hetsched {
+
+// Default checkpoint hooks: a stateless marker that round-trips exactly.
+// Policies whose every decision derives from the profiling table (all
+// four paper policies and the realtime EDF variant) inherit these.
+void SchedulerPolicy::save_state(std::ostream& out) const {
+  out << "policy-state none\n";
+}
+
+void SchedulerPolicy::restore_state(std::istream& in,
+                                    const std::string& context) {
+  namespace st = snapshot_text;
+  const auto header = st::read_value<std::string>(in, "policy tag", context);
+  const auto tag = st::read_value<std::string>(in, "policy name", context);
+  if (header != "policy-state" || tag != "none") {
+    st::fail(context, "mismatched stateless policy state header");
+  }
+}
+
 namespace policy_detail {
 
 std::optional<Decision> profiling_decision(const Job& job,

@@ -1,0 +1,183 @@
+#include "core/policy_registry.hpp"
+
+#include <charconv>
+
+#include "core/contender_policies.hpp"
+#include "core/policies.hpp"
+#include "core/realtime_policy.hpp"
+#include "util/contracts.hpp"
+
+namespace hetsched {
+namespace {
+
+constexpr std::string_view kPortfolioPrefix = "portfolio:";
+
+// Seed-space split so a RandomPolicy never shares a stream with the
+// arrival generator (seed ^ 0xa5a5a5a5) or the realtime deadline stream
+// (seed ^ 0x5151).
+constexpr std::uint64_t kRandomPolicySalt = 0x52414e44ULL;  // "RAND"
+
+std::unique_ptr<SchedulerPolicy> make_base(const PolicyContext&) {
+  return std::make_unique<BasePolicy>();
+}
+
+std::unique_ptr<SchedulerPolicy> make_optimal(const PolicyContext&) {
+  return std::make_unique<OptimalPolicy>();
+}
+
+std::unique_ptr<SchedulerPolicy> make_energy_centric(
+    const PolicyContext& ctx) {
+  return std::make_unique<EnergyCentricPolicy>(*ctx.predictor);
+}
+
+std::unique_ptr<SchedulerPolicy> make_proposed(const PolicyContext& ctx) {
+  return std::make_unique<ProposedPolicy>(*ctx.predictor);
+}
+
+std::unique_ptr<SchedulerPolicy> make_realtime(const PolicyContext& ctx) {
+  return std::make_unique<RealtimeEdfPolicy>(*ctx.predictor);
+}
+
+std::unique_ptr<SchedulerPolicy> make_sjf(const PolicyContext&) {
+  return std::make_unique<ShortestJobFirstPolicy>();
+}
+
+std::unique_ptr<SchedulerPolicy> make_energy_greedy(const PolicyContext&) {
+  return std::make_unique<EnergyGreedyPolicy>();
+}
+
+std::unique_ptr<SchedulerPolicy> make_random(const PolicyContext& ctx) {
+  return std::make_unique<RandomPolicy>(ctx.seed ^ kRandomPolicySalt);
+}
+
+std::unique_ptr<SchedulerPolicy> make_oracle(const PolicyContext& ctx) {
+  return std::make_unique<OraclePolicy>(*ctx.suite);
+}
+
+}  // namespace
+
+PolicyRegistry::PolicyRegistry() {
+  // Registration order is load-bearing: it is the portfolio tie-break
+  // order, the order names_help() lists, and the order sweeps trust.
+  entries_.push_back({"base", false, false, &make_base});
+  entries_.push_back({"optimal", false, false, &make_optimal});
+  entries_.push_back({"energy-centric", true, false, &make_energy_centric});
+  entries_.push_back({"proposed", true, false, &make_proposed});
+  entries_.push_back({"realtime", true, false, &make_realtime});
+  entries_.push_back({"sjf", false, false, &make_sjf});
+  entries_.push_back({"energy-greedy", false, false, &make_energy_greedy});
+  entries_.push_back({"random", false, false, &make_random});
+  entries_.push_back({"oracle", false, true, &make_oracle});
+  names_.reserve(entries_.size());
+  for (const Registration& entry : entries_) {
+    names_.push_back(entry.name);
+  }
+}
+
+const PolicyRegistry& PolicyRegistry::instance() {
+  static const PolicyRegistry registry;
+  return registry;
+}
+
+const PolicyRegistry::Registration* PolicyRegistry::find(
+    const std::string& name) const {
+  for (const Registration& entry : entries_) {
+    if (entry.name == name) return &entry;
+  }
+  return nullptr;
+}
+
+bool PolicyRegistry::is_portfolio_spec(const std::string& spec) {
+  return spec.rfind(kPortfolioPrefix, 0) == 0;
+}
+
+std::optional<PortfolioSpec> PolicyRegistry::parse_portfolio(
+    const std::string& spec) const {
+  if (!is_portfolio_spec(spec)) return std::nullopt;
+  std::string body = spec.substr(kPortfolioPrefix.size());
+
+  PortfolioSpec parsed;
+  const std::size_t at = body.find('@');
+  if (at != std::string::npos) {
+    const std::string cycles = body.substr(at + 1);
+    body.resize(at);
+    if (cycles.empty()) return std::nullopt;
+    SimTime value = 0;
+    const auto [ptr, ec] = std::from_chars(
+        cycles.data(), cycles.data() + cycles.size(), value);
+    if (ec != std::errc{} || ptr != cycles.data() + cycles.size() ||
+        value == 0) {
+      return std::nullopt;
+    }
+    parsed.window_cycles = value;
+  }
+
+  std::size_t start = 0;
+  while (start <= body.size()) {
+    const std::size_t plus = body.find('+', start);
+    const std::string name =
+        body.substr(start, plus == std::string::npos ? std::string::npos
+                                                     : plus - start);
+    if (name.empty() || find(name) == nullptr) return std::nullopt;
+    for (const std::string& existing : parsed.contenders) {
+      if (existing == name) return std::nullopt;  // duplicate contender
+    }
+    parsed.contenders.push_back(name);
+    if (plus == std::string::npos) break;
+    start = plus + 1;
+  }
+  if (parsed.contenders.empty()) return std::nullopt;
+  return parsed;
+}
+
+bool PolicyRegistry::known(const std::string& spec) const {
+  if (is_portfolio_spec(spec)) return parse_portfolio(spec).has_value();
+  return find(spec) != nullptr;
+}
+
+bool PolicyRegistry::needs_predictor(const std::string& spec) const {
+  if (is_portfolio_spec(spec)) {
+    const auto parsed = parse_portfolio(spec);
+    if (!parsed.has_value()) return false;
+    for (const std::string& name : parsed->contenders) {
+      if (find(name)->needs_predictor) return true;
+    }
+    return false;
+  }
+  const Registration* entry = find(spec);
+  return entry != nullptr && entry->needs_predictor;
+}
+
+std::unique_ptr<SchedulerPolicy> PolicyRegistry::make(
+    const std::string& spec, const PolicyContext& ctx) const {
+  if (is_portfolio_spec(spec)) {
+    const auto parsed = parse_portfolio(spec);
+    HETSCHED_REQUIRE(parsed.has_value() && "malformed portfolio policy spec");
+    std::vector<std::unique_ptr<SchedulerPolicy>> contenders;
+    contenders.reserve(parsed->contenders.size());
+    for (const std::string& name : parsed->contenders) {
+      contenders.push_back(make(name, ctx));
+    }
+    return std::make_unique<PortfolioPolicy>(
+        std::move(contenders), parsed->contenders, parsed->window_cycles);
+  }
+  const Registration* entry = find(spec);
+  HETSCHED_REQUIRE(entry != nullptr && "unknown policy name");
+  HETSCHED_REQUIRE((!entry->needs_predictor || ctx.predictor != nullptr) &&
+                   "policy requires a trained predictor");
+  HETSCHED_REQUIRE((!entry->needs_suite || ctx.suite != nullptr) &&
+                   "policy requires the characterised suite");
+  return entry->make(ctx);
+}
+
+std::string PolicyRegistry::names_help() const {
+  std::string help;
+  for (const std::string& name : names_) {
+    if (!help.empty()) help += '|';
+    help += name;
+  }
+  help += "|portfolio:<a>+<b>[@cycles]";
+  return help;
+}
+
+}  // namespace hetsched

@@ -1,0 +1,90 @@
+// Name-addressable policy construction (ROADMAP item 2).
+//
+// Every scheduler the CLI, scenario format, and sweep grids can name is
+// registered here, in one fixed order, so "policy lookup" is data instead
+// of per-call-site if-chains. A spec is either a registered base name
+// ("proposed", "sjf", ...) or a portfolio composition
+//
+//   portfolio:<name>+<name>[+<name>...][@<window-cycles>]
+//
+// which builds a PortfolioPolicy over the named contenders (the optional
+// @ suffix overrides the selector's window width; default
+// PortfolioPolicy::kDefaultWindowCycles). Specs are single
+// whitespace-free tokens on purpose: they survive .scn files,
+// --sweep-policies comma lists, and checkpoint fingerprints unchanged.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/portfolio_policy.hpp"
+#include "core/scheduler.hpp"
+
+namespace hetsched {
+
+class SizePredictor;
+class CharacterizedSuite;
+
+// Everything a factory might need. Pointers may stay null when the chosen
+// policy does not use them; make() enforces presence per policy.
+struct PolicyContext {
+  const SizePredictor* predictor = nullptr;   // ANN-driven policies
+  const CharacterizedSuite* suite = nullptr;  // oracle ground truth
+  std::uint64_t seed = 0;                     // seeded-randomness policies
+};
+
+// Parsed portfolio:... spec.
+struct PortfolioSpec {
+  std::vector<std::string> contenders;
+  SimTime window_cycles = PortfolioPolicy::kDefaultWindowCycles;
+};
+
+class PolicyRegistry {
+ public:
+  // The one global registry; construction order is the registration
+  // order, fixed at build time (no cross-TU static-init dependence).
+  static const PolicyRegistry& instance();
+
+  // Base policy names in registration order (no portfolio specs).
+  const std::vector<std::string>& names() const { return names_; }
+
+  // True for registered names and well-formed portfolio specs.
+  bool known(const std::string& spec) const;
+
+  // Whether building `spec` requires a trained SizePredictor (for a
+  // portfolio: whether any contender does). False for unknown specs.
+  bool needs_predictor(const std::string& spec) const;
+
+  // Builds the policy; throws via HETSCHED_REQUIRE on unknown specs or a
+  // context missing something the policy needs.
+  std::unique_ptr<SchedulerPolicy> make(const std::string& spec,
+                                        const PolicyContext& ctx) const;
+
+  // Cheap syntactic test: does the spec carry the portfolio prefix?
+  static bool is_portfolio_spec(const std::string& spec);
+
+  // Full validation + parse; nullopt when malformed (bad window, unknown
+  // or duplicate contender, nested portfolio, empty roster).
+  std::optional<PortfolioSpec> parse_portfolio(const std::string& spec) const;
+
+  // "base|optimal|...|portfolio:<a>+<b>[@cycles]" for error messages.
+  std::string names_help() const;
+
+ private:
+  struct Registration {
+    std::string name;
+    bool needs_predictor = false;
+    bool needs_suite = false;
+    std::unique_ptr<SchedulerPolicy> (*make)(const PolicyContext&) = nullptr;
+  };
+
+  PolicyRegistry();
+  const Registration* find(const std::string& name) const;
+
+  std::vector<Registration> entries_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace hetsched

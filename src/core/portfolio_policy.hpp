@@ -1,0 +1,98 @@
+// Agon-style competitive meta-scheduler (PAPERS.md, arXiv 2109.00665).
+//
+// PortfolioPolicy owns a fixed roster of contender policies and, at every
+// window boundary of simulated time, hands the machine to the contender
+// its score table currently favours. Scoring is self-accounted inside
+// decide(): the portfolio looks only at its own decisions and at the
+// profiling table (the same information model every honest policy lives
+// under) — it never consumes ScheduleObserver telemetry, so the "observers
+// never feed back into the simulation" invariant holds and a run with
+// observers detached is bit-identical to an observed one.
+//
+// Selection is deterministic: a round-robin exploration phase samples
+// every contender once, then the lowest-EWMA-cost contender wins each
+// window (ties to registration order). The full selector state — window
+// cursor, scores, switch history, and each contender's own state —
+// serialises through save_state/restore_state, so checkpoint resume,
+// stream-vs-batch, and HETSCHED_THREADS all preserve byte identity.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/scheduler.hpp"
+
+namespace hetsched {
+
+// Snapshot of the selector outcome for reporting (RunReport + JSONL).
+struct PortfolioStats {
+  struct Switch {
+    std::uint64_t window = 0;  // window the new contender takes over
+    SimTime time = 0;          // start time of that window
+    std::string from;
+    std::string to;
+  };
+
+  std::vector<std::string> contenders;       // roster, registration order
+  std::vector<std::uint64_t> windows_active; // windows each one led
+  std::vector<std::uint64_t> windows_scored; // windows that updated its score
+  std::vector<Switch> switches;
+  std::uint64_t windows_closed = 0;
+  std::string active;  // contender leading when the run ended
+  SimTime window_cycles = 0;
+};
+
+// One JSONL line per switch event, appended after the window records in
+// the --windows-out stream.
+std::string portfolio_switch_jsonl(const PortfolioStats& stats);
+
+class PortfolioPolicy final : public SchedulerPolicy {
+ public:
+  static constexpr SimTime kDefaultWindowCycles = 1'000'000;
+
+  // `labels` are the registry names of `contenders`, index-parallel;
+  // requires at least one contender and window_cycles >= 1.
+  PortfolioPolicy(std::vector<std::unique_ptr<SchedulerPolicy>> contenders,
+                  std::vector<std::string> labels, SimTime window_cycles);
+
+  std::string_view name() const override { return "portfolio"; }
+  Decision decide(const Job& job, SystemView& view) override;
+  bool can_preempt() const override;
+  void on_profiled(std::size_t benchmark_id, SystemView& view) override;
+  void save_state(std::ostream& out) const override;
+  void restore_state(std::istream& in, const std::string& context) override;
+
+  PortfolioStats stats() const;
+
+ private:
+  // Per-window evidence about the active contender, reset at boundaries.
+  struct WindowAccount {
+    std::uint64_t decisions = 0;
+    std::uint64_t stalls = 0;
+    std::uint64_t placed = 0;
+    std::uint64_t predicted = 0;  // placements where a prediction existed
+    std::uint64_t hits = 0;       // ... and landed on the predicted size
+    std::uint64_t known_jobs = 0; // placements with an observed energy
+    double known_energy_nj = 0.0;
+  };
+
+  void roll_windows(SimTime now);
+  double window_cost() const;
+  std::size_t select_next() const;
+
+  std::vector<std::unique_ptr<SchedulerPolicy>> contenders_;
+  std::vector<std::string> labels_;
+  SimTime window_cycles_;
+
+  std::uint64_t window_index_ = 0;
+  SimTime window_end_;
+  std::size_t active_ = 0;
+  std::vector<double> score_;
+  std::vector<std::uint64_t> scored_;
+  std::vector<std::uint64_t> led_;
+  std::vector<PortfolioStats::Switch> switches_;
+  WindowAccount account_;
+};
+
+}  // namespace hetsched

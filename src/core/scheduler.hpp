@@ -7,7 +7,9 @@
 // scheduler knows, it learnt from profiling/tuning executions.
 #pragma once
 
+#include <iosfwd>
 #include <span>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -307,6 +309,16 @@ class SchedulerPolicy {
     (void)benchmark_id;
     (void)view;
   }
+
+  // Checkpoint support. Policies carrying mutable decision state beyond
+  // the profiling table (a seeded Rng, the portfolio selector) override
+  // both so a restored run replays bit-identically; the default writes a
+  // stateless marker and restore_state verifies it (throwing
+  // std::runtime_error tagged with `context` on mismatch). Stateless
+  // policies need nothing else — everything they know lives in the
+  // profiling table, which the checkpoint already captures.
+  virtual void save_state(std::ostream& out) const;
+  virtual void restore_state(std::istream& in, const std::string& context);
 };
 
 }  // namespace hetsched

@@ -224,6 +224,11 @@ std::string BenchDiffResult::summary(double tolerance) const {
   for (const std::string& path : missing_in_current) {
     out += "MISSING   " + path + ": present in baseline, absent now\n";
   }
+  for (const std::string& path : new_in_current) {
+    out += "new-metric " + path +
+           ": absent in baseline (informational; refresh the baseline to "
+           "start gating it)\n";
+  }
   out += regressed() ? "verdict: REGRESSION\n" : "verdict: pass\n";
   return out;
 }
@@ -267,6 +272,18 @@ BenchDiffResult bench_diff(std::string_view baseline_json,
                        ? c.current > base * (1.0 + tolerance)
                        : c.current < base / (1.0 + tolerance));
     result.compared.push_back(std::move(c));
+  }
+
+  // The reverse direction: metrics the candidate gained that the
+  // baseline has never seen. Reported in the candidate's document order
+  // (deterministic), never a gate failure — but never silent either.
+  std::unordered_map<std::string, double> baseline_by_path;
+  for (const auto& [path, v] : baseline) baseline_by_path.emplace(path, v);
+  for (const auto& [path, v] : current) {
+    (void)v;
+    if (baseline_by_path.find(path) == baseline_by_path.end()) {
+      result.new_in_current.push_back(path);
+    }
   }
   return result;
 }

@@ -15,8 +15,9 @@
 //   current < baseline / (1 + tolerance).
 // A baseline key missing from the current file is always a regression
 // (a silently vanished metric must not pass the gate); new keys in the
-// current file are informational only. Non-positive baselines are
-// skipped — no meaningful ratio exists.
+// current file never fail the gate but are surfaced as `new-metric`
+// lines, so a refreshed baseline cannot silently absorb added keys.
+// Non-positive baselines are skipped — no meaningful ratio exists.
 #pragma once
 
 #include <string>
@@ -47,6 +48,7 @@ struct BenchComparison {
 struct BenchDiffResult {
   std::vector<BenchComparison> compared;       // classified, both files
   std::vector<std::string> missing_in_current; // baseline-only paths
+  std::vector<std::string> new_in_current;     // current-only paths
   std::vector<std::string> skipped;            // ignored or no baseline
   bool regressed() const;
 

@@ -37,7 +37,7 @@ std::string anomaly_to_json(const Anomaly& a) {
 }
 
 std::string run_report_to_json(const RunReport& r) {
-  std::string out = "{\n  \"schema\": 2,\n";
+  std::string out = "{\n  \"schema\": 3,\n";
   out += "  \"command\": \"" + json_escape(r.command) + "\",\n";
   out += "  \"config\": {";
   out += "\"name\": \"" + json_escape(r.name) + "\"";
@@ -67,6 +67,27 @@ std::string run_report_to_json(const RunReport& r) {
     out += (i == 0 ? "" : ", ") + anomaly_to_json(r.anomalies[i]);
   }
   out += "]},\n";
+  if (!r.policy_win_rates.empty() || !r.policy_switches.empty()) {
+    out += "  \"portfolio\": {";
+    out += "\"win_rates\": [";
+    for (std::size_t i = 0; i < r.policy_win_rates.size(); ++i) {
+      const RunReport::PolicyWinRate& w = r.policy_win_rates[i];
+      out += (i == 0 ? "" : ", ");
+      out += "{\"policy\": \"" + json_escape(w.name) + "\"";
+      out += ", \"windows_won\": " + std::to_string(w.windows_won);
+      out += ", \"win_rate\": " + CsvWriter::number(w.win_rate) + "}";
+    }
+    out += "], \"switches\": [";
+    for (std::size_t i = 0; i < r.policy_switches.size(); ++i) {
+      const RunReport::PolicySwitch& s = r.policy_switches[i];
+      out += (i == 0 ? "" : ", ");
+      out += "{\"window\": " + std::to_string(s.window);
+      out += ", \"time\": " + std::to_string(s.time);
+      out += ", \"from\": \"" + json_escape(s.from) + "\"";
+      out += ", \"to\": \"" + json_escape(s.to) + "\"}";
+    }
+    out += "]},\n";
+  }
   out += "  \"failed_cells\": [";
   for (std::size_t i = 0; i < r.failed_cells.size(); ++i) {
     const RunReport::FailedCell& cell = r.failed_cells[i];

@@ -87,6 +87,23 @@ struct RunReport {
   double window_energy_mj = 0.0;
   std::vector<Anomaly> anomalies;
 
+  // Portfolio meta-scheduler summary (empty unless the run's policy was
+  // a portfolio). Plain data filled by the scenario/CLI layer from core
+  // PortfolioStats — the obs layer deliberately doesn't link core.
+  struct PolicyWinRate {
+    std::string name;
+    std::uint64_t windows_won = 0;  // windows this contender was active
+    double win_rate = 0.0;          // windows_won / closed windows
+  };
+  struct PolicySwitch {
+    std::uint64_t window = 0;  // window index the switch took effect at
+    std::uint64_t time = 0;    // simulated boundary time of the switch
+    std::string from;
+    std::string to;
+  };
+  std::vector<PolicyWinRate> policy_win_rates;
+  std::vector<PolicySwitch> policy_switches;
+
   // Supervised-sweep quarantine: cells that failed or timed out and were
   // excluded from the merged results (empty for unsupervised runs).
   struct FailedCell {

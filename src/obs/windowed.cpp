@@ -18,6 +18,7 @@ void write_window(std::ostream& out, const WindowRecord& w) {
   out << w.index << ' ' << w.start << ' ' << w.end << ' '
       << w.jobs_completed << ' ' << w.slices << ' ' << w.dispatches << ' '
       << w.preemptions << ' ' << w.stalls << ' ' << w.migrations << ' '
+      << w.fault_migrations << ' '
       << w.queue_peak << ' ' << w.prediction_hits << ' '
       << w.prediction_misses << ' ' << w.reconfig_attempts << ' '
       << w.faults << ' ';
@@ -35,8 +36,9 @@ WindowRecord read_window(std::istream& in, std::size_t cores,
   w.end = st::read_value<SimTime>(in, "window end", context);
   for (std::uint64_t* field :
        {&w.jobs_completed, &w.slices, &w.dispatches, &w.preemptions,
-        &w.stalls, &w.migrations, &w.queue_peak, &w.prediction_hits,
-        &w.prediction_misses, &w.reconfig_attempts, &w.faults}) {
+        &w.stalls, &w.migrations, &w.fault_migrations, &w.queue_peak,
+        &w.prediction_hits, &w.prediction_misses, &w.reconfig_attempts,
+        &w.faults}) {
     *field = st::read_value<std::uint64_t>(in, "window counter", context);
   }
   w.energy_mj = st::read_value<double>(in, "window energy", context);
@@ -115,7 +117,7 @@ void WindowedCollector::on_slice(const ScheduledSlice& slice) {
     current_.busy_cycles[slice.core] += slice.end - slice.start;
   }
   if (!slice.completed) {
-    last_core_[slice.job_id] = slice.core;
+    last_core_[slice.job_id] = LastCore{slice.core, false};
     return;
   }
   ++current_.jobs_completed;
@@ -147,7 +149,7 @@ void WindowedCollector::on_fault(const FaultRecord& record) {
   if (record.job_id != 0 &&
       (record.kind == FaultRecord::Kind::kCoreFailure ||
        record.kind == FaultRecord::Kind::kWatchdogFire)) {
-    last_core_[record.job_id] = record.core;
+    last_core_[record.job_id] = LastCore{record.core, true};
   }
 }
 
@@ -156,7 +158,15 @@ void WindowedCollector::on_dispatch(const DispatchEvent& event) {
   ++current_.dispatches;
   const auto it = last_core_.find(event.job_id);
   if (it != last_core_.end()) {
-    if (it->second != event.core) ++current_.migrations;
+    if (it->second.core != event.core) {
+      // Re-dispatch away from a failed/hung core is recovery the
+      // watchdog forced, not a scheduling decision — count it apart.
+      if (it->second.fault) {
+        ++current_.fault_migrations;
+      } else {
+        ++current_.migrations;
+      }
+    }
     last_core_.erase(it);
   }
 }
@@ -176,7 +186,9 @@ void WindowedCollector::on_idle(const IdleEvent& event) {
 void WindowedCollector::on_preempt(const PreemptEvent& event) {
   advance(event.time);
   ++current_.preemptions;
-  if (event.was_hung) last_core_[event.job_id] = event.core;
+  // A hung victim was evicted by watchdog machinery, not by a policy
+  // placement choice.
+  if (event.was_hung) last_core_[event.job_id] = LastCore{event.core, true};
 }
 
 void WindowedCollector::on_stall(const StallEvent& event) {
@@ -211,11 +223,11 @@ void WindowedCollector::save_state(std::ostream& out) const {
   for (const WindowRecord& w : windows_) write_window(out, w);
   // last_core_ in sorted order: the serialized form must not depend on
   // unordered_map iteration.
-  const std::map<std::uint64_t, std::size_t> sorted(last_core_.begin(),
-                                                    last_core_.end());
+  const std::map<std::uint64_t, LastCore> sorted(last_core_.begin(),
+                                                 last_core_.end());
   out << "last-core " << sorted.size() << "\n";
-  for (const auto& [job_id, core] : sorted) {
-    out << job_id << ' ' << core << "\n";
+  for (const auto& [job_id, last] : sorted) {
+    out << job_id << ' ' << last.core << ' ' << (last.fault ? 1 : 0) << "\n";
   }
 }
 
@@ -271,8 +283,10 @@ void WindowedCollector::restore_state(std::istream& in,
   for (std::size_t i = 0; i < tracked; ++i) {
     const auto job_id =
         st::read_value<std::uint64_t>(in, "tracked job id", context);
-    last_core_[job_id] =
-        st::read_value<std::size_t>(in, "tracked core", context);
+    LastCore last;
+    last.core = st::read_value<std::size_t>(in, "tracked core", context);
+    last.fault = st::read_value<int>(in, "tracked fault flag", context) != 0;
+    last_core_[job_id] = last;
   }
 }
 
@@ -292,6 +306,7 @@ std::string window_to_json(const WindowRecord& w) {
   line += ",\"preemptions\":" + std::to_string(w.preemptions);
   line += ",\"stalls\":" + std::to_string(w.stalls);
   line += ",\"migrations\":" + std::to_string(w.migrations);
+  line += ",\"fault_migrations\":" + std::to_string(w.fault_migrations);
   line += ",\"queue_peak\":" + std::to_string(w.queue_peak);
   line += ",\"prediction_hits\":" + std::to_string(w.prediction_hits);
   line += ",\"prediction_misses\":" + std::to_string(w.prediction_misses);
@@ -386,8 +401,19 @@ std::vector<Anomaly> detect_anomalies(std::span<const WindowRecord> windows,
     }
     for (std::size_t i = config.trailing_windows; i < productive.size();
          ++i) {
+      // Bounded lookback: compacting to productive windows must not let
+      // the rule reach across a long idle gap and judge this window
+      // against stale history. If the oldest trailing productive window
+      // is further away (in real window indices) than the bound allows,
+      // there is not enough fresh evidence — the rule stays silent.
+      const std::size_t oldest = i - config.trailing_windows;
+      if (config.drift_lookback_windows > 0 &&
+          productive[i]->index - productive[oldest]->index >
+              config.drift_lookback_windows) {
+        continue;
+      }
       double trailing = 0.0;
-      for (std::size_t k = i - config.trailing_windows; k < i; ++k) {
+      for (std::size_t k = oldest; k < i; ++k) {
         trailing += productive[k]->energy_per_job_mj();
       }
       const double mean =
@@ -418,6 +444,28 @@ std::vector<Anomaly> detect_anomalies(std::span<const WindowRecord> windows,
     anomalies.resize(config.max_anomalies);
   }
   return anomalies;
+}
+
+std::string window_interval_error(std::uint64_t window_cycles,
+                                  std::uint64_t checkpoint_every) {
+  // Ceiling chosen so that window advancement (start + window_cycles) and
+  // the checkpoint stride product both stay far from uint64 wraparound —
+  // a wrapped stride silently truncates a run instead of failing loudly.
+  constexpr std::uint64_t kMaxCycles = std::uint64_t{1} << 61;
+  if (window_cycles == 0) {
+    return "window cycles must be >= 1";
+  }
+  if (checkpoint_every == 0) {
+    return "checkpoint interval must be >= 1 window";
+  }
+  if (window_cycles > kMaxCycles) {
+    return "window cycles too large (max 2^61)";
+  }
+  if (checkpoint_every > kMaxCycles / window_cycles) {
+    return "window cycles x checkpoint interval overflows the simulated "
+           "clock (max 2^61 cycles per checkpoint stride)";
+  }
+  return "";
 }
 
 }  // namespace hetsched

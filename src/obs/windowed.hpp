@@ -49,8 +49,12 @@ struct WindowRecord {
   std::uint64_t preemptions = 0;
   std::uint64_t stalls = 0;
   // Dispatches of a preempted/re-queued job onto a different core than
-  // the one it last ran on.
+  // the one it last ran on, split by cause: `migrations` counts
+  // policy-driven moves (ordinary preemption), `fault_migrations` counts
+  // re-dispatch forced by a core failure or watchdog fire — recovery, not
+  // a scheduling choice, so the two must not be conflated.
   std::uint64_t migrations = 0;
+  std::uint64_t fault_migrations = 0;
   std::uint64_t queue_peak = 0;  // max ready-queue depth sampled
   // Completed normal executions whose configuration matches the
   // characterised oracle-best for the benchmark (requires a suite).
@@ -142,8 +146,15 @@ class WindowedCollector final : public ScheduleObserver {
   std::vector<WindowRecord> windows_;
   // Last core of jobs whose latest execution did not complete (preempted,
   // watchdog-cleared or failed-core victims) — the migration detector.
-  // Bounded by the re-queued population, not the stream length.
-  std::unordered_map<std::uint64_t, std::size_t> last_core_;
+  // `fault` distinguishes fault-recovery re-queues (core failure,
+  // watchdog fire, hung-victim preemption) from policy preemption, so
+  // the re-dispatch lands in the right migration counter. Bounded by the
+  // re-queued population, not the stream length.
+  struct LastCore {
+    std::size_t core = 0;
+    bool fault = false;
+  };
+  std::unordered_map<std::uint64_t, LastCore> last_core_;
 };
 
 // One JSONL line for a window (no trailing newline). Deterministic:
@@ -162,6 +173,12 @@ struct AnomalyConfig {
   double energy_drift_factor = 1.5;
   // Windows of history the drift rules average over.
   std::size_t trailing_windows = 4;
+  // Maximum real-window index distance the energy-drift rule may look
+  // back across its trailing productive windows. Sparse arrivals leave
+  // long idle gaps between productive windows; without this bound a
+  // window would be judged against stale data from arbitrarily far in
+  // the past. 0 = unbounded (the pre-fix behaviour).
+  std::size_t drift_lookback_windows = 16;
   // Hard cap on reported anomalies (the rest are counted, not stored).
   std::size_t max_anomalies = 64;
 };
@@ -184,5 +201,13 @@ std::string_view to_string(Anomaly::Rule rule);
 // config.max_anomalies entries (earliest first).
 std::vector<Anomaly> detect_anomalies(std::span<const WindowRecord> windows,
                                       const AnomalyConfig& config);
+
+// Validates the telemetry/checkpoint interval pair before it reaches a
+// collector or the checkpoint driver: both must be >= 1 and their product
+// (the checkpoint stride in simulated cycles) must fit the simulated
+// clock with headroom. Returns an empty string when valid, otherwise a
+// human-readable rejection for the CLI to print.
+std::string window_interval_error(std::uint64_t window_cycles,
+                                  std::uint64_t checkpoint_every);
 
 }  // namespace hetsched

@@ -14,7 +14,11 @@ namespace {
 
 namespace st = snapshot_text;
 
-constexpr int kCheckpointVersion = 1;
+// Version 2 added the scheduler policy's own state block (seeded-Rng
+// contenders, the portfolio selector) between the windowed collector and
+// the fault section; version-1 snapshots are rejected rather than resumed
+// with a silently reset policy.
+constexpr int kCheckpointVersion = 2;
 
 std::string make_checkpoint_text(const Scenario& scenario,
                                  const CheckpointRunOptions& options,
@@ -30,6 +34,7 @@ std::string make_checkpoint_text(const Scenario& scenario,
   run.arrivals().save_state(body);
   run.stats().save_state(body);
   collector.save_state(body);
+  run.policy().save_state(body);
   body << "faults " << (run.injector() != nullptr ? 1 : 0) << "\n";
   if (run.injector() != nullptr) run.injector()->save_state(body);
   std::ostringstream out;
@@ -86,6 +91,7 @@ std::uint64_t restore_checkpoint_text(const std::string& text,
   run.arrivals().restore_state(in, context);
   run.stats().restore_state(in, context);
   collector.restore_state(in, context);
+  run.policy().restore_state(in, context);
   if (!(in >> token) || token != "faults") {
     st::fail(context, "expected 'faults'");
   }
@@ -124,8 +130,11 @@ std::uint64_t scenario_fingerprint(const Scenario& scenario) {
 CheckpointRunOutcome run_scenario_checkpointed(
     const Scenario& scenario, const ScenarioContext& context,
     const CheckpointRunOptions& options) {
-  HETSCHED_REQUIRE(options.window_cycles > 0);
-  HETSCHED_REQUIRE(options.checkpoint_every > 0);
+  const std::string interval_error =
+      window_interval_error(options.window_cycles, options.checkpoint_every);
+  if (!interval_error.empty()) {
+    throw std::invalid_argument("checkpoint intervals: " + interval_error);
+  }
 
   WindowedCollector collector(
       scenario.make_system().core_count(),
@@ -168,20 +177,32 @@ CheckpointRunOutcome run_scenario_checkpointed(
     ++written;
     if (options.halt_after_checkpoints > 0 &&
         written >= options.halt_after_checkpoints) {
-      return CheckpointRunOutcome{SimulationResult{},
+      CheckpointRunOutcome halted{SimulationResult{},
                                   std::move(run.stats()),
                                   std::move(collector),
                                   written,
                                   resumed_from,
-                                  true};
+                                  true,
+                                  std::nullopt};
+      if (const auto* portfolio =
+              dynamic_cast<const PortfolioPolicy*>(&run.policy())) {
+        halted.portfolio = portfolio->stats();
+      }
+      return halted;
     }
   }
 
   const SimulationResult result = run.finish();
   collector.finalize();
-  return CheckpointRunOutcome{result,  std::move(run.stats()),
-                              std::move(collector), written,
-                              resumed_from,         false};
+  CheckpointRunOutcome outcome{result,  std::move(run.stats()),
+                               std::move(collector), written,
+                               resumed_from,         false,
+                               std::nullopt};
+  if (const auto* portfolio =
+          dynamic_cast<const PortfolioPolicy*>(&run.policy())) {
+    outcome.portfolio = portfolio->stats();
+  }
+  return outcome;
 }
 
 }  // namespace hetsched

@@ -53,6 +53,9 @@ struct CheckpointRunOutcome {
   // Stride boundary the run resumed from; 0 = started fresh.
   std::uint64_t resumed_from = 0;
   bool halted = false;
+  // Selector outcome when the scenario ran a portfolio policy; for halted
+  // runs this is the selector state as of the halt.
+  std::optional<PortfolioStats> portfolio;
 };
 
 // Runs `scenario` under the checkpointing driver. Without resume/halt

@@ -6,6 +6,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "core/policy_registry.hpp"
+
 namespace hetsched {
 namespace {
 
@@ -19,9 +21,7 @@ namespace {
 }
 
 bool known_policy(const std::string& policy) {
-  return policy == "base" || policy == "optimal" ||
-         policy == "energy-centric" || policy == "proposed" ||
-         policy == "realtime";
+  return PolicyRegistry::instance().known(policy);
 }
 
 }  // namespace
@@ -57,8 +57,7 @@ SystemConfig Scenario::make_system() const {
 }
 
 bool Scenario::needs_predictor() const {
-  return policy == "energy-centric" || policy == "proposed" ||
-         policy == "realtime";
+  return PolicyRegistry::instance().needs_predictor(policy);
 }
 
 void Scenario::validate() const {
@@ -168,9 +167,8 @@ Scenario Scenario::parse(std::istream& in) {
     } else if (directive == "policy") {
       std::string policy;
       if (!(tokens >> policy) || !known_policy(policy)) {
-        parse_fail(line_number,
-                   "policy must be base|optimal|energy-centric|proposed|"
-                   "realtime");
+        parse_fail(line_number, "policy must be one of: " +
+                                    PolicyRegistry::instance().names_help());
       }
       scenario.policy = policy;
     } else if (directive == "discipline") {

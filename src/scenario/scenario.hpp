@@ -33,7 +33,9 @@ struct Scenario {
   std::string name = "scenario";
   SystemKind system = SystemKind::kScaledHeterogeneous;
   std::size_t cores = 4;
-  // base | optimal | energy-centric | proposed | realtime
+  // Any PolicyRegistry name (base | optimal | energy-centric | proposed |
+  // realtime | sjf | energy-greedy | random | oracle) or a portfolio spec
+  // "portfolio:<a>+<b>[@window-cycles]".
   std::string policy = "proposed";
   QueueDiscipline discipline = QueueDiscipline::kFifo;
   std::uint64_t seed = 42;
@@ -55,8 +57,8 @@ struct Scenario {
   // The machine this scenario runs on.
   SystemConfig make_system() const;
 
-  // True for the ANN-backed policies (energy-centric/proposed/realtime)
-  // that need a trained predictor.
+  // True when the policy (or any portfolio contender) is ANN-backed and
+  // needs a trained predictor.
   bool needs_predictor() const;
 
   // Structural checks (known policy/system, core count bounds, arrival
@@ -67,7 +69,7 @@ struct Scenario {
   //   name STRING
   //   system paper|base|scaled
   //   cores N
-  //   policy base|optimal|energy-centric|proposed|realtime
+  //   policy NAME (any registry name or portfolio:<a>+<b>[@cycles])
   //   discipline fifo|edf|priority
   //   seed N
   //   jobs N

@@ -4,8 +4,7 @@
 #include <optional>
 
 #include "cache/cache_config.hpp"
-#include "core/policies.hpp"
-#include "core/realtime_policy.hpp"
+#include "core/policy_registry.hpp"
 #include "fault/fault_injector.hpp"
 #include "obs/observability.hpp"
 #include "util/contracts.hpp"
@@ -28,19 +27,11 @@ CharacterizedSuite build_suite(const EnergyModel& energy,
 
 std::unique_ptr<SchedulerPolicy> make_scenario_policy(
     const Scenario& scenario, const ScenarioContext& context) {
-  if (scenario.policy == "base") return std::make_unique<BasePolicy>();
-  if (scenario.policy == "optimal") return std::make_unique<OptimalPolicy>();
-  HETSCHED_REQUIRE(context.predictor() != nullptr &&
-                   "context was built without the predictor this policy "
-                   "needs");
-  if (scenario.policy == "energy-centric") {
-    return std::make_unique<EnergyCentricPolicy>(*context.predictor());
-  }
-  if (scenario.policy == "realtime") {
-    return std::make_unique<RealtimeEdfPolicy>(*context.predictor());
-  }
-  HETSCHED_REQUIRE(scenario.policy == "proposed");
-  return std::make_unique<ProposedPolicy>(*context.predictor());
+  PolicyContext ctx;
+  ctx.predictor = context.predictor();
+  ctx.suite = &context.suite();
+  ctx.seed = scenario.seed;
+  return PolicyRegistry::instance().make(scenario.policy, ctx);
 }
 
 ScenarioContext::ScenarioContext(const Scenario& scenario,
@@ -117,8 +108,13 @@ ScenarioOutcome run_scenario(const Scenario& scenario,
   run.start();
   run.advance_until(std::numeric_limits<SimTime>::max());
   SimulationResult result = run.finish();
-  return ScenarioOutcome{std::move(result), std::move(run.stats()),
-                         run.simulator().dispatch_telemetry()};
+  ScenarioOutcome outcome{std::move(result), std::move(run.stats()),
+                          run.simulator().dispatch_telemetry(), std::nullopt};
+  if (const auto* portfolio =
+          dynamic_cast<const PortfolioPolicy*>(&run.policy())) {
+    outcome.portfolio = portfolio->stats();
+  }
+  return outcome;
 }
 
 void record_scenario_metrics(MetricsRegistry& metrics,
@@ -142,6 +138,26 @@ void record_scenario_metrics(MetricsRegistry& metrics,
   metrics.counter(prefix + "stream.invariant_violations")
       .add(s.invariant_violations());
   metrics.counter(prefix + "stream.digest").add(s.digest());
+}
+
+void attach_portfolio_summary(RunReport& report,
+                              const PortfolioStats& stats) {
+  report.policy_win_rates.clear();
+  report.policy_switches.clear();
+  for (std::size_t i = 0; i < stats.contenders.size(); ++i) {
+    RunReport::PolicyWinRate row;
+    row.name = stats.contenders[i];
+    row.windows_won = stats.windows_active[i];
+    row.win_rate =
+        stats.windows_closed == 0
+            ? 0.0
+            : static_cast<double>(stats.windows_active[i]) /
+                  static_cast<double>(stats.windows_closed);
+    report.policy_win_rates.push_back(std::move(row));
+  }
+  for (const PortfolioStats::Switch& s : stats.switches) {
+    report.policy_switches.push_back({s.window, s.time, s.from, s.to});
+  }
 }
 
 void record_dispatch_metrics(MetricsRegistry& metrics,

@@ -10,9 +10,11 @@
 #include <optional>
 #include <string>
 
+#include "core/portfolio_policy.hpp"
 #include "core/predictor.hpp"
 #include "core/simulator.hpp"
 #include "obs/metrics.hpp"
+#include "obs/run_report.hpp"
 #include "scenario/scenario.hpp"
 #include "scenario/stream_stats.hpp"
 
@@ -57,6 +59,9 @@ struct ScenarioOutcome {
   // Dispatch-path scan counters (decisions, bitmap words scanned, clamp
   // cache hits); purely observational, never part of the result digest.
   DispatchTelemetry dispatch;
+  // Selector outcome when the scenario ran a portfolio policy (win
+  // counts, switch events); nullopt otherwise.
+  std::optional<PortfolioStats> portfolio;
 };
 
 // Instantiates the scheduler policy a scenario names, wired to the
@@ -96,6 +101,10 @@ class ScenarioRun {
   MulticoreSimulator& simulator() { return simulator_; }
   StreamStats& stats() { return stats_; }
   GeneratedArrivalStream& arrivals() { return stream_; }
+  // The scenario's scheduler (checkpointing serialises its state; the
+  // CLI extracts portfolio selector stats through it).
+  SchedulerPolicy& policy() { return *policy_; }
+  const SchedulerPolicy& policy() const { return *policy_; }
   // Null when the scenario has no fault plan.
   FaultInjector* injector() {
     return injector_.has_value() ? &*injector_ : nullptr;
@@ -126,6 +135,13 @@ ScenarioOutcome run_scenario(const Scenario& scenario,
 void record_scenario_metrics(MetricsRegistry& metrics,
                              const std::string& prefix,
                              const ScenarioOutcome& outcome);
+
+// Copies a portfolio selector's outcome into the report: one win-rate
+// row per contender (windows it was the active policy, over all closed
+// selector windows) plus the switch-event list. The obs layer holds only
+// plain data, so the conversion from core PortfolioStats lives here.
+void attach_portfolio_summary(RunReport& report,
+                              const PortfolioStats& stats);
 
 // Deposits the dispatch-index telemetry under `prefix` (e.g.
 // "scale64.dispatch."). Deliberately separate from

@@ -15,6 +15,7 @@
 #include "core/simulator.hpp"
 #include "experiment/experiment.hpp"
 #include "fault/fault_injector.hpp"
+#include "obs/windowed.hpp"
 
 namespace hetsched {
 namespace {
@@ -467,6 +468,73 @@ TEST(FaultSimulatorTest, FaultRunsAreDeterministic) {
   EXPECT_EQ(a.faults.injected, b.faults.injected);
   EXPECT_EQ(a.faults.watchdog_fires, b.faults.watchdog_fires);
   EXPECT_EQ(a.faults.counter_corruptions, b.faults.counter_corruptions);
+}
+
+// The windowed migration detector must keep policy-driven moves and
+// fault-recovery re-dispatch in separate counters: a watchdog or core
+// failure re-queuing a job is recovery, not a scheduling choice.
+TEST(FaultTelemetry, MigrationCounterSplitsPolicyFromFaultRecovery) {
+  WindowedCollector collector(3, WindowedOptions{100000, 0});
+
+  // Policy migration: a preempted slice re-dispatched on another core.
+  ScheduledSlice preempted;
+  preempted.job_id = 1;
+  preempted.core = 0;
+  preempted.start = 0;
+  preempted.end = 50;
+  preempted.completed = false;
+  collector.on_slice(preempted);
+  DispatchEvent moved;
+  moved.time = 60;
+  moved.core = 1;
+  moved.job_id = 1;
+  collector.on_dispatch(moved);
+
+  // Fault recovery: core 2 fails under job 2, which restarts elsewhere.
+  FaultRecord failure;
+  failure.time = 70;
+  failure.core = 2;
+  failure.job_id = 2;
+  failure.kind = FaultRecord::Kind::kCoreFailure;
+  collector.on_fault(failure);
+  DispatchEvent recovered;
+  recovered.time = 80;
+  recovered.core = 0;
+  recovered.job_id = 2;
+  collector.on_dispatch(recovered);
+
+  // A hung victim cleared by preemption is fault recovery too.
+  PreemptEvent hung;
+  hung.time = 90;
+  hung.core = 1;
+  hung.job_id = 3;
+  hung.was_hung = true;
+  collector.on_preempt(hung);
+  DispatchEvent after_hang;
+  after_hang.time = 95;
+  after_hang.core = 2;
+  after_hang.job_id = 3;
+  collector.on_dispatch(after_hang);
+
+  // Same-core restart after a watchdog fire: no migration of either kind.
+  FaultRecord watchdog;
+  watchdog.time = 100;
+  watchdog.core = 1;
+  watchdog.job_id = 4;
+  watchdog.kind = FaultRecord::Kind::kWatchdogFire;
+  collector.on_fault(watchdog);
+  DispatchEvent same_core;
+  same_core.time = 105;
+  same_core.core = 1;
+  same_core.job_id = 4;
+  collector.on_dispatch(same_core);
+
+  collector.finalize();
+  ASSERT_EQ(collector.windows().size(), 1u);
+  const WindowRecord& w = collector.windows()[0];
+  EXPECT_EQ(w.migrations, 1u);
+  EXPECT_EQ(w.fault_migrations, 2u);
+  EXPECT_EQ(w.dispatches, 4u);
 }
 
 TEST(FaultRecordTest, KindNames) {

@@ -173,7 +173,8 @@ ScenarioOutcome run_outcome(const Scenario& scenario,
   run.advance_until(std::numeric_limits<SimTime>::max());
   SimulationResult result = run.finish();
   return ScenarioOutcome{std::move(result), std::move(run.stats()),
-                         run.simulator().dispatch_telemetry()};
+                         run.simulator().dispatch_telemetry(),
+                         std::nullopt};
 }
 
 std::string result_text(const SimulationResult& result) {

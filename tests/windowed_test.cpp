@@ -102,6 +102,7 @@ TEST(WindowedCollector, QueuePeakStallsAndMigrations) {
   EXPECT_EQ(w.stalls, 1u);
   EXPECT_EQ(w.dispatches, 2u);
   EXPECT_EQ(w.migrations, 1u);
+  EXPECT_EQ(w.fault_migrations, 0u);  // no faults: policy migrations only
   EXPECT_EQ(w.jobs_completed, 0u);
 }
 
@@ -136,9 +137,10 @@ TEST(WindowedCollector, JsonlLineShapeIsStable) {
   EXPECT_EQ(line,
             "{\"window\":0,\"start\":0,\"end\":100,\"jobs_completed\":1,"
             "\"slices\":1,\"dispatches\":0,\"preemptions\":0,\"stalls\":0,"
-            "\"migrations\":0,\"queue_peak\":0,\"prediction_hits\":0,"
-            "\"prediction_misses\":0,\"reconfig_attempts\":0,\"faults\":0,"
-            "\"energy_mj\":0,\"busy_cycles\":[60,0],\"idle_cycles\":[0,0]}");
+            "\"migrations\":0,\"fault_migrations\":0,\"queue_peak\":0,"
+            "\"prediction_hits\":0,\"prediction_misses\":0,"
+            "\"reconfig_attempts\":0,\"faults\":0,\"energy_mj\":0,"
+            "\"busy_cycles\":[60,0],\"idle_cycles\":[0,0]}");
 }
 
 // --- Anomaly rules -------------------------------------------------------
@@ -223,6 +225,46 @@ TEST(Anomalies, EnergyPerJobDriftSkipsIdleWindows) {
   EXPECT_EQ(anomalies[0].rule, Anomaly::Rule::kEnergyDrift);
   EXPECT_EQ(anomalies[0].window, 7u);
   EXPECT_DOUBLE_EQ(anomalies[0].value, 2.0);
+}
+
+TEST(Anomalies, EnergyDriftLookbackIgnoresStaleHistoryAcrossIdleGaps) {
+  // Sparse arrivals: four productive windows, a long all-idle gap, then a
+  // hot window. Compacting to productive windows used to judge the hot
+  // window against history from arbitrarily far in the past.
+  auto sparse = [](std::uint64_t hot_index) {
+    std::vector<WindowRecord> windows;
+    for (std::uint64_t i = 0; i < 4; ++i) {
+      windows.push_back(make_window(i, 2));
+    }
+    for (std::uint64_t i = 4; i < hot_index; ++i) {
+      WindowRecord w = make_window(i, 2);
+      w.jobs_completed = 0;  // idle gap
+      w.energy_mj = 0.0;
+      w.dispatches = 0;
+      windows.push_back(w);
+    }
+    WindowRecord hot = make_window(hot_index, 2);
+    hot.energy_mj = 8.0;  // 2 mJ/job vs the old windows' 1 mJ/job
+    windows.push_back(hot);
+    return windows;
+  };
+  AnomalyConfig config;
+  config.starvation_windows = 0;
+  config.idle_spike_factor = 0.0;
+  config.energy_drift_factor = 1.5;
+  config.trailing_windows = 4;
+  config.drift_lookback_windows = 16;
+
+  // History within the lookback bound: the rule fires on the hot window.
+  const std::vector<Anomaly> near = detect_anomalies(sparse(10), config);
+  ASSERT_EQ(near.size(), 1u);
+  EXPECT_EQ(near[0].rule, Anomaly::Rule::kEnergyDrift);
+  EXPECT_EQ(near[0].window, 10u);
+  // The same shape across a gap beyond the bound: stale evidence, silent.
+  EXPECT_TRUE(detect_anomalies(sparse(100), config).empty());
+  // 0 restores the unbounded pre-fix behaviour.
+  config.drift_lookback_windows = 0;
+  EXPECT_EQ(detect_anomalies(sparse(100), config).size(), 1u);
 }
 
 TEST(Anomalies, ReportCapAndOrdering) {
@@ -317,6 +359,44 @@ TEST(BenchDiff, MissingBaselineMetricIsARegression) {
   EXPECT_NE(diff.summary(10.0).find("MISSING"), std::string::npos);
 }
 
+TEST(BenchDiff, NewMetricInCurrentIsSurfacedButNeverGates) {
+  const BenchDiffResult diff =
+      bench_diff(R"({"wall_ms": 100})",
+                 R"({"wall_ms": 100, "resume_ms": 5, "seed": 1})", 0.5);
+  EXPECT_FALSE(diff.regressed());
+  ASSERT_EQ(diff.new_in_current.size(), 2u);
+  EXPECT_EQ(diff.new_in_current[0], "resume_ms");
+  EXPECT_EQ(diff.new_in_current[1], "seed");
+  EXPECT_NE(diff.summary(0.5).find("new-metric resume_ms"),
+            std::string::npos);
+  // The reverse direction stays a hard gate failure, and the vanished key
+  // must not be misreported as new.
+  const BenchDiffResult reverse =
+      bench_diff(R"({"wall_ms": 100, "resume_ms": 5})",
+                 R"({"wall_ms": 100})", 0.5);
+  EXPECT_TRUE(reverse.regressed());
+  EXPECT_TRUE(reverse.new_in_current.empty());
+  EXPECT_EQ(reverse.summary(0.5).find("new-metric"), std::string::npos);
+}
+
+// --- Interval validation -------------------------------------------------
+
+TEST(WindowIntervalError, RejectsZeroAndOverflowingIntervals) {
+  EXPECT_EQ(window_interval_error(1'000'000, 1), "");
+  EXPECT_NE(window_interval_error(0, 1), "");
+  EXPECT_NE(window_interval_error(1'000'000, 0), "");
+  // A window width beyond the simulated-clock headroom is rejected even
+  // with stride 1...
+  EXPECT_NE(window_interval_error(std::uint64_t{1} << 62, 1), "");
+  // ...and a window * stride product that would wrap the clock is caught
+  // even though both factors are individually fine.
+  EXPECT_NE(
+      window_interval_error(std::uint64_t{1} << 40, std::uint64_t{1} << 40),
+      "");
+  // Large but safe combinations pass.
+  EXPECT_EQ(window_interval_error(std::uint64_t{1} << 40, 4), "");
+}
+
 // --- EventTracer retention cap -------------------------------------------
 
 TEST(EventTracerCap, DropsBeyondMaxAndCountsDrops) {
@@ -367,7 +447,7 @@ TEST(RunReport, JsonContainsEverySectionAndAnomalies) {
   report.failed_cells.push_back({"c4.g0.base", 2, true, "timed out"});
 
   const std::string json = run_report_to_json(report);
-  EXPECT_NE(json.find("\"schema\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"schema\": 3"), std::string::npos);
   EXPECT_NE(json.find("\"command\": \"run\""), std::string::npos);
   EXPECT_NE(json.find("\"suite_key\": 12345"), std::string::npos);
   EXPECT_NE(json.find("\"windows\""), std::string::npos);
@@ -396,6 +476,24 @@ TEST(RunReport, JsonContainsEverySectionAndAnomalies) {
   const std::string rendered = anomaly_to_json(anomaly);
   EXPECT_NE(rendered.find("\"rule\":\"idle-spike\""), std::string::npos);
   EXPECT_NE(rendered.find("\\\"spike\\\""), std::string::npos);
+}
+
+TEST(RunReport, PortfolioSectionRendersWinRatesAndSwitches) {
+  RunReport report;
+  const std::string without = run_report_to_json(report);
+  EXPECT_EQ(without.find("\"portfolio\""), std::string::npos);
+
+  report.policy_win_rates.push_back({"optimal", 3, 0.75});
+  report.policy_win_rates.push_back({"sjf", 1, 0.25});
+  report.policy_switches.push_back({2, 2000000, "optimal", "sjf"});
+  const std::string json = run_report_to_json(report);
+  EXPECT_NE(json.find("\"portfolio\": {\"win_rates\": [{\"policy\": "
+                      "\"optimal\", \"windows_won\": 3, \"win_rate\": "
+                      "0.75}"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"switches\": [{\"window\": 2, \"time\": 2000000, "
+                      "\"from\": \"optimal\", \"to\": \"sjf\"}]"),
+            std::string::npos);
 }
 
 // --- End-to-end determinism ----------------------------------------------

@@ -3,8 +3,9 @@
 //   hetsched_cli compare   [common options]
 //       run all four Section-V systems over one stream and print the
 //       Figure-6-style comparison
-//   hetsched_cli run       --system <base|optimal|energy-centric|proposed|
-//                                    realtime> [common options]
+//   hetsched_cli run       --system <any registry policy name or
+//                                    portfolio:<a>+<b>[@cycles]>
+//                          [common options]
 //       run one system and print its full accounting
 //   hetsched_cli characterize [--kernel <name>]
 //       print the Table-1 characterisation (optionally one kernel's
@@ -87,6 +88,7 @@
 #include <string>
 #include <vector>
 
+#include "core/policy_registry.hpp"
 #include "core/realtime_policy.hpp"
 #include "core/serialization.hpp"
 #include "experiment/experiment.hpp"
@@ -212,7 +214,10 @@ struct ObsSession {
       "[options]\n"
       "       hetsched_cli bench-diff BASELINE.json CURRENT.json\n"
       "                    [--tolerance X]\n"
-      "  --system S      base|optimal|energy-centric|proposed|realtime\n"
+      "  --system S      base|optimal|energy-centric|proposed|realtime|\n"
+      "                  sjf|energy-greedy|random|oracle|\n"
+      "                  portfolio:<a>+<b>[@cycles] (competitive\n"
+      "                  meta-scheduler over the named contenders)\n"
       "  --arrivals N    jobs in the stream (default 5000)\n"
       "  --gap CYCLES    mean inter-arrival gap (default 55000)\n"
       "  --seed N        experiment seed (default 42)\n"
@@ -449,6 +454,15 @@ CliOptions parse(int argc, char** argv) {
       usage("unknown flag " + flag);
     }
   }
+  // Interval sanity shared with the checkpoint driver: both counts must
+  // be >= 1 (parse_count enforces that) and the checkpoint stride
+  // window_cycles * checkpoint_every must not overflow the simulated
+  // clock — a wrapped stride would silently disable checkpointing.
+  const std::string interval_error =
+      window_interval_error(options.window_cycles, options.checkpoint_every);
+  if (!interval_error.empty()) {
+    usage("--window-cycles/--checkpoint-every: " + interval_error);
+  }
   require_parent_dir("--trace-out", options.trace_out_path);
   require_parent_dir("--metrics-out", options.metrics_out_path);
   require_parent_dir("--report-out", options.report_out_path);
@@ -520,6 +534,27 @@ void print_result(const std::string& name, const SimulationResult& r) {
                    std::to_string(r.faults.prediction_fallbacks)});
   }
   std::cout << "=== " << name << " ===\n";
+  table.print(std::cout);
+}
+
+// Per-contender win-rate table for a portfolio run, printed after the
+// main accounting.
+void print_portfolio(const PortfolioStats& stats) {
+  std::cout << "portfolio: " << stats.switches.size()
+            << " switch(es) over " << stats.windows_closed
+            << " selector window(s) of " << stats.window_cycles
+            << " cycles; final active policy '" << stats.active << "'\n";
+  TablePrinter table({"contender", "windows led", "win rate"});
+  for (std::size_t i = 0; i < stats.contenders.size(); ++i) {
+    const double rate =
+        stats.windows_closed == 0
+            ? 0.0
+            : static_cast<double>(stats.windows_active[i]) /
+                  static_cast<double>(stats.windows_closed);
+    table.add_row({stats.contenders[i],
+                   std::to_string(stats.windows_active[i]),
+                   TablePrinter::num(rate, 3)});
+  }
   table.print(std::cout);
 }
 
@@ -690,43 +725,38 @@ int cmd_run_or_compare(const CliOptions& options, ObsSession* obs) {
   const SystemConfig hetero_system =
       cores == 4 ? SystemConfig::paper_quadcore()
                  : SystemConfig::scaled_heterogeneous(cores);
-  auto run_system = [&](const std::string& name,
-                        ScheduleObserver* observer) -> SimulationResult {
-    auto simulate = [&](SchedulerPolicy& policy,
-                        const SystemConfig& system) {
-      MulticoreSimulator sim(system, experiment.suite(),
-                             experiment.energy(), policy, discipline);
-      if (observer != nullptr) sim.set_observer(observer);
-      // Each run gets a fresh injector so fault decisions cannot leak
-      // between the systems of a compare.
-      std::optional<FaultInjector> injector;
-      if (fault_plan.has_value()) {
-        injector.emplace(*fault_plan);
-        sim.set_fault_injector(&*injector);
-      }
-      return sim.run(arrivals);
-    };
-    if (name == "base") {
-      BasePolicy policy;
-      return simulate(policy, SystemConfig::fixed_base(cores));
+  // Every system the run/compare commands can name comes out of the
+  // policy registry — including portfolio:... specs. `keep_policy`
+  // (optional) receives the policy after the run so the caller can read
+  // selector stats out of a portfolio; compare passes nullptr.
+  auto run_system = [&](const std::string& name, ScheduleObserver* observer,
+                        std::unique_ptr<SchedulerPolicy>* keep_policy)
+      -> SimulationResult {
+    const PolicyRegistry& registry = PolicyRegistry::instance();
+    if (!registry.known(name)) {
+      usage("unknown system " + name + " (expected " +
+            registry.names_help() + ")");
     }
-    if (name == "optimal") {
-      OptimalPolicy policy;
-      return simulate(policy, hetero_system);
+    const PolicyContext ctx{&predictor, &experiment.suite(),
+                            options.experiment.seed};
+    std::unique_ptr<SchedulerPolicy> policy = registry.make(name, ctx);
+    // The base system pins every core to the base configuration; all
+    // other policies run on the heterogeneous layout.
+    const SystemConfig system =
+        name == "base" ? SystemConfig::fixed_base(cores) : hetero_system;
+    MulticoreSimulator sim(system, experiment.suite(), experiment.energy(),
+                           *policy, discipline);
+    if (observer != nullptr) sim.set_observer(observer);
+    // Each run gets a fresh injector so fault decisions cannot leak
+    // between the systems of a compare.
+    std::optional<FaultInjector> injector;
+    if (fault_plan.has_value()) {
+      injector.emplace(*fault_plan);
+      sim.set_fault_injector(&*injector);
     }
-    if (name == "energy-centric") {
-      EnergyCentricPolicy policy(predictor);
-      return simulate(policy, hetero_system);
-    }
-    if (name == "proposed") {
-      ProposedPolicy policy(predictor);
-      return simulate(policy, hetero_system);
-    }
-    if (name == "realtime") {
-      RealtimeEdfPolicy policy(predictor);
-      return simulate(policy, hetero_system);
-    }
-    usage("unknown system " + name);
+    SimulationResult result = sim.run(arrivals);
+    if (keep_policy != nullptr) *keep_policy = std::move(policy);
+    return result;
   };
 
   if (options.command == "run") {
@@ -744,9 +774,10 @@ int cmd_run_or_compare(const CliOptions& options, ObsSession* obs) {
         windowed.has_value() ? static_cast<ScheduleObserver*>(&fanout)
                              : tracer;
     SimulationResult result;
+    std::unique_ptr<SchedulerPolicy> run_policy;
     {
       const auto scope = timers.scope("run");
-      result = run_system(options.system, observer);
+      result = run_system(options.system, observer, &run_policy);
     }
     if (windowed.has_value()) windowed->finalize();
     if (obs != nullptr) {
@@ -773,9 +804,17 @@ int cmd_run_or_compare(const CliOptions& options, ObsSession* obs) {
     if (windowed.has_value()) {
       attach_window_summary(report, *windowed, AnomalyConfig{});
     }
+    std::string windows =
+        windowed.has_value() ? windows_jsonl(*windowed) : std::string();
+    if (const auto* portfolio =
+            dynamic_cast<const PortfolioPolicy*>(run_policy.get())) {
+      const PortfolioStats pstats = portfolio->stats();
+      print_portfolio(pstats);
+      attach_portfolio_summary(report, pstats);
+      if (windowed.has_value()) windows += portfolio_switch_jsonl(pstats);
+    }
     return export_reports(options, obs, timers, std::move(report),
-                          windowed.has_value() ? windows_jsonl(*windowed)
-                                               : std::string());
+                          windows);
   }
 
   // compare: the four systems are independent (fresh simulator, policy
@@ -793,7 +832,7 @@ int cmd_run_or_compare(const CliOptions& options, ObsSession* obs) {
   }
   std::vector<SimulationResult> results(names.size());
   ThreadPool::global().parallel_for(names.size(), [&](std::size_t i) {
-    results[i] = run_system(names[i], tracers[i]);
+    results[i] = run_system(names[i], tracers[i], nullptr);
   });
   if (obs != nullptr) {
     for (std::size_t i = 0; i < names.size(); ++i) {
@@ -872,10 +911,11 @@ int cmd_scenario_checkpointed(const CliOptions& options, ObsSession* obs,
             << std::hex << outcome->stream.digest() << std::dec << ", "
             << outcome->stream.invariant_violations()
             << " invariant violations\n";
+  if (outcome->portfolio.has_value()) print_portfolio(*outcome->portfolio);
   // Checkpoint outcomes carry no dispatch telemetry (it is per-process,
   // not part of the resumable state); record an empty block.
   const ScenarioOutcome view{outcome->result, outcome->stream,
-                             DispatchTelemetry{}};
+                             DispatchTelemetry{}, outcome->portfolio};
   if (obs != nullptr) {
     record_scenario_metrics(obs->metrics, scenario.name + ".", view);
   }
@@ -895,6 +935,11 @@ int cmd_scenario_checkpointed(const CliOptions& options, ObsSession* obs,
   report.total_energy_mj = outcome->result.total_energy().millijoules();
   report.stream_digest = outcome->stream.digest();
   attach_window_summary(report, outcome->windows, AnomalyConfig{});
+  std::string windows = windows_jsonl(outcome->windows);
+  if (outcome->portfolio.has_value()) {
+    attach_portfolio_summary(report, *outcome->portfolio);
+    windows += portfolio_switch_jsonl(*outcome->portfolio);
+  }
   MetricsRegistry local;
   record_scenario_metrics(local, scenario.name + ".", view);
   report.metrics_json = local.to_json();
@@ -902,7 +947,7 @@ int cmd_scenario_checkpointed(const CliOptions& options, ObsSession* obs,
   // wall-clock-dependent probe metrics.
   const int export_status =
       export_reports(options, nullptr, timers, std::move(report),
-                     windows_jsonl(outcome->windows));
+                     windows);
   if (export_status != 0) return export_status;
   return outcome->stream.invariant_violations() == 0 ? 0 : 1;
 }
@@ -977,10 +1022,17 @@ int cmd_scenario(const CliOptions& options, ObsSession* obs) {
   if (windowed.has_value()) {
     attach_window_summary(report, *windowed, AnomalyConfig{});
   }
+  std::string windows =
+      windowed.has_value() ? windows_jsonl(*windowed) : std::string();
+  if (outcome->portfolio.has_value()) {
+    print_portfolio(*outcome->portfolio);
+    attach_portfolio_summary(report, *outcome->portfolio);
+    if (windowed.has_value()) {
+      windows += portfolio_switch_jsonl(*outcome->portfolio);
+    }
+  }
   const int export_status =
-      export_reports(options, obs, timers, std::move(report),
-                     windowed.has_value() ? windows_jsonl(*windowed)
-                                          : std::string());
+      export_reports(options, obs, timers, std::move(report), windows);
   if (export_status != 0) return export_status;
   return outcome->stream.invariant_violations() == 0 ? 0 : 1;
 }
