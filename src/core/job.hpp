@@ -23,6 +23,12 @@ struct Job {
   std::optional<SimTime> deadline;
   // Fraction of the benchmark still to execute; < 1 after a preemption.
   double remaining_fraction = 1.0;
+
+  // --- DAG extension ---
+  // Unit-weight longest-path-to-sink rank in the job's precedence graph;
+  // 0 for independent jobs and sinks. The cp-aware policy reads it as a
+  // stall-cost boost.
+  std::uint32_t cp_rank = 0;
 };
 
 // Why an execution was scheduled; drives overhead accounting.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <istream>
+#include <limits>
 #include <ostream>
 
 #include "core/energy_decision.hpp"
@@ -210,6 +211,32 @@ void ProposedPolicy::on_profiled(std::size_t benchmark_id,
 }
 
 Decision ProposedPolicy::decide(const Job& job, SystemView& view) {
+  return policy_detail::predicted_decide(job, view, scratch_, 1);
+}
+
+// --------------------------------------------------------------------
+// Critical-path-aware variant: identical flow, but a job's DAG rank
+// scales the stall cost in the Section IV.E comparison, so jobs with
+// long dependent chains behind them accept a non-best core sooner. With
+// every rank 0 (independent jobs) the multiplier is 1 and the policy is
+// bit-identical to the proposed one.
+void CpAwarePolicy::on_profiled(std::size_t benchmark_id,
+                                SystemView& view) {
+  ProfilingTable::Entry& entry = view.table().entry(benchmark_id);
+  entry.predicted_best_size_bytes = policy_detail::predict_best_size(
+      *predictor_, benchmark_id, entry, view);
+}
+
+Decision CpAwarePolicy::decide(const Job& job, SystemView& view) {
+  return policy_detail::predicted_decide(
+      job, view, scratch_, std::uint64_t{1} + job.cp_rank);
+}
+
+namespace policy_detail {
+
+Decision predicted_decide(const Job& job, SystemView& view,
+                          EnergyAdvantageInput& scratch,
+                          std::uint64_t stall_cost_multiplier) {
   if (const auto profiling = profiling_decision(job, view)) {
     return *profiling;
   }
@@ -251,9 +278,9 @@ Decision ProposedPolicy::decide(const Job& job, SystemView& view) {
     return Decision::stall();
   }
 
-  // `scratch_` is a policy-lifetime buffer: clear() keeps its capacity,
+  // `scratch` is a policy-lifetime buffer: clear() keeps its capacity,
   // so the evaluation allocates nothing per decision in steady state.
-  EnergyAdvantageInput& input = scratch_;
+  EnergyAdvantageInput& input = scratch;
   input.candidates.clear();
   const CacheConfig best_config = best_walk.best;
   const Observation* best_obs = entry.find(best_config);
@@ -273,7 +300,13 @@ Decision ProposedPolicy::decide(const Job& job, SystemView& view) {
       first = false;
     }
   });
-  input.wait_cycles = wait;
+  // The multiplier (1 + cp_rank for the cp-aware policy, 1 otherwise)
+  // inflates the perceived wait, saturating rather than wrapping.
+  constexpr Cycles kMaxWait = std::numeric_limits<Cycles>::max();
+  input.wait_cycles =
+      (stall_cost_multiplier != 0 && wait > kMaxWait / stall_cost_multiplier)
+          ? kMaxWait
+          : wait * stall_cost_multiplier;
 
   view.for_each_idle([&](std::size_t core) {
     const std::uint32_t size = view.core(core).spec.cache_size_bytes;
@@ -299,5 +332,7 @@ Decision ProposedPolicy::decide(const Job& job, SystemView& view) {
   }
   return Decision::stall();
 }
+
+}  // namespace policy_detail
 
 }  // namespace hetsched

@@ -62,6 +62,26 @@ class ProposedPolicy final : public SchedulerPolicy {
   EnergyAdvantageInput scratch_;
 };
 
+// Critical-path-aware variant of the proposed policy for DAG workloads:
+// the same flow, but the job's longest-path-to-sink rank scales the
+// stall cost in the Section IV.E comparison (perceived wait becomes
+// wait * (1 + cp_rank)), so jobs gating long dependent chains migrate to
+// a known non-best core sooner instead of stalling. Bit-identical to
+// ProposedPolicy when every job's rank is 0 (independent workloads).
+class CpAwarePolicy final : public SchedulerPolicy {
+ public:
+  explicit CpAwarePolicy(const SizePredictor& predictor)
+      : predictor_(&predictor) {}
+
+  std::string_view name() const override { return "cp-aware"; }
+  Decision decide(const Job& job, SystemView& view) override;
+  void on_profiled(std::size_t benchmark_id, SystemView& view) override;
+
+ private:
+  const SizePredictor* predictor_;
+  EnergyAdvantageInput scratch_;
+};
+
 namespace policy_detail {
 
 // Shared profiling step: if the job has no profiling information, run it
@@ -96,6 +116,16 @@ std::uint32_t predict_best_size(const SizePredictor& predictor,
                                 std::size_t benchmark_id,
                                 const ProfilingTable::Entry& entry,
                                 SystemView& view);
+
+// The full proposed-policy decision flow (Figure 2 + Section IV.E),
+// shared with the cp-aware variant: profiling, predicted-best dispatch,
+// exploration, then the energy-advantageous stall-vs-run comparison with
+// the perceived wait scaled by `stall_cost_multiplier` (1 = the paper's
+// equation, saturating on overflow). `scratch` is the caller's reusable
+// candidate buffer.
+Decision predicted_decide(const Job& job, SystemView& view,
+                          EnergyAdvantageInput& scratch,
+                          std::uint64_t stall_cost_multiplier);
 
 }  // namespace policy_detail
 

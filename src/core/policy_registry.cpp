@@ -54,6 +54,10 @@ std::unique_ptr<SchedulerPolicy> make_oracle(const PolicyContext& ctx) {
   return std::make_unique<OraclePolicy>(*ctx.suite);
 }
 
+std::unique_ptr<SchedulerPolicy> make_cp_aware(const PolicyContext& ctx) {
+  return std::make_unique<CpAwarePolicy>(*ctx.predictor);
+}
+
 }  // namespace
 
 PolicyRegistry::PolicyRegistry() {
@@ -68,6 +72,9 @@ PolicyRegistry::PolicyRegistry() {
   entries_.push_back({"energy-greedy", false, false, &make_energy_greedy});
   entries_.push_back({"random", false, false, &make_random});
   entries_.push_back({"oracle", false, true, &make_oracle});
+  // Appended after oracle: existing portfolio tie-breaks, help strings
+  // and sweep grids keep their order.
+  entries_.push_back({"cp-aware", true, false, &make_cp_aware});
   names_.reserve(entries_.size());
   for (const Registration& entry : entries_) {
     names_.push_back(entry.name);

@@ -100,6 +100,18 @@ struct QueueSample {
   std::size_t depth = 0;
 };
 
+// A DAG successor became eligible: its last predecessor retired. Emitted
+// by DagArrivalSource (not the simulator) when the completion slice that
+// released the node is observed, stamped at that slice's end time so the
+// event stream stays monotone in SimTime.
+struct DagReleaseEvent {
+  SimTime time = 0;          // release cycle (= releasing slice's end)
+  std::size_t node = 0;      // node index in the scenario's DAG
+  std::size_t ready_depth = 0;  // eligible-set size after this release
+  Cycles latency = 0;        // release cycle - nominal generated arrival
+  std::uint32_t slack = 0;   // max_rank - cp_rank (0 on a critical path)
+};
+
 class ScheduleObserver {
  public:
   virtual ~ScheduleObserver() = default;
@@ -115,6 +127,7 @@ class ScheduleObserver {
   virtual void on_preempt(const PreemptEvent& event) { (void)event; }
   virtual void on_stall(const StallEvent& event) { (void)event; }
   virtual void on_queue_depth(const QueueSample& sample) { (void)sample; }
+  virtual void on_dag_release(const DagReleaseEvent& event) { (void)event; }
 };
 
 // Forwards every callback to a fixed list of observers, in order. Lets
@@ -164,6 +177,11 @@ class FanoutObserver final : public ScheduleObserver {
   void on_queue_depth(const QueueSample& sample) override {
     for (ScheduleObserver* o : observers_) {
       if (o != nullptr) o->on_queue_depth(sample);
+    }
+  }
+  void on_dag_release(const DagReleaseEvent& event) override {
+    for (ScheduleObserver* o : observers_) {
+      if (o != nullptr) o->on_dag_release(event);
     }
   }
 

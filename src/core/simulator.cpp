@@ -21,7 +21,7 @@ void write_job(std::ostream& out, const Job& job) {
   out << job.job_id << ' ' << job.benchmark_id << ' ' << job.arrival << ' '
       << job.priority << ' ' << (job.deadline.has_value() ? 1 : 0);
   if (job.deadline.has_value()) out << ' ' << *job.deadline;
-  out << ' ';
+  out << ' ' << job.cp_rank << ' ';
   st::write_double(out, job.remaining_fraction);
   out << "\n";
 }
@@ -35,6 +35,7 @@ Job read_job(std::istream& in, const std::string& context) {
   if (st::read_value<int>(in, "deadline flag", context) != 0) {
     job.deadline = st::read_value<SimTime>(in, "job deadline", context);
   }
+  job.cp_rank = st::read_value<std::uint32_t>(in, "job cp rank", context);
   job.remaining_fraction =
       st::read_value<double>(in, "remaining fraction", context);
   return job;
@@ -771,6 +772,16 @@ bool MulticoreSimulator::advance_stream_until(ArrivalSource& source,
         apply_core_event(event, now);
       }
     }
+    // Completions retired above may have fed back into the arrival
+    // source (DAG release-on-completion): a successor released at `now`
+    // can sort before the held lookahead, or refill an exhausted stream.
+    // Push the stale lookahead back and re-poll before admitting.
+    if (source.lookahead_stale()) {
+      if (pending_.has_value()) source.unget(*pending_);
+      pending_ = source.next();
+      HETSCHED_REQUIRE((!pending_.has_value() || pending_->arrival >= now) &&
+                       "released arrival must not precede its trigger");
+    }
     // Admit every arrival at `now`.
     while (pending_.has_value() && pending_->arrival == now) {
       Job job;
@@ -779,6 +790,7 @@ bool MulticoreSimulator::advance_stream_until(ArrivalSource& source,
       job.arrival = now;
       job.priority = pending_->priority;
       job.deadline = pending_->deadline;
+      job.cp_rank = pending_->cp_rank;
       ready_.push_back(job);
       ++admitted_;
       pending_ = source.next();
@@ -866,6 +878,7 @@ void MulticoreSimulator::save_stream_state(std::ostream& out) const {
         << pending_->priority << ' '
         << (pending_->deadline.has_value() ? 1 : 0);
     if (pending_->deadline.has_value()) out << ' ' << *pending_->deadline;
+    out << ' ' << pending_->cp_rank;
   }
   out << "\nadmitted " << admitted_ << ' ' << next_job_id_ << "\n";
 }
@@ -991,6 +1004,8 @@ void MulticoreSimulator::restore_stream_state(std::istream& in,
       arrival.deadline =
           st::read_value<SimTime>(in, "pending deadline", context);
     }
+    arrival.cp_rank =
+        st::read_value<std::uint32_t>(in, "pending cp rank", context);
     if (arrival.benchmark_id >= suite_.size()) {
       st::fail(context, "pending benchmark id out of range");
     }

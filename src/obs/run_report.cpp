@@ -37,7 +37,7 @@ std::string anomaly_to_json(const Anomaly& a) {
 }
 
 std::string run_report_to_json(const RunReport& r) {
-  std::string out = "{\n  \"schema\": 3,\n";
+  std::string out = "{\n  \"schema\": 4,\n";
   out += "  \"command\": \"" + json_escape(r.command) + "\",\n";
   out += "  \"config\": {";
   out += "\"name\": \"" + json_escape(r.name) + "\"";
@@ -87,6 +87,19 @@ std::string run_report_to_json(const RunReport& r) {
       out += ", \"to\": \"" + json_escape(s.to) + "\"}";
     }
     out += "]},\n";
+  }
+  if (r.dag.has_value()) {
+    const RunReport::DagSummary& d = *r.dag;
+    out += "  \"dag\": {";
+    out += "\"nodes\": " + std::to_string(d.nodes);
+    out += ", \"edges\": " + std::to_string(d.edges);
+    out += ", \"releases\": " + std::to_string(d.releases);
+    out += ", \"ready_peak\": " + std::to_string(d.ready_peak);
+    out += ", \"max_rank\": " + std::to_string(d.max_rank);
+    out += ", \"release_latency_cycles\": " +
+           std::to_string(d.release_latency_cycles);
+    out += ", \"cp_slack_total\": " + std::to_string(d.cp_slack_total);
+    out += "},\n";
   }
   out += "  \"failed_cells\": [";
   for (std::size_t i = 0; i < r.failed_cells.size(); ++i) {

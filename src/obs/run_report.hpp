@@ -13,6 +13,7 @@
 #include <chrono>
 #include <cstdint>
 #include <iosfwd>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -103,6 +104,20 @@ struct RunReport {
   };
   std::vector<PolicyWinRate> policy_win_rates;
   std::vector<PolicySwitch> policy_switches;
+
+  // DAG task-graph summary (absent for independent-job runs). Plain data
+  // filled by the scenario/CLI layer from scenario DagStats — the obs
+  // layer deliberately doesn't link scenario.
+  struct DagSummary {
+    std::uint64_t nodes = 0;
+    std::uint64_t edges = 0;
+    std::uint64_t releases = 0;    // dependent (non-root) releases
+    std::uint64_t ready_peak = 0;  // eligible-set high-water mark
+    std::uint32_t max_rank = 0;    // critical-path length in edges
+    std::uint64_t release_latency_cycles = 0;  // sum over releases
+    std::uint64_t cp_slack_total = 0;          // sum over releases
+  };
+  std::optional<DagSummary> dag;
 
   // Supervised-sweep quarantine: cells that failed or timed out and were
   // excluded from the merged results (empty for unsupervised runs).

@@ -21,7 +21,8 @@ void write_window(std::ostream& out, const WindowRecord& w) {
       << w.fault_migrations << ' '
       << w.queue_peak << ' ' << w.prediction_hits << ' '
       << w.prediction_misses << ' ' << w.reconfig_attempts << ' '
-      << w.faults << ' ';
+      << w.faults << ' ' << w.dag_releases << ' ' << w.dag_ready_peak << ' '
+      << w.dag_release_latency << ' ' << w.dag_cp_slack << ' ';
   st::write_double(out, w.energy_mj);
   for (const Cycles c : w.busy_cycles) out << ' ' << c;
   for (const Cycles c : w.idle_cycles) out << ' ' << c;
@@ -38,7 +39,8 @@ WindowRecord read_window(std::istream& in, std::size_t cores,
        {&w.jobs_completed, &w.slices, &w.dispatches, &w.preemptions,
         &w.stalls, &w.migrations, &w.fault_migrations, &w.queue_peak,
         &w.prediction_hits, &w.prediction_misses, &w.reconfig_attempts,
-        &w.faults}) {
+        &w.faults, &w.dag_releases, &w.dag_ready_peak,
+        &w.dag_release_latency, &w.dag_cp_slack}) {
     *field = st::read_value<std::uint64_t>(in, "window counter", context);
   }
   w.energy_mj = st::read_value<double>(in, "window energy", context);
@@ -202,6 +204,15 @@ void WindowedCollector::on_queue_depth(const QueueSample& sample) {
                                                 sample.depth);
 }
 
+void WindowedCollector::on_dag_release(const DagReleaseEvent& event) {
+  advance(event.time);
+  ++current_.dag_releases;
+  current_.dag_ready_peak = std::max<std::uint64_t>(current_.dag_ready_peak,
+                                                    event.ready_depth);
+  current_.dag_release_latency += event.latency;
+  current_.dag_cp_slack += event.slack;
+}
+
 void WindowedCollector::finalize() {
   if (finalized_) return;
   finalized_ = true;
@@ -312,6 +323,10 @@ std::string window_to_json(const WindowRecord& w) {
   line += ",\"prediction_misses\":" + std::to_string(w.prediction_misses);
   line += ",\"reconfig_attempts\":" + std::to_string(w.reconfig_attempts);
   line += ",\"faults\":" + std::to_string(w.faults);
+  line += ",\"dag_releases\":" + std::to_string(w.dag_releases);
+  line += ",\"dag_ready_peak\":" + std::to_string(w.dag_ready_peak);
+  line += ",\"dag_release_latency\":" + std::to_string(w.dag_release_latency);
+  line += ",\"dag_cp_slack\":" + std::to_string(w.dag_cp_slack);
   line += ",\"energy_mj\":" + CsvWriter::number(w.energy_mj);
   line += ",\"busy_cycles\":[";
   for (std::size_t i = 0; i < w.busy_cycles.size(); ++i) {

@@ -62,6 +62,14 @@ struct WindowRecord {
   std::uint64_t prediction_misses = 0;
   std::uint64_t reconfig_attempts = 0;
   std::uint64_t faults = 0;
+  // DAG release telemetry (zero for independent-job runs): successors
+  // whose last predecessor retired in this window, the eligible-set
+  // high-water mark among them, and the summed release latency
+  // (release - nominal arrival) and critical-path slack at release.
+  std::uint64_t dag_releases = 0;
+  std::uint64_t dag_ready_peak = 0;
+  std::uint64_t dag_release_latency = 0;
+  std::uint64_t dag_cp_slack = 0;
   // Execution energy (dynamic + busy static + cpu) of slices closed in
   // this window, in millijoules (requires a suite).
   double energy_mj = 0.0;
@@ -105,6 +113,7 @@ class WindowedCollector final : public ScheduleObserver {
   void on_preempt(const PreemptEvent& event) override;
   void on_stall(const StallEvent& event) override;
   void on_queue_depth(const QueueSample& sample) override;
+  void on_dag_release(const DagReleaseEvent& event) override;
 
   // Closes the in-progress window (if it saw any event) after the run.
   // Idempotent; call before reading windows() / writing JSONL.

@@ -17,8 +17,11 @@ namespace st = snapshot_text;
 // Version 2 added the scheduler policy's own state block (seeded-Rng
 // contenders, the portfolio selector) between the windowed collector and
 // the fault section; version-1 snapshots are rejected rather than resumed
-// with a silently reset policy.
-constexpr int kCheckpointVersion = 2;
+// with a silently reset policy. Version 3 added the DAG arrival source's
+// frontier block (in-degrees, eligible heap, emission log) between the
+// arrival generator and the stream stats, so a dependency-graph run
+// resumes with the exact release frontier.
+constexpr int kCheckpointVersion = 3;
 
 std::string make_checkpoint_text(const Scenario& scenario,
                                  const CheckpointRunOptions& options,
@@ -32,6 +35,8 @@ std::string make_checkpoint_text(const Scenario& scenario,
   body << "boundary " << boundary << "\n";
   run.simulator().save_stream_state(body);
   run.arrivals().save_state(body);
+  body << "dag " << (run.dag() != nullptr ? 1 : 0) << "\n";
+  if (run.dag() != nullptr) run.dag()->save_state(body);
   run.stats().save_state(body);
   collector.save_state(body);
   run.policy().save_state(body);
@@ -89,6 +94,15 @@ std::uint64_t restore_checkpoint_text(const std::string& text,
 
   run.simulator().restore_stream_state(in, context);
   run.arrivals().restore_state(in, context);
+  if (!(in >> token) || token != "dag") {
+    st::fail(context, "expected 'dag'");
+  }
+  const bool had_dag = st::read_value<int>(in, "dag flag", context) != 0;
+  if (had_dag != (run.dag() != nullptr)) {
+    st::fail(context,
+             "checkpoint DAG state does not match the scenario");
+  }
+  if (run.dag() != nullptr) run.dag()->restore_state(in, context);
   run.stats().restore_state(in, context);
   collector.restore_state(in, context);
   run.policy().restore_state(in, context);
@@ -183,10 +197,14 @@ CheckpointRunOutcome run_scenario_checkpointed(
                                   written,
                                   resumed_from,
                                   true,
+                                  std::nullopt,
                                   std::nullopt};
       if (const auto* portfolio =
               dynamic_cast<const PortfolioPolicy*>(&run.policy())) {
         halted.portfolio = portfolio->stats();
+      }
+      if (const DagArrivalSource* dag = run.dag()) {
+        halted.dag = dag->stats();
       }
       return halted;
     }
@@ -197,10 +215,13 @@ CheckpointRunOutcome run_scenario_checkpointed(
   CheckpointRunOutcome outcome{result,  std::move(run.stats()),
                                std::move(collector), written,
                                resumed_from,         false,
-                               std::nullopt};
+                               std::nullopt,         std::nullopt};
   if (const auto* portfolio =
           dynamic_cast<const PortfolioPolicy*>(&run.policy())) {
     outcome.portfolio = portfolio->stats();
+  }
+  if (const DagArrivalSource* dag = run.dag()) {
+    outcome.dag = dag->stats();
   }
   return outcome;
 }

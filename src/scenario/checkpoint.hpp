@@ -56,6 +56,9 @@ struct CheckpointRunOutcome {
   // Selector outcome when the scenario ran a portfolio policy; for halted
   // runs this is the selector state as of the halt.
   std::optional<PortfolioStats> portfolio;
+  // DAG release accounting when the scenario declared dep edges; for
+  // halted runs this is the frontier state as of the halt.
+  std::optional<DagStats> dag;
 };
 
 // Runs `scenario` under the checkpointing driver. Without resume/halt

@@ -106,12 +106,20 @@ void Scenario::validate() const {
               "-core system");
     }
   }
+  if (const auto issue = dag.validate(arrivals.count)) {
+    invalid("dep edge " + std::to_string(issue->edge_index) + ": " +
+            issue->what);
+  }
 }
 
 Scenario Scenario::parse(std::istream& in) {
   Scenario scenario;
   std::string line;
   std::size_t line_number = 0;
+  // Source line of each dep edge, in edge order: DAG structural errors
+  // (range, self/duplicate edges, cycles) are only checkable once the
+  // whole graph is read, but must still name the offending line.
+  std::vector<std::size_t> dep_lines;
   while (std::getline(in, line)) {
     ++line_number;
     std::istringstream tokens(line);
@@ -245,6 +253,14 @@ Scenario Scenario::parse(std::istream& in) {
       read_event(true);
     } else if (directive == "recover") {
       read_event(false);
+    } else if (directive == "dep") {
+      DagEdge edge;
+      if (!(tokens >> edge.from >> edge.to)) {
+        parse_fail(line_number,
+                   "'dep' expects two job indices (predecessor successor)");
+      }
+      scenario.dag.edges.push_back(edge);
+      dep_lines.push_back(line_number);
     } else {
       parse_fail(line_number, "unknown directive '" + directive + "'");
     }
@@ -253,6 +269,11 @@ Scenario Scenario::parse(std::istream& in) {
     if (tokens >> trailing && trailing[0] != '#') {
       parse_fail(line_number, "trailing garbage '" + trailing + "'");
     }
+  }
+  // DAG structural errors first, attributed to the offending dep line;
+  // validate() would catch them too, but without line numbers.
+  if (const auto issue = scenario.dag.validate(scenario.arrivals.count)) {
+    parse_fail(dep_lines[issue->edge_index], issue->what);
   }
   try {
     scenario.validate();
@@ -303,6 +324,9 @@ void Scenario::save(std::ostream& out) const {
   for (const CoreFaultEvent& ev : faults.core_events) {
     out << (ev.fail ? "fail " : "recover ") << ev.core << ' ' << ev.at
         << "\n";
+  }
+  for (const DagEdge& edge : dag.edges) {
+    out << "dep " << edge.from << ' ' << edge.to << "\n";
   }
 }
 

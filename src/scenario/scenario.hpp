@@ -17,6 +17,7 @@
 #include "core/scheduler.hpp"
 #include "core/system_config.hpp"
 #include "fault/fault_plan.hpp"
+#include "scenario/dag_arrivals.hpp"
 #include "workload/arrivals.hpp"
 #include "workload/characterization.hpp"
 
@@ -34,8 +35,8 @@ struct Scenario {
   SystemKind system = SystemKind::kScaledHeterogeneous;
   std::size_t cores = 4;
   // Any PolicyRegistry name (base | optimal | energy-centric | proposed |
-  // realtime | sjf | energy-greedy | random | oracle) or a portfolio spec
-  // "portfolio:<a>+<b>[@window-cycles]".
+  // realtime | sjf | energy-greedy | random | oracle | cp-aware) or a
+  // portfolio spec "portfolio:<a>+<b>[@window-cycles]".
   std::string policy = "proposed";
   QueueDiscipline discipline = QueueDiscipline::kFifo;
   std::uint64_t seed = 42;
@@ -50,6 +51,13 @@ struct Scenario {
 
   // Real-time attributes: engaged when a `slack` directive is present.
   std::optional<RealtimeOptions> realtime;
+
+  // Job precedence graph over arrival indices 0..jobs-1 (`dep` lines);
+  // empty = independent jobs, bit-identical to the plain stream. When
+  // non-empty, arrivals become release-on-completion: roots keep their
+  // generated arrival time, successors release when their last
+  // predecessor retires.
+  DagSpec dag{};
 
   // Fault plan (empty = fault-free, bit-identical to no injector).
   FaultPlan faults{};
@@ -88,8 +96,11 @@ struct Scenario {
   //   fault-seed N
   //   fail CORE CYCLE
   //   recover CORE CYCLE
+  //   dep JOB JOB (predecessor then successor, indices into 0..jobs-1)
   // parse() throws std::runtime_error with the offending line number and
-  // validates the result.
+  // validates the result; malformed dep edges (out-of-range or repeated
+  // job ids, duplicate edges, cycles) are reported with the line of the
+  // offending dep directive.
   static Scenario parse(std::istream& in);
   // Round-trips through parse(): save() then parse() reproduces the
   // scenario exactly.

@@ -84,7 +84,29 @@ ScenarioRun::ScenarioRun(const Scenario& scenario,
       // exactly.
       stream_(context.scheduling_ids(), scenario.arrivals,
               scenario.seed ^ 0xa5a5a5a5ULL) {
-  if (mode == ObserverMode::kObserved) {
+  std::optional<DagArrivalSource::RealtimeSetup> dag_realtime;
+  if (scenario.realtime.has_value()) {
+    stream_.set_realtime(context.base_reference_cycles(), *scenario.realtime,
+                         scenario.seed ^ 0x5151ULL);
+    dag_realtime.emplace(DagArrivalSource::RealtimeSetup{
+        context.base_reference_cycles(), *scenario.realtime,
+        scenario.seed ^ 0x5151ULL});
+  }
+  if (!scenario.dag.empty()) {
+    // Same ids/options/seeds as stream_, so the nominal arrival draws are
+    // bit-identical to the independent-job run of this scenario.
+    dag_.emplace(scenario.dag, context.scheduling_ids(), scenario.arrivals,
+                 scenario.seed ^ 0xa5a5a5a5ULL, dag_realtime);
+    // The DAG source must observe every completion in every mode —
+    // releases are simulation state, not telemetry — so it heads the
+    // fanout chain; release events go back through the chain only when
+    // the run is observed.
+    const bool observed = mode == ObserverMode::kObserved;
+    fanout_ = FanoutObserver({&*dag_, observed ? &stats_ : nullptr,
+                              observed ? extra : nullptr});
+    simulator_.set_observer(&fanout_);
+    if (observed) dag_->set_release_observer(&fanout_);
+  } else if (mode == ObserverMode::kObserved) {
     // Without an extra observer, attach the stats sink directly: the
     // fanout hop costs an indirect call per event on the hot path.
     simulator_.set_observer(
@@ -94,10 +116,6 @@ ScenarioRun::ScenarioRun(const Scenario& scenario,
   if (!scenario.faults.empty()) {
     injector_.emplace(scenario.faults);
     simulator_.set_fault_injector(&*injector_);
-  }
-  if (scenario.realtime.has_value()) {
-    stream_.set_realtime(context.base_reference_cycles(), *scenario.realtime,
-                         scenario.seed ^ 0x5151ULL);
   }
 }
 
@@ -109,10 +127,14 @@ ScenarioOutcome run_scenario(const Scenario& scenario,
   run.advance_until(std::numeric_limits<SimTime>::max());
   SimulationResult result = run.finish();
   ScenarioOutcome outcome{std::move(result), std::move(run.stats()),
-                          run.simulator().dispatch_telemetry(), std::nullopt};
+                          run.simulator().dispatch_telemetry(), std::nullopt,
+                          std::nullopt};
   if (const auto* portfolio =
           dynamic_cast<const PortfolioPolicy*>(&run.policy())) {
     outcome.portfolio = portfolio->stats();
+  }
+  if (const DagArrivalSource* dag = run.dag()) {
+    outcome.dag = dag->stats();
   }
   return outcome;
 }
@@ -158,6 +180,18 @@ void attach_portfolio_summary(RunReport& report,
   for (const PortfolioStats::Switch& s : stats.switches) {
     report.policy_switches.push_back({s.window, s.time, s.from, s.to});
   }
+}
+
+void attach_dag_summary(RunReport& report, const DagStats& stats) {
+  RunReport::DagSummary summary;
+  summary.nodes = stats.nodes;
+  summary.edges = stats.edges;
+  summary.releases = stats.releases;
+  summary.ready_peak = stats.ready_peak;
+  summary.max_rank = stats.max_rank;
+  summary.release_latency_cycles = stats.release_latency_total;
+  summary.cp_slack_total = stats.cp_slack_total;
+  report.dag = summary;
 }
 
 void record_dispatch_metrics(MetricsRegistry& metrics,

@@ -15,6 +15,7 @@
 #include "core/simulator.hpp"
 #include "obs/metrics.hpp"
 #include "obs/run_report.hpp"
+#include "scenario/dag_arrivals.hpp"
 #include "scenario/scenario.hpp"
 #include "scenario/stream_stats.hpp"
 
@@ -62,6 +63,10 @@ struct ScenarioOutcome {
   // Selector outcome when the scenario ran a portfolio policy (win
   // counts, switch events); nullopt otherwise.
   std::optional<PortfolioStats> portfolio;
+  // Release accounting when the scenario declared a job DAG (node/edge
+  // counts, dependent releases, ready-set peak, critical-path numbers);
+  // nullopt for independent-job scenarios.
+  std::optional<DagStats> dag;
 };
 
 // Instantiates the scheduler policy a scenario names, wired to the
@@ -91,10 +96,12 @@ class ScenarioRun {
               ScheduleObserver* extra = nullptr,
               ObserverMode mode = ObserverMode::kObserved);
 
-  // Stepping interface; see MulticoreSimulator's equivalents.
-  void start() { simulator_.start_stream(stream_); }
+  // Stepping interface; see MulticoreSimulator's equivalents. A DAG
+  // scenario is driven from its release-on-completion source; otherwise
+  // the plain generated stream feeds the simulator directly.
+  void start() { simulator_.start_stream(source()); }
   bool advance_until(SimTime limit) {
-    return simulator_.advance_stream_until(stream_, limit);
+    return simulator_.advance_stream_until(source(), limit);
   }
   SimulationResult finish() { return simulator_.finish_stream(); }
 
@@ -109,8 +116,18 @@ class ScenarioRun {
   FaultInjector* injector() {
     return injector_.has_value() ? &*injector_ : nullptr;
   }
+  // Null when the scenario declared no job DAG (checkpointing serialises
+  // its frontier; tests replay its realized arrival order).
+  DagArrivalSource* dag() { return dag_.has_value() ? &*dag_ : nullptr; }
+  const DagArrivalSource* dag() const {
+    return dag_.has_value() ? &*dag_ : nullptr;
+  }
 
  private:
+  ArrivalSource& source() {
+    return dag_.has_value() ? static_cast<ArrivalSource&>(*dag_) : stream_;
+  }
+
   SystemConfig system_;
   std::unique_ptr<SchedulerPolicy> policy_;
   MulticoreSimulator simulator_;
@@ -118,6 +135,7 @@ class ScenarioRun {
   FanoutObserver fanout_;
   std::optional<FaultInjector> injector_;
   GeneratedArrivalStream stream_;
+  std::optional<DagArrivalSource> dag_;
 };
 
 // Runs `scenario` under the streaming driver. Deterministic: the same
@@ -142,6 +160,10 @@ void record_scenario_metrics(MetricsRegistry& metrics,
 // plain data, so the conversion from core PortfolioStats lives here.
 void attach_portfolio_summary(RunReport& report,
                               const PortfolioStats& stats);
+
+// Copies a DAG run's release accounting into the report's "dag" section
+// (same obs-layer-stays-plain-data split as attach_portfolio_summary).
+void attach_dag_summary(RunReport& report, const DagStats& stats);
 
 // Deposits the dispatch-index telemetry under `prefix` (e.g.
 // "scale64.dispatch."). Deliberately separate from

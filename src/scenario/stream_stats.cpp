@@ -103,6 +103,13 @@ void StreamStats::on_idle(const IdleEvent& event) {
   }
 }
 
+void StreamStats::on_dag_release(const DagReleaseEvent& event) {
+  // No digest fold — see the header: keeps DAG streaming digests
+  // comparable to batch replays, which observe no release events.
+  (void)event;
+  ++dag_releases_;
+}
+
 void StreamStats::on_preempt(const PreemptEvent& event) {
   digest_.update_value(static_cast<unsigned char>(kTagPreempt))
       .update_value(event.time)
@@ -118,7 +125,7 @@ void StreamStats::save_state(std::ostream& out) const {
       << busy_cycles_ << ' ' << idle_cycles_ << ' ' << longest_slice_ << ' '
       << dispatches_ << ' ' << preemptions_ << ' ' << idle_intervals_ << ' '
       << reconfig_attempts_ << ' ' << reconfig_failures_ << ' ' << faults_
-      << ' ' << invariant_violations_ << "\n";
+      << ' ' << invariant_violations_ << ' ' << dag_releases_ << "\n";
   for (const CoreAggregate& core : per_core_) {
     out << core.slices << ' ' << core.completed_slices << ' '
         << core.busy_cycles << ' ' << core.idle_cycles << ' '
@@ -145,7 +152,7 @@ void StreamStats::restore_state(std::istream& in,
        {&slices_, &completed_slices_, &busy_cycles_, &idle_cycles_,
         &longest_slice_, &dispatches_, &preemptions_, &idle_intervals_,
         &reconfig_attempts_, &reconfig_failures_, &faults_,
-        &invariant_violations_}) {
+        &invariant_violations_, &dag_releases_}) {
     *field = st::read_value<std::uint64_t>(in, "stream total", context);
   }
   for (CoreAggregate& core : per_core_) {

@@ -44,6 +44,12 @@ class StreamStats final : public ScheduleObserver {
   void on_reconfig(const ReconfigEvent& event) override;
   void on_idle(const IdleEvent& event) override;
   void on_preempt(const PreemptEvent& event) override;
+  // Counted but deliberately NOT folded into the digest: a DAG run's
+  // digest must stay comparable with a batch replay of its realized
+  // arrivals, and the replay has no DAG source to emit release events.
+  // The underlying slices/dispatches those releases derive from are all
+  // digested, so the fingerprint loses nothing.
+  void on_dag_release(const DagReleaseEvent& event) override;
 
   const std::vector<CoreAggregate>& per_core() const { return per_core_; }
 
@@ -58,6 +64,7 @@ class StreamStats final : public ScheduleObserver {
   std::uint64_t reconfig_attempts() const { return reconfig_attempts_; }
   std::uint64_t reconfig_failures() const { return reconfig_failures_; }
   std::uint64_t faults() const { return faults_; }
+  std::uint64_t dag_releases() const { return dag_releases_; }
 
   // Slices that were malformed (end <= start, bad core index) or
   // overlapped a previous slice on their core. Zero on any correct run.
@@ -91,6 +98,7 @@ class StreamStats final : public ScheduleObserver {
   std::uint64_t reconfig_failures_ = 0;
   std::uint64_t faults_ = 0;
   std::uint64_t invariant_violations_ = 0;
+  std::uint64_t dag_releases_ = 0;
   Fnv1a digest_;
 };
 

@@ -22,6 +22,11 @@ struct JobArrival {
   // best-effort workload.
   int priority = 0;
   std::optional<SimTime> deadline;
+  // DAG extension: unit-weight longest-path-to-sink rank of this job in
+  // its precedence graph (0 for independent jobs and sinks). Carried on
+  // the arrival so batch replays of a realized DAG stream see the same
+  // per-job rank the streaming run did.
+  std::uint32_t cp_rank = 0;
 };
 
 enum class InterarrivalDistribution { kUniform, kExponential, kFixed };
@@ -74,6 +79,16 @@ class ArrivalSource {
   // The next arrival, or nullopt when the stream is exhausted. Called
   // again after exhaustion it keeps returning nullopt.
   virtual std::optional<JobArrival> next() = 0;
+
+  // Release-on-completion support. A consumer holding a one-arrival
+  // lookahead must re-poll when this returns true: events the consumer
+  // itself produced (job completions) may have made an earlier arrival
+  // eligible, or refilled an exhausted stream. The consumer pushes its
+  // stale lookahead back with unget() and calls next() again; the source
+  // clears the flag on every next(). Sources without feedback (the
+  // default) are never stale and ignore unget.
+  virtual bool lookahead_stale() const { return false; }
+  virtual void unget(const JobArrival& arrival) { (void)arrival; }
 };
 
 // Adapts a pre-built (sorted) arrival vector to the pull interface.

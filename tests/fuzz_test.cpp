@@ -14,6 +14,7 @@
 #include <limits>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "cache/multi_sim.hpp"
@@ -174,7 +175,7 @@ ScenarioOutcome run_outcome(const Scenario& scenario,
   SimulationResult result = run.finish();
   return ScenarioOutcome{std::move(result), std::move(run.stats()),
                          run.simulator().dispatch_telemetry(),
-                         std::nullopt};
+                         std::nullopt, std::nullopt};
 }
 
 std::string result_text(const SimulationResult& result) {
@@ -257,6 +258,125 @@ TEST(FuzzDispatch, IndexedSelectionMatchesNaiveScanBitForBit) {
     // Same decision count either way; only the scan mechanics differ.
     ASSERT_EQ(indexed.dispatch.decisions, naive.dispatch.decisions)
         << where;
+  }
+}
+
+// --- DAG spec differential -----------------------------------------------
+
+// Naive O(V*E) reference for DagSpec::validate: quadratic duplicate
+// scan, per-edge range/self checks, and Bellman-style relaxation for
+// cycle detection (a cycle exists iff edge relaxation still changes
+// anything after V rounds).
+bool naive_dag_valid(const std::vector<DagEdge>& edges,
+                     std::size_t nodes) {
+  for (const DagEdge& e : edges) {
+    if (e.from >= nodes || e.to >= nodes || e.from == e.to) return false;
+  }
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    for (std::size_t j = i + 1; j < edges.size(); ++j) {
+      if (edges[i].from == edges[j].from && edges[i].to == edges[j].to) {
+        return false;
+      }
+    }
+  }
+  // Longest-path relaxation: acyclic graphs converge within `nodes`
+  // rounds; one more productive round means a cycle.
+  std::vector<std::uint64_t> dist(nodes, 0);
+  for (std::size_t round = 0; round <= nodes; ++round) {
+    bool changed = false;
+    for (const DagEdge& e : edges) {
+      if (dist[e.from] + 1 > dist[e.to]) {
+        dist[e.to] = dist[e.from] + 1;
+        changed = true;
+      }
+    }
+    if (!changed) return true;
+  }
+  return false;
+}
+
+// Naive longest-path-to-sink ranks by relaxation over the reversed
+// edges; requires a valid DAG.
+std::vector<std::uint32_t> naive_dag_ranks(
+    const std::vector<DagEdge>& edges, std::size_t nodes) {
+  std::vector<std::uint32_t> rank(nodes, 0);
+  for (std::size_t round = 0; round < nodes; ++round) {
+    bool changed = false;
+    for (const DagEdge& e : edges) {
+      if (rank[e.to] + 1 > rank[e.from]) {
+        rank[e.from] = rank[e.to] + 1;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+  return rank;
+}
+
+// Random graphs across three regimes — layered-acyclic, layered plus an
+// injected back edge, and unconstrained (range/self/duplicate errors
+// included) — must get the same accept/reject verdict from
+// DagSpec::validate and the naive validator, and identical ranks when
+// accepted.
+TEST(FuzzDag, ValidateAndRanksMatchNaiveReference) {
+  const std::uint64_t base = fuzz_base_seed();
+  const int kGraphs = 400;
+  for (int graph = 0; graph < kGraphs; ++graph) {
+    const std::uint64_t seed = base + 5000 + graph;
+    Rng rng(seed);
+    const std::size_t nodes = 2 + rng.below(40);
+    const std::size_t layers = 2 + rng.below(5);
+    std::vector<std::size_t> layer_of(nodes);
+    for (std::size_t v = 0; v < nodes; ++v) layer_of[v] = rng.below(layers);
+
+    DagSpec spec;
+    const std::size_t attempts = rng.below(3 * nodes + 1);
+    const std::uint64_t regime = rng.below(3);
+    for (std::size_t k = 0; k < attempts; ++k) {
+      DagEdge e;
+      if (regime == 2) {
+        // Unconstrained: occasionally out of range, self or duplicate.
+        e.from = rng.below(nodes + 2);
+        e.to = rng.below(nodes + 2);
+      } else {
+        // Layered: lower layer -> strictly higher layer, acyclic.
+        e.from = rng.below(nodes);
+        e.to = rng.below(nodes);
+        if (layer_of[e.from] == layer_of[e.to]) continue;
+        if (layer_of[e.from] > layer_of[e.to]) std::swap(e.from, e.to);
+        bool duplicate = false;
+        for (const DagEdge& seen : spec.edges) {
+          duplicate |= seen.from == e.from && seen.to == e.to;
+        }
+        if (duplicate) continue;
+      }
+      spec.edges.push_back(e);
+    }
+    if (regime == 1 && !spec.edges.empty()) {
+      // Close a random existing edge into a 2-cycle through a fresh
+      // reverse edge (guaranteed invalid).
+      const DagEdge& forward = spec.edges[rng.below(spec.edges.size())];
+      spec.edges.push_back({forward.to, forward.from});
+    }
+
+    const std::string where =
+        "seed " + std::to_string(seed) + ", " + std::to_string(nodes) +
+        " nodes, " + std::to_string(spec.edges.size()) +
+        " edges, regime " + std::to_string(regime) +
+        " (reproduce with HETSCHED_FUZZ_SEED=" + std::to_string(base) +
+        ")";
+    const bool naive_ok = naive_dag_valid(spec.edges, nodes);
+    const auto issue = spec.validate(nodes);
+    ASSERT_EQ(!issue.has_value(), naive_ok)
+        << where
+        << (issue.has_value() ? "; validate said: " + issue->what
+                              : "; validate accepted");
+    if (naive_ok) {
+      ASSERT_EQ(spec.ranks(nodes), naive_dag_ranks(spec.edges, nodes))
+          << where;
+    } else {
+      ASSERT_LT(issue->edge_index, spec.edges.size()) << where;
+    }
   }
 }
 

@@ -77,7 +77,7 @@ std::string windows_text(const WindowedCollector& collector) {
 TEST(PolicyRegistryTest, NamesKeepRegistrationOrder) {
   const std::vector<std::string> expected = {
       "base",     "optimal",       "energy-centric", "proposed", "realtime",
-      "sjf",      "energy-greedy", "random",         "oracle"};
+      "sjf",      "energy-greedy", "random",         "oracle",   "cp-aware"};
   EXPECT_EQ(PolicyRegistry::instance().names(), expected);
 }
 
@@ -103,6 +103,7 @@ TEST(PolicyRegistryTest, NeedsPredictorFollowsTheContenders) {
   const PolicyRegistry& r = PolicyRegistry::instance();
   EXPECT_TRUE(r.needs_predictor("proposed"));
   EXPECT_TRUE(r.needs_predictor("realtime"));
+  EXPECT_TRUE(r.needs_predictor("cp-aware"));
   EXPECT_FALSE(r.needs_predictor("sjf"));
   EXPECT_FALSE(r.needs_predictor("oracle"));
   EXPECT_TRUE(r.needs_predictor("portfolio:sjf+proposed"));

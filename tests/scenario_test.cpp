@@ -155,6 +155,73 @@ TEST(Scenario, ParseRejectsMalformedInput) {
   EXPECT_NO_THROW(parse("# comment\n\nname ok # trailing comment\n"));
 }
 
+// Structural dep errors are attributed to the offending source line;
+// arity errors fire immediately on their own line.
+TEST(Scenario, ParseRejectsBadDepEdgesWithLineNumbers) {
+  auto parse_error = [](const std::string& text) {
+    std::istringstream in(text);
+    try {
+      (void)Scenario::parse(in);
+      return std::string("(no error)");
+    } catch (const std::runtime_error& e) {
+      return std::string(e.what());
+    }
+  };
+
+  // Missing successor index: rejected at line 3.
+  EXPECT_NE(parse_error("name x\njobs 4\ndep 0\n").find("scenario line 3"),
+            std::string::npos);
+  // Out-of-range job id (jobs run 0..3): line 4.
+  {
+    const std::string what = parse_error("name x\njobs 4\ndep 0 1\ndep 2 9\n");
+    EXPECT_NE(what.find("scenario line 4"), std::string::npos) << what;
+    EXPECT_NE(what.find("out of range"), std::string::npos) << what;
+  }
+  // Self dependency (one job id repeated in an edge): line 3.
+  {
+    const std::string what = parse_error("name x\njobs 4\ndep 3 3\n");
+    EXPECT_NE(what.find("scenario line 3"), std::string::npos) << what;
+    EXPECT_NE(what.find("repeats job 3"), std::string::npos) << what;
+  }
+  // Duplicate edge: blamed on the second copy, line 5.
+  {
+    const std::string what =
+        parse_error("name x\njobs 4\ndep 0 1\ndep 1 2\ndep 0 1\n");
+    EXPECT_NE(what.find("scenario line 5"), std::string::npos) << what;
+    EXPECT_NE(what.find("duplicate dep 0 -> 1"), std::string::npos) << what;
+  }
+  // Cycle: blamed on an edge of the cycle, with the job named.
+  {
+    const std::string what =
+        parse_error("name x\njobs 4\ndep 0 1\ndep 1 2\ndep 2 0\n");
+    EXPECT_NE(what.find("scenario line"), std::string::npos) << what;
+    EXPECT_NE(what.find("cycle"), std::string::npos) << what;
+  }
+  // A well-formed DAG parses.
+  EXPECT_NO_THROW(parse_error("name x\njobs 4\ndep 0 1\ndep 0 2\ndep 1 3\n"));
+}
+
+TEST(Scenario, DepEdgesSurviveSaveParseRoundTrip) {
+  Scenario s;
+  s.name = "dag-round-trip";
+  s.arrivals.count = 5;
+  s.dag.edges = {{0, 2}, {1, 2}, {2, 4}, {3, 4}};
+
+  std::ostringstream first;
+  s.save(first);
+  EXPECT_NE(first.str().find("dep 0 2"), std::string::npos);
+  std::istringstream in(first.str());
+  const Scenario parsed = Scenario::parse(in);
+  ASSERT_EQ(parsed.dag.edges.size(), s.dag.edges.size());
+  for (std::size_t i = 0; i < s.dag.edges.size(); ++i) {
+    EXPECT_EQ(parsed.dag.edges[i].from, s.dag.edges[i].from) << i;
+    EXPECT_EQ(parsed.dag.edges[i].to, s.dag.edges[i].to) << i;
+  }
+  std::ostringstream second;
+  parsed.save(second);
+  EXPECT_EQ(first.str(), second.str());
+}
+
 void expect_stream_matches_batch(const ArrivalOptions& options,
                                  std::uint64_t seed) {
   const std::vector<std::size_t> ids = {0, 1, 2, 5, 9};

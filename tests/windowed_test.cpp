@@ -139,7 +139,9 @@ TEST(WindowedCollector, JsonlLineShapeIsStable) {
             "\"slices\":1,\"dispatches\":0,\"preemptions\":0,\"stalls\":0,"
             "\"migrations\":0,\"fault_migrations\":0,\"queue_peak\":0,"
             "\"prediction_hits\":0,\"prediction_misses\":0,"
-            "\"reconfig_attempts\":0,\"faults\":0,\"energy_mj\":0,"
+            "\"reconfig_attempts\":0,\"faults\":0,\"dag_releases\":0,"
+            "\"dag_ready_peak\":0,\"dag_release_latency\":0,"
+            "\"dag_cp_slack\":0,\"energy_mj\":0,"
             "\"busy_cycles\":[60,0],\"idle_cycles\":[0,0]}");
 }
 
@@ -447,7 +449,7 @@ TEST(RunReport, JsonContainsEverySectionAndAnomalies) {
   report.failed_cells.push_back({"c4.g0.base", 2, true, "timed out"});
 
   const std::string json = run_report_to_json(report);
-  EXPECT_NE(json.find("\"schema\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"schema\": 4"), std::string::npos);
   EXPECT_NE(json.find("\"command\": \"run\""), std::string::npos);
   EXPECT_NE(json.find("\"suite_key\": 12345"), std::string::npos);
   EXPECT_NE(json.find("\"windows\""), std::string::npos);
@@ -493,6 +495,28 @@ TEST(RunReport, PortfolioSectionRendersWinRatesAndSwitches) {
             std::string::npos);
   EXPECT_NE(json.find("\"switches\": [{\"window\": 2, \"time\": 2000000, "
                       "\"from\": \"optimal\", \"to\": \"sjf\"}]"),
+            std::string::npos);
+}
+
+TEST(RunReport, DagSectionRendersOnlyWhenPresent) {
+  RunReport report;
+  const std::string without = run_report_to_json(report);
+  EXPECT_EQ(without.find("\"dag\""), std::string::npos);
+
+  RunReport::DagSummary dag;
+  dag.nodes = 6;
+  dag.edges = 7;
+  dag.releases = 5;
+  dag.ready_peak = 3;
+  dag.max_rank = 2;
+  dag.release_latency_cycles = 12345;
+  dag.cp_slack_total = 4;
+  report.dag = dag;
+  const std::string json = run_report_to_json(report);
+  EXPECT_NE(json.find("\"dag\": {\"nodes\": 6, \"edges\": 7, "
+                      "\"releases\": 5, \"ready_peak\": 3, \"max_rank\": 2, "
+                      "\"release_latency_cycles\": 12345, "
+                      "\"cp_slack_total\": 4}"),
             std::string::npos);
 }
 

@@ -215,7 +215,7 @@ struct ObsSession {
       "       hetsched_cli bench-diff BASELINE.json CURRENT.json\n"
       "                    [--tolerance X]\n"
       "  --system S      base|optimal|energy-centric|proposed|realtime|\n"
-      "                  sjf|energy-greedy|random|oracle|\n"
+      "                  sjf|energy-greedy|random|oracle|cp-aware|\n"
       "                  portfolio:<a>+<b>[@cycles] (competitive\n"
       "                  meta-scheduler over the named contenders)\n"
       "  --arrivals N    jobs in the stream (default 5000)\n"
@@ -556,6 +556,16 @@ void print_portfolio(const PortfolioStats& stats) {
                    TablePrinter::num(rate, 3)});
   }
   table.print(std::cout);
+}
+
+// One-line DAG release accounting for a dependency-graph scenario,
+// printed after the main accounting.
+void print_dag(const DagStats& stats) {
+  std::cout << "dag: " << stats.nodes << " node(s), " << stats.edges
+            << " edge(s), critical path " << stats.max_rank << "; "
+            << stats.releases << " dependent release(s), ready peak "
+            << stats.ready_peak << ", release latency "
+            << stats.release_latency_total << " cycles\n";
 }
 
 bool write_text_file(const std::string& path, const std::string& content,
@@ -912,10 +922,12 @@ int cmd_scenario_checkpointed(const CliOptions& options, ObsSession* obs,
             << outcome->stream.invariant_violations()
             << " invariant violations\n";
   if (outcome->portfolio.has_value()) print_portfolio(*outcome->portfolio);
+  if (outcome->dag.has_value()) print_dag(*outcome->dag);
   // Checkpoint outcomes carry no dispatch telemetry (it is per-process,
   // not part of the resumable state); record an empty block.
   const ScenarioOutcome view{outcome->result, outcome->stream,
-                             DispatchTelemetry{}, outcome->portfolio};
+                             DispatchTelemetry{}, outcome->portfolio,
+                             outcome->dag};
   if (obs != nullptr) {
     record_scenario_metrics(obs->metrics, scenario.name + ".", view);
   }
@@ -940,6 +952,7 @@ int cmd_scenario_checkpointed(const CliOptions& options, ObsSession* obs,
     attach_portfolio_summary(report, *outcome->portfolio);
     windows += portfolio_switch_jsonl(*outcome->portfolio);
   }
+  if (outcome->dag.has_value()) attach_dag_summary(report, *outcome->dag);
   MetricsRegistry local;
   record_scenario_metrics(local, scenario.name + ".", view);
   report.metrics_json = local.to_json();
@@ -1030,6 +1043,10 @@ int cmd_scenario(const CliOptions& options, ObsSession* obs) {
     if (windowed.has_value()) {
       windows += portfolio_switch_jsonl(*outcome->portfolio);
     }
+  }
+  if (outcome->dag.has_value()) {
+    print_dag(*outcome->dag);
+    attach_dag_summary(report, *outcome->dag);
   }
   const int export_status =
       export_reports(options, obs, timers, std::move(report), windows);
