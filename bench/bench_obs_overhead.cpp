@@ -9,6 +9,8 @@
 //   metrics  : EventTracer attached, counters/histogram maintained
 //   full     : tracer + metrics + global ProbeRecorder installed
 //   windowed : WindowedCollector attached (per-window telemetry)
+//   all      : tracer (job spans on) + span collector + windowed
+//              collector fanned out together (the everything-on path)
 //
 // and verifies that enabling observability does not change a single
 // simulation output (energy, makespan, completions are compared against
@@ -23,6 +25,7 @@
 #include <string>
 
 #include "experiment/experiment.hpp"
+#include "obs/latency.hpp"
 #include "obs/observability.hpp"
 #include "obs/windowed.hpp"
 #include "util/atomic_file.hpp"
@@ -101,6 +104,29 @@ int main() {
     }
   });
 
+  // Everything at once: tracer with job spans enabled, the span
+  // collector, and the windowed collector sharing one fanout — the
+  // most expensive supported configuration.
+  SystemRun all_run;
+  std::uint64_t span_jobs = 0;
+  const double all_ms = time_ms([&] {
+    for (int i = 0; i < kRepeats; ++i) {
+      MetricsRegistry metrics;
+      EventTracer tracer(&metrics);
+      tracer.set_job_spans(true);
+      JobSpanCollector spans("proposed", 1'000'000);
+      WindowedCollector collector(options.core_count,
+                                  WindowedOptions{1'000'000, 0},
+                                  &experiment.suite());
+      collector.set_span_source(&spans);
+      FanoutObserver fanout({&tracer, &spans, &collector});
+      all_run = experiment.run_proposed(&fanout);
+      spans.finalize();
+      collector.finalize();
+      span_jobs = spans.jobs_completed();
+    }
+  });
+
   // Observability must not perturb the simulation.
   auto same = [&](const SystemRun& run) {
     HETSCHED_REQUIRE(run.result.total_energy().value() ==
@@ -112,8 +138,11 @@ int main() {
   same(traced);
   same(full);
   same(windowed_run);
-  // The window stream must account for every completed job exactly once.
+  same(all_run);
+  // The window stream must account for every completed job exactly once,
+  // and the span collector must retire exactly the completed jobs.
   HETSCHED_REQUIRE(window_jobs == reference.result.completed_jobs);
+  HETSCHED_REQUIRE(span_jobs == reference.result.completed_jobs);
 
   std::cout << "=== Observability overhead (proposed system, "
             << options.arrivals.count << " arrivals, " << kRepeats
@@ -127,6 +156,7 @@ int main() {
   add("tracer + metrics", metrics_ms);
   add("tracer + metrics + probe", full_ms);
   add("windowed collector", windowed_ms);
+  add("tracer + spans + windowed", all_ms);
   table.print(std::cout);
   std::cout << "\nTrace events per run: " << trace_events
             << "\nWindows closed per run: " << windows_closed
@@ -143,9 +173,11 @@ int main() {
        << "  \"metrics_ms\": " << metrics_ms << ",\n"
        << "  \"full_ms\": " << full_ms << ",\n"
        << "  \"windowed_ms\": " << windowed_ms << ",\n"
+       << "  \"all_ms\": " << all_ms << ",\n"
        << "  \"metrics_overhead\": " << metrics_ms / disabled_ms << ",\n"
        << "  \"full_overhead\": " << full_ms / disabled_ms << ",\n"
-       << "  \"windowed_overhead\": " << windowed_ms / disabled_ms << "\n"
+       << "  \"windowed_overhead\": " << windowed_ms / disabled_ms << ",\n"
+       << "  \"all_overhead\": " << all_ms / disabled_ms << "\n"
        << "}\n";
   atomic_write_file("BENCH_obs_overhead.json", json.str());
   std::cout << "Results written to BENCH_obs_overhead.json\n";

@@ -84,6 +84,18 @@ struct PreemptEvent {
   bool was_hung = false;     // wedged victim: no slice was emitted
 };
 
+// A job admitted into the ready queue (the birth of its lifecycle span:
+// arrival -> first dispatch -> slices -> retirement). Emitted once per
+// job from the simulator's single admission point, so batch run() and
+// run_stream produce identical arrival streams.
+struct ArrivalEvent {
+  SimTime time = 0;
+  std::uint64_t job_id = 0;
+  std::size_t benchmark_id = 0;
+  int priority = 0;
+  std::uint32_t cp_rank = 0;  // critical-path rank (0 off a DAG)
+};
+
 // A scheduling pass declined to place this job anywhere (Section IV.A:
 // the job waits for a better core instead of migrating to a worse one).
 struct StallEvent {
@@ -121,6 +133,7 @@ class ScheduleObserver {
   // SimTime — never wall clock — so any recording observer is
   // deterministic across runs and thread counts.
   virtual void on_fault(const FaultRecord& record) { (void)record; }
+  virtual void on_arrival(const ArrivalEvent& event) { (void)event; }
   virtual void on_dispatch(const DispatchEvent& event) { (void)event; }
   virtual void on_reconfig(const ReconfigEvent& event) { (void)event; }
   virtual void on_idle(const IdleEvent& event) { (void)event; }
@@ -147,6 +160,11 @@ class FanoutObserver final : public ScheduleObserver {
   void on_fault(const FaultRecord& record) override {
     for (ScheduleObserver* o : observers_) {
       if (o != nullptr) o->on_fault(record);
+    }
+  }
+  void on_arrival(const ArrivalEvent& event) override {
+    for (ScheduleObserver* o : observers_) {
+      if (o != nullptr) o->on_arrival(event);
     }
   }
   void on_dispatch(const DispatchEvent& event) override {

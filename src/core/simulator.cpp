@@ -793,6 +793,11 @@ bool MulticoreSimulator::advance_stream_until(ArrivalSource& source,
       job.cp_rank = pending_->cp_rank;
       ready_.push_back(job);
       ++admitted_;
+      if (observer_ != nullptr) {
+        observer_->on_arrival(ArrivalEvent{now, job.job_id,
+                                           job.benchmark_id, job.priority,
+                                           job.cp_rank});
+      }
       pending_ = source.next();
       HETSCHED_REQUIRE((!pending_.has_value() || pending_->arrival >= now) &&
                        "arrival stream must be non-decreasing in time");

@@ -1,0 +1,46 @@
+// Offline trace forensics behind `hetsched analyze`: turns a RunReport
+// JSON document plus (optionally) its windows JSONL stream into a
+// human-readable latency post-mortem — per-policy breakdown table,
+// slowest jobs with per-phase attribution, hottest windows by tail
+// latency, and a DAG release-latency breakdown when the report carries a
+// `dag` section. A second mode diffs two reports metric-by-metric using
+// the bench_diff classifier.
+//
+// Everything is driven off flatten_json_numbers: the analyzer consumes
+// only numeric leaves (policy names are recovered from the flattened
+// path), so it tolerates schema evolution — absent sections or columns
+// (pre-schema-5 files have no `schema` field and no `lat_*` columns)
+// simply leave their table empty instead of failing.
+//
+// Determinism: output is a pure function of the input documents; doubles
+// render through fixed printf formats.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace hetsched {
+
+struct AnalyzeOptions {
+  // Rows shown in the slowest-jobs and hottest-windows tables.
+  std::size_t top = 8;
+};
+
+// Renders the forensics report. `windows_jsonl` may be empty (the
+// windows section is then omitted). Throws std::runtime_error on
+// malformed JSON.
+std::string analyze_run(std::string_view report_json,
+                        std::string_view windows_jsonl,
+                        const AnalyzeOptions& options);
+
+// Compares every numeric leaf of two report documents (baseline vs
+// current), classifying each changed path with the bench_diff rules;
+// wall-clock "phases_ms" entries are excluded. Sets *regressed when a
+// classified metric moved beyond `tolerance` or a baseline metric
+// vanished. A report diffed against itself yields "deltas: 0".
+std::string analyze_diff(std::string_view baseline_json,
+                         std::string_view current_json, double tolerance,
+                         bool* regressed);
+
+}  // namespace hetsched

@@ -191,6 +191,9 @@ MetricDirection classify_metric(std::string_view path) {
   std::string_view leaf =
       dot == std::string_view::npos ? path : path.substr(dot + 1);
 
+  // Format markers are never a quality axis: a file gaining (or an old
+  // baseline lacking) a "schema" field must not gate the diff.
+  if (leaf == "schema") return MetricDirection::kIgnored;
   if (leaf.ends_with("_ms") || contains(leaf, "overhead") ||
       contains(leaf, "rss") || contains(leaf, "growth") ||
       contains(leaf, "violation") || contains(leaf, "dropped")) {

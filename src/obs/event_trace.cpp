@@ -51,6 +51,13 @@ void EventTracer::on_slice(const ScheduledSlice& slice) {
          {"config", slice.config.name()},
          {"completed", slice.completed ? "1" : "0"}}});
   }
+  // The retiring slice closes the job's async lifecycle span.
+  if (job_spans_ && slice.completed && retain()) {
+    events_.push_back(TraceEvent{'e', "job", slice.end, 0,
+                                 static_cast<std::uint32_t>(slice.core),
+                                 {},
+                                 slice.job_id});
+  }
   if (metrics_ == nullptr) return;
   slices_->add();
   (slice.completed ? completed_slices_ : preempted_slices_)->add();
@@ -69,6 +76,19 @@ void EventTracer::on_fault(const FaultRecord& record) {
   if (record.kind == FaultRecord::Kind::kWatchdogFire) {
     watchdog_fires_->add();
   }
+}
+
+void EventTracer::on_arrival(const ArrivalEvent& event) {
+  // Arrivals only materialise in the trace as span-begin events; the
+  // disabled path stays byte-identical to pre-span traces (and burns no
+  // retention budget).
+  if (!job_spans_) return;
+  if (!retain()) return;
+  events_.push_back(TraceEvent{'b', "job", event.time, 0, 0,
+                               {{"benchmark", u64(event.benchmark_id)},
+                                {"priority", std::to_string(event.priority)},
+                                {"cp_rank", std::to_string(event.cp_rank)}},
+                               event.job_id});
 }
 
 void EventTracer::on_dispatch(const DispatchEvent& event) {
@@ -161,6 +181,12 @@ void write_chrome_trace(
           << event.phase << "\",\"pid\":" << pid
           << ",\"tid\":" << event.tid << ",\"ts\":" << event.ts;
       if (event.phase == 'X') out << ",\"dur\":" << event.dur;
+      // Async begin/end events need a category and an id so viewers can
+      // pair them into one bar on an async track.
+      if (event.phase == 'b' || event.phase == 'e') {
+        out << ",\"cat\":\"" << json_escape(event.name)
+            << "\",\"id\":" << event.id;
+      }
       if (!event.args.empty()) {
         out << ",\"args\":{";
         for (std::size_t a = 0; a < event.args.size(); ++a) {

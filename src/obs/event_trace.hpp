@@ -25,7 +25,8 @@
 namespace hetsched {
 
 struct TraceEvent {
-  // 'X' = complete (duration) event, 'i' = instant event.
+  // 'X' = complete (duration) event, 'i' = instant event, 'b'/'e' =
+  // async span begin/end (a job's lifecycle bar; paired by `id`).
   char phase = 'X';
   std::string name;
   SimTime ts = 0;
@@ -34,6 +35,9 @@ struct TraceEvent {
   // Rendered into the event's "args" object; values are emitted as JSON
   // strings (escaped), keys in the given order.
   std::vector<std::pair<std::string, std::string>> args;
+  // Async pairing id ('b'/'e' only); rendered with a "cat" so Chrome /
+  // Perfetto match begin to end on (cat, id, name).
+  std::uint64_t id = 0;
 };
 
 // A ScheduleObserver that retains the full event stream. When a
@@ -47,6 +51,7 @@ class EventTracer final : public ScheduleObserver {
 
   void on_slice(const ScheduledSlice& slice) override;
   void on_fault(const FaultRecord& record) override;
+  void on_arrival(const ArrivalEvent& event) override;
   void on_dispatch(const DispatchEvent& event) override;
   void on_reconfig(const ReconfigEvent& event) override;
   void on_idle(const IdleEvent& event) override;
@@ -72,6 +77,14 @@ class EventTracer final : public ScheduleObserver {
   std::size_t max_events() const { return max_events_; }
   std::uint64_t dropped_events() const { return dropped_events_; }
 
+  // Job lifecycle spans: when enabled, each arrival opens an async 'b'
+  // event and the retiring slice closes it with an 'e', so every job's
+  // life (admission to retirement) renders as one bar on an async track
+  // in the trace UI. Off by default: the span events roughly double the
+  // event volume and older byte-identity baselines predate them.
+  void set_job_spans(bool on) { job_spans_ = on; }
+  bool job_spans() const { return job_spans_; }
+
   static constexpr std::size_t kDefaultMaxEvents = 1'000'000;
 
  private:
@@ -81,6 +94,7 @@ class EventTracer final : public ScheduleObserver {
   std::vector<TraceEvent> events_;
   std::size_t max_events_ = kDefaultMaxEvents;
   std::uint64_t dropped_events_ = 0;
+  bool job_spans_ = false;
   MetricsRegistry* metrics_ = nullptr;
   // Registered up front (null when metrics_ is null).
   Counter* dispatches_ = nullptr;

@@ -1,0 +1,423 @@
+#include "obs/latency.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <istream>
+#include <map>
+#include <ostream>
+
+#include "obs/run_report.hpp"
+#include "util/contracts.hpp"
+#include "util/snapshot_text.hpp"
+
+namespace hetsched {
+namespace {
+
+namespace st = snapshot_text;
+
+std::size_t bucket_of(std::uint64_t value) {
+  return static_cast<std::size_t>(std::bit_width(value));
+}
+
+// Sojourn-descending, job-id-ascending: the deterministic slowest-first
+// order of the top-K list.
+bool slower(const SlowJob& a, const SlowJob& b) {
+  if (a.sojourn != b.sojourn) return a.sojourn > b.sojourn;
+  return a.job_id < b.job_id;
+}
+
+}  // namespace
+
+void Log2Histogram::record(std::uint64_t value) {
+  ++buckets_[bucket_of(value)];
+  ++count_;
+  sum_ += value;
+  max_ = std::max(max_, value);
+}
+
+void Log2Histogram::merge(const Log2Histogram& other) {
+  for (std::size_t k = 0; k < kBuckets; ++k) buckets_[k] += other.buckets_[k];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  max_ = std::max(max_, other.max_);
+}
+
+double Log2Histogram::percentile(double p) const {
+  HETSCHED_REQUIRE(p >= 0.0 && p <= 100.0);
+  if (count_ == 0) return 0.0;
+  const double pos = p / 100.0 * static_cast<double>(count_);
+  std::uint64_t cum = 0;
+  for (std::size_t k = 0; k < kBuckets; ++k) {
+    if (buckets_[k] == 0) continue;
+    const std::uint64_t next = cum + buckets_[k];
+    if (pos <= static_cast<double>(next)) {
+      // Interpolate inside [2^(k-1), 2^k) by the value's position among
+      // the bucket's occupants; bucket 0 holds only the value 0.
+      if (k == 0) return 0.0;
+      const double lo = std::ldexp(1.0, static_cast<int>(k) - 1);
+      const double hi = std::ldexp(1.0, static_cast<int>(k));
+      double frac = (pos - static_cast<double>(cum)) /
+                    static_cast<double>(buckets_[k]);
+      frac = std::clamp(frac, 0.0, 1.0);
+      return std::min(lo + frac * (hi - lo), static_cast<double>(max_));
+    }
+    cum = next;
+  }
+  // pos <= count_ and the cumulative walk ends at count_, so the loop
+  // always returns.
+  HETSCHED_ASSERT(false);
+  return static_cast<double>(max_);
+}
+
+void Log2Histogram::save_state(std::ostream& out) const {
+  std::size_t nonzero = 0;
+  for (const std::uint64_t b : buckets_) nonzero += b != 0 ? 1 : 0;
+  out << "hist " << count_ << ' ' << sum_ << ' ' << max_ << ' ' << nonzero
+      << "\n";
+  for (std::size_t k = 0; k < kBuckets; ++k) {
+    if (buckets_[k] != 0) out << k << ' ' << buckets_[k] << "\n";
+  }
+}
+
+void Log2Histogram::restore_state(std::istream& in,
+                                  const std::string& context) {
+  std::string token;
+  if (!(in >> token) || token != "hist") {
+    st::fail(context, "expected 'hist'");
+  }
+  count_ = st::read_value<std::uint64_t>(in, "histogram count", context);
+  sum_ = st::read_value<std::uint64_t>(in, "histogram sum", context);
+  max_ = st::read_value<std::uint64_t>(in, "histogram max", context);
+  const auto nonzero =
+      st::read_value<std::size_t>(in, "histogram bucket count", context);
+  buckets_.fill(0);
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < nonzero; ++i) {
+    const auto k = st::read_value<std::size_t>(in, "bucket index", context);
+    if (k >= kBuckets) st::fail(context, "bucket index out of range");
+    buckets_[k] = st::read_value<std::uint64_t>(in, "bucket value", context);
+    total += buckets_[k];
+  }
+  if (total != count_) {
+    st::fail(context, "histogram bucket counts do not sum to the count");
+  }
+}
+
+void LatencyAccumulator::merge(const LatencyAccumulator& other) {
+  queue.merge(other.queue);
+  service.merge(other.service);
+  stall.merge(other.stall);
+  sojourn.merge(other.sojourn);
+}
+
+JobSpanCollector::JobSpanCollector(std::string policy_label,
+                                   SimTime window_cycles, std::size_t top_k)
+    : policy_label_(std::move(policy_label)),
+      window_cycles_(window_cycles),
+      top_k_(top_k) {
+  HETSCHED_REQUIRE(window_cycles_ > 0);
+  HETSCHED_REQUIRE(top_k_ > 0);
+}
+
+void JobSpanCollector::advance(SimTime t) {
+  HETSCHED_REQUIRE(!finalized_ &&
+                   "JobSpanCollector received an event after finalize()");
+  saw_event_ = true;
+  while (t >= window_start_ + window_cycles_) {
+    close_window();
+    window_start_ += window_cycles_;
+    ++window_index_;
+  }
+}
+
+void JobSpanCollector::close_window() {
+  WindowLatency lat;
+  lat.index = window_index_;
+  lat.jobs = window_sojourn_.count();
+  lat.p50 = window_sojourn_.percentile(50.0);
+  lat.p95 = window_sojourn_.percentile(95.0);
+  lat.p99 = window_sojourn_.percentile(99.0);
+  lat.max = window_sojourn_.max();
+  ring_[window_index_ % kWindowRing] = lat;
+  window_sojourn_ = Log2Histogram{};
+}
+
+WindowLatency JobSpanCollector::window_latency(std::uint64_t index) const {
+  // Closed windows are those the clock advanced past, plus the trailing
+  // window finalize() closed in place.
+  const std::uint64_t closed =
+      window_index_ + ((finalized_ && saw_event_) ? 1 : 0);
+  HETSCHED_REQUIRE(index < closed && "window not closed yet");
+  const WindowLatency& entry = ring_[index % kWindowRing];
+  HETSCHED_REQUIRE(entry.index == index &&
+                   "window digest evicted from the ring (or the collector "
+                   "was restored past it)");
+  return entry;
+}
+
+void JobSpanCollector::on_arrival(const ArrivalEvent& event) {
+  // Arrivals do not advance the window clock: the simulator always emits
+  // a queue-depth sample at the same SimTime right after admission, and
+  // keeping the clock in lockstep with the WindowedCollector (which has
+  // no arrival callback) guarantees both close window k in the same
+  // event delivery.
+  Span span;
+  span.benchmark_id = event.benchmark_id;
+  span.arrival = event.time;
+  const bool inserted = spans_.emplace(event.job_id, span).second;
+  HETSCHED_REQUIRE(inserted && "duplicate arrival for one job id");
+}
+
+void JobSpanCollector::on_dispatch(const DispatchEvent& event) {
+  advance(event.time);
+  const auto it = spans_.find(event.job_id);
+  HETSCHED_REQUIRE(it != spans_.end() &&
+                   "dispatch for a job whose arrival was not observed — "
+                   "attach the span collector before the run starts");
+  if (!it->second.dispatched) {
+    it->second.dispatched = true;
+    it->second.first_dispatch = event.time;
+  }
+}
+
+void JobSpanCollector::retire(const ScheduledSlice& slice, Span& span) {
+  HETSCHED_REQUIRE(span.dispatched);
+  const SimTime end = slice.end;
+  HETSCHED_REQUIRE(end >= span.arrival);
+  HETSCHED_REQUIRE(span.first_dispatch >= span.arrival);
+  const Cycles sojourn = end - span.arrival;
+  const Cycles queue = span.first_dispatch - span.arrival;
+  HETSCHED_REQUIRE(sojourn >= queue + span.service &&
+                   "executed cycles exceed the post-dispatch lifetime");
+  const Cycles stall = sojourn - queue - span.service;
+
+  totals_.queue.record(queue);
+  totals_.service.record(span.service);
+  totals_.stall.record(stall);
+  totals_.sojourn.record(sojourn);
+  window_sojourn_.record(sojourn);
+
+  SlowJob job;
+  job.job_id = slice.job_id;
+  job.benchmark_id = span.benchmark_id;
+  job.arrival = span.arrival;
+  job.queue = queue;
+  job.service = span.service;
+  job.stall = stall;
+  job.sojourn = sojourn;
+  job.slices = span.slices;
+  const auto at =
+      std::upper_bound(slowest_.begin(), slowest_.end(), job, slower);
+  if (at != slowest_.end() || slowest_.size() < top_k_) {
+    slowest_.insert(at, job);
+    if (slowest_.size() > top_k_) slowest_.pop_back();
+  }
+}
+
+void JobSpanCollector::on_slice(const ScheduledSlice& slice) {
+  advance(slice.end);
+  const auto it = spans_.find(slice.job_id);
+  HETSCHED_REQUIRE(it != spans_.end() &&
+                   "slice for a job whose arrival was not observed — "
+                   "attach the span collector before the run starts");
+  if (slice.end > slice.start) {
+    it->second.service += slice.end - slice.start;
+  }
+  ++it->second.slices;
+  if (!slice.completed) return;
+  retire(slice, it->second);
+  spans_.erase(it);
+}
+
+void JobSpanCollector::on_fault(const FaultRecord& record) {
+  advance(record.time);
+}
+
+void JobSpanCollector::on_reconfig(const ReconfigEvent& event) {
+  advance(event.time);
+}
+
+void JobSpanCollector::on_idle(const IdleEvent& event) { advance(event.to); }
+
+void JobSpanCollector::on_preempt(const PreemptEvent& event) {
+  advance(event.time);
+}
+
+void JobSpanCollector::on_stall(const StallEvent& event) {
+  advance(event.time);
+}
+
+void JobSpanCollector::on_queue_depth(const QueueSample& sample) {
+  advance(sample.time);
+}
+
+void JobSpanCollector::on_dag_release(const DagReleaseEvent& event) {
+  advance(event.time);
+}
+
+void JobSpanCollector::finalize() {
+  if (finalized_) return;
+  finalized_ = true;
+  // Mirror WindowedCollector::finalize: close the in-progress window only
+  // when the run advanced the clock at all, so both collectors close the
+  // same window sequence.
+  if (saw_event_) close_window();
+}
+
+void JobSpanCollector::save_state(std::ostream& out) const {
+  out << "spans " << window_cycles_ << ' ' << top_k_ << "\n";
+  out << "clock " << window_index_ << ' ' << window_start_ << ' '
+      << (saw_event_ ? 1 : 0) << ' ' << (finalized_ ? 1 : 0) << "\n";
+  window_sojourn_.save_state(out);
+  totals_.queue.save_state(out);
+  totals_.service.save_state(out);
+  totals_.stall.save_state(out);
+  totals_.sojourn.save_state(out);
+  out << "slowest " << slowest_.size() << "\n";
+  for (const SlowJob& job : slowest_) {
+    out << job.job_id << ' ' << job.benchmark_id << ' ' << job.arrival << ' '
+        << job.queue << ' ' << job.service << ' ' << job.stall << ' '
+        << job.sojourn << ' ' << job.slices << "\n";
+  }
+  // In-flight spans in sorted order: the serialized form must not depend
+  // on unordered_map iteration.
+  const std::map<std::uint64_t, Span> sorted(spans_.begin(), spans_.end());
+  out << "inflight " << sorted.size() << "\n";
+  for (const auto& [job_id, span] : sorted) {
+    out << job_id << ' ' << span.benchmark_id << ' ' << span.arrival << ' '
+        << span.first_dispatch << ' ' << (span.dispatched ? 1 : 0) << ' '
+        << span.service << ' ' << span.slices << "\n";
+  }
+}
+
+void JobSpanCollector::restore_state(std::istream& in,
+                                     const std::string& context) {
+  std::string token;
+  if (!(in >> token) || token != "spans") {
+    st::fail(context, "expected 'spans'");
+  }
+  if (st::read_value<SimTime>(in, "span window width", context) !=
+      window_cycles_) {
+    st::fail(context, "span window width does not match");
+  }
+  if (st::read_value<std::size_t>(in, "span top-k", context) != top_k_) {
+    st::fail(context, "span top-k does not match");
+  }
+  if (!(in >> token) || token != "clock") {
+    st::fail(context, "expected 'clock'");
+  }
+  window_index_ = st::read_value<std::uint64_t>(in, "window index", context);
+  window_start_ = st::read_value<SimTime>(in, "window start", context);
+  saw_event_ = st::read_value<int>(in, "saw-event flag", context) != 0;
+  finalized_ = st::read_value<int>(in, "finalized flag", context) != 0;
+  window_sojourn_.restore_state(in, context);
+  totals_.queue.restore_state(in, context);
+  totals_.service.restore_state(in, context);
+  totals_.stall.restore_state(in, context);
+  totals_.sojourn.restore_state(in, context);
+  if (!(in >> token) || token != "slowest") {
+    st::fail(context, "expected 'slowest'");
+  }
+  const auto slow = st::read_value<std::size_t>(in, "slowest count", context);
+  if (slow > top_k_) st::fail(context, "slowest list exceeds top-k");
+  slowest_.clear();
+  for (std::size_t i = 0; i < slow; ++i) {
+    SlowJob job;
+    job.job_id = st::read_value<std::uint64_t>(in, "slow job id", context);
+    job.benchmark_id =
+        st::read_value<std::size_t>(in, "slow benchmark", context);
+    job.arrival = st::read_value<SimTime>(in, "slow arrival", context);
+    job.queue = st::read_value<Cycles>(in, "slow queue", context);
+    job.service = st::read_value<Cycles>(in, "slow service", context);
+    job.stall = st::read_value<Cycles>(in, "slow stall", context);
+    job.sojourn = st::read_value<Cycles>(in, "slow sojourn", context);
+    job.slices = st::read_value<std::uint64_t>(in, "slow slices", context);
+    if (i > 0 && slower(job, slowest_.back())) {
+      st::fail(context, "slowest list is not in slowest-first order");
+    }
+    slowest_.push_back(job);
+  }
+  if (!(in >> token) || token != "inflight") {
+    st::fail(context, "expected 'inflight'");
+  }
+  const auto inflight =
+      st::read_value<std::size_t>(in, "in-flight count", context);
+  spans_.clear();
+  ring_.fill(WindowLatency{});
+  for (std::size_t i = 0; i < inflight; ++i) {
+    const auto job_id =
+        st::read_value<std::uint64_t>(in, "in-flight job id", context);
+    Span span;
+    span.benchmark_id =
+        st::read_value<std::size_t>(in, "in-flight benchmark", context);
+    span.arrival = st::read_value<SimTime>(in, "in-flight arrival", context);
+    span.first_dispatch =
+        st::read_value<SimTime>(in, "in-flight dispatch", context);
+    span.dispatched =
+        st::read_value<int>(in, "in-flight dispatched flag", context) != 0;
+    span.service = st::read_value<Cycles>(in, "in-flight service", context);
+    span.slices = st::read_value<std::uint64_t>(in, "in-flight slices",
+                                                context);
+    spans_[job_id] = span;
+  }
+}
+
+namespace {
+
+RunReport::LatencyMetric to_metric(const Log2Histogram& h) {
+  RunReport::LatencyMetric m;
+  m.p50 = h.percentile(50.0);
+  m.p95 = h.percentile(95.0);
+  m.p99 = h.percentile(99.0);
+  m.max = h.max();
+  m.sum = h.sum();
+  return m;
+}
+
+RunReport::LatencyStats to_stats(const LatencyAccumulator& acc) {
+  RunReport::LatencyStats stats;
+  stats.jobs = acc.jobs();
+  stats.queue = to_metric(acc.queue);
+  stats.service = to_metric(acc.service);
+  stats.stall = to_metric(acc.stall);
+  stats.sojourn = to_metric(acc.sojourn);
+  return stats;
+}
+
+}  // namespace
+
+void attach_latency_summary(
+    RunReport& report,
+    const std::vector<const JobSpanCollector*>& collectors) {
+  // Ordered map: per-policy sections emit in name order, independent of
+  // collector wiring order.
+  std::map<std::string, LatencyAccumulator> by_policy;
+  LatencyAccumulator overall;
+  std::vector<SlowJob> slowest;
+  std::size_t top_k = JobSpanCollector::kDefaultTopK;
+  for (const JobSpanCollector* collector : collectors) {
+    if (collector == nullptr) continue;
+    by_policy[collector->policy_label()].merge(collector->totals());
+    overall.merge(collector->totals());
+    slowest.insert(slowest.end(), collector->slowest().begin(),
+                   collector->slowest().end());
+    top_k = std::max(top_k, collector->top_k());
+  }
+  report.latency = to_stats(overall);
+  report.latency_policies.clear();
+  for (const auto& [policy, acc] : by_policy) {
+    report.latency_policies.push_back({policy, to_stats(acc)});
+  }
+  std::sort(slowest.begin(), slowest.end(),
+            [](const SlowJob& a, const SlowJob& b) { return slower(a, b); });
+  if (slowest.size() > top_k) slowest.resize(top_k);
+  report.latency_slowest.clear();
+  for (const SlowJob& job : slowest) {
+    report.latency_slowest.push_back({job.job_id, job.benchmark_id,
+                                      job.arrival, job.queue, job.service,
+                                      job.stall, job.sojourn, job.slices});
+  }
+}
+
+}  // namespace hetsched

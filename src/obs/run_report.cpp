@@ -36,8 +36,31 @@ std::string anomaly_to_json(const Anomaly& a) {
   return out;
 }
 
+namespace {
+
+std::string latency_metric_to_json(const RunReport::LatencyMetric& m) {
+  std::string out = "{\"p50\": " + CsvWriter::number(m.p50);
+  out += ", \"p95\": " + CsvWriter::number(m.p95);
+  out += ", \"p99\": " + CsvWriter::number(m.p99);
+  out += ", \"max\": " + std::to_string(m.max);
+  out += ", \"sum\": " + std::to_string(m.sum) + "}";
+  return out;
+}
+
+std::string latency_stats_to_json(const RunReport::LatencyStats& s) {
+  std::string out = "{\"jobs\": " + std::to_string(s.jobs);
+  out += ", \"queue\": " + latency_metric_to_json(s.queue);
+  out += ", \"service\": " + latency_metric_to_json(s.service);
+  out += ", \"stall\": " + latency_metric_to_json(s.stall);
+  out += ", \"sojourn\": " + latency_metric_to_json(s.sojourn) + "}";
+  return out;
+}
+
+}  // namespace
+
 std::string run_report_to_json(const RunReport& r) {
-  std::string out = "{\n  \"schema\": 4,\n";
+  std::string out = "{\n  \"schema\": " +
+                    std::to_string(kTelemetrySchemaVersion) + ",\n";
   out += "  \"command\": \"" + json_escape(r.command) + "\",\n";
   out += "  \"config\": {";
   out += "\"name\": \"" + json_escape(r.name) + "\"";
@@ -67,6 +90,32 @@ std::string run_report_to_json(const RunReport& r) {
     out += (i == 0 ? "" : ", ") + anomaly_to_json(r.anomalies[i]);
   }
   out += "]},\n";
+  if (r.latency.has_value()) {
+    out += "  \"latency\": {";
+    out += "\"overall\": " + latency_stats_to_json(*r.latency);
+    // Policies keyed by name (not an array): the analyzer recovers the
+    // policy label from the flattened numeric path.
+    out += ", \"policies\": {";
+    for (std::size_t i = 0; i < r.latency_policies.size(); ++i) {
+      out += (i == 0 ? "" : ", ");
+      out += "\"" + json_escape(r.latency_policies[i].policy) +
+             "\": " + latency_stats_to_json(r.latency_policies[i].stats);
+    }
+    out += "}, \"slowest\": [";
+    for (std::size_t i = 0; i < r.latency_slowest.size(); ++i) {
+      const RunReport::SlowestJob& j = r.latency_slowest[i];
+      out += (i == 0 ? "" : ", ");
+      out += "{\"job\": " + std::to_string(j.job_id);
+      out += ", \"benchmark\": " + std::to_string(j.benchmark_id);
+      out += ", \"arrival\": " + std::to_string(j.arrival);
+      out += ", \"queue\": " + std::to_string(j.queue);
+      out += ", \"service\": " + std::to_string(j.service);
+      out += ", \"stall\": " + std::to_string(j.stall);
+      out += ", \"sojourn\": " + std::to_string(j.sojourn);
+      out += ", \"slices\": " + std::to_string(j.slices) + "}";
+    }
+    out += "]},\n";
+  }
   if (!r.policy_win_rates.empty() || !r.policy_switches.empty()) {
     out += "  \"portfolio\": {";
     out += "\"win_rates\": [";

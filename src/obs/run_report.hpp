@@ -88,6 +88,42 @@ struct RunReport {
   double window_energy_mj = 0.0;
   std::vector<Anomaly> anomalies;
 
+  // Per-job latency distributions (absent without a span collector).
+  // Plain data filled by attach_latency_summary (obs/latency.hpp) from
+  // JobSpanCollector histograms; all cycle quantities are exact integers
+  // except the bucket-interpolated percentiles.
+  struct LatencyMetric {
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+    std::uint64_t max = 0;
+    std::uint64_t sum = 0;
+  };
+  struct LatencyStats {
+    std::uint64_t jobs = 0;
+    LatencyMetric queue;
+    LatencyMetric service;
+    LatencyMetric stall;
+    LatencyMetric sojourn;
+  };
+  struct PolicyLatency {
+    std::string policy;
+    LatencyStats stats;
+  };
+  struct SlowestJob {
+    std::uint64_t job_id = 0;
+    std::uint64_t benchmark_id = 0;
+    std::uint64_t arrival = 0;
+    std::uint64_t queue = 0;
+    std::uint64_t service = 0;
+    std::uint64_t stall = 0;
+    std::uint64_t sojourn = 0;
+    std::uint64_t slices = 0;
+  };
+  std::optional<LatencyStats> latency;
+  std::vector<PolicyLatency> latency_policies;
+  std::vector<SlowestJob> latency_slowest;
+
   // Portfolio meta-scheduler summary (empty unless the run's policy was
   // a portfolio). Plain data filled by the scenario/CLI layer from core
   // PortfolioStats — the obs layer deliberately doesn't link core.

@@ -5,6 +5,7 @@
 #include <map>
 #include <ostream>
 
+#include "obs/latency.hpp"
 #include "util/contracts.hpp"
 #include "util/csv.hpp"
 #include "util/snapshot_text.hpp"
@@ -22,7 +23,14 @@ void write_window(std::ostream& out, const WindowRecord& w) {
       << w.queue_peak << ' ' << w.prediction_hits << ' '
       << w.prediction_misses << ' ' << w.reconfig_attempts << ' '
       << w.faults << ' ' << w.dag_releases << ' ' << w.dag_ready_peak << ' '
-      << w.dag_release_latency << ' ' << w.dag_cp_slack << ' ';
+      << w.dag_release_latency << ' ' << w.dag_cp_slack << ' '
+      << w.lat_jobs << ' ' << w.lat_max << ' ';
+  st::write_double(out, w.lat_p50);
+  out << ' ';
+  st::write_double(out, w.lat_p95);
+  out << ' ';
+  st::write_double(out, w.lat_p99);
+  out << ' ';
   st::write_double(out, w.energy_mj);
   for (const Cycles c : w.busy_cycles) out << ' ' << c;
   for (const Cycles c : w.idle_cycles) out << ' ' << c;
@@ -40,9 +48,12 @@ WindowRecord read_window(std::istream& in, std::size_t cores,
         &w.stalls, &w.migrations, &w.fault_migrations, &w.queue_peak,
         &w.prediction_hits, &w.prediction_misses, &w.reconfig_attempts,
         &w.faults, &w.dag_releases, &w.dag_ready_peak,
-        &w.dag_release_latency, &w.dag_cp_slack}) {
+        &w.dag_release_latency, &w.dag_cp_slack, &w.lat_jobs, &w.lat_max}) {
     *field = st::read_value<std::uint64_t>(in, "window counter", context);
   }
+  w.lat_p50 = st::read_value<double>(in, "window latency p50", context);
+  w.lat_p95 = st::read_value<double>(in, "window latency p95", context);
+  w.lat_p99 = st::read_value<double>(in, "window latency p99", context);
   w.energy_mj = st::read_value<double>(in, "window energy", context);
   w.busy_cycles.resize(cores, 0);
   w.idle_cycles.resize(cores, 0);
@@ -92,7 +103,21 @@ void WindowedCollector::reset_current(SimTime start) {
   current_.idle_cycles.resize(cores, 0);
 }
 
+void WindowedCollector::set_span_source(const JobSpanCollector* spans) {
+  HETSCHED_REQUIRE(spans == nullptr ||
+                   spans->window_cycles() == options_.window_cycles);
+  spans_ = spans;
+}
+
 void WindowedCollector::close_window() {
+  if (spans_ != nullptr) {
+    const WindowLatency lat = spans_->window_latency(current_.index);
+    current_.lat_jobs = lat.jobs;
+    current_.lat_p50 = lat.p50;
+    current_.lat_p95 = lat.p95;
+    current_.lat_p99 = lat.p99;
+    current_.lat_max = lat.max;
+  }
   ++windows_closed_;
   if (sink_ != nullptr) *sink_ << window_to_json(current_) << '\n';
   windows_.push_back(current_);
@@ -308,7 +333,9 @@ void WindowedCollector::write_jsonl(std::ostream& out) const {
 }
 
 std::string window_to_json(const WindowRecord& w) {
-  std::string line = "{\"window\":" + std::to_string(w.index);
+  std::string line =
+      "{\"schema\":" + std::to_string(kTelemetrySchemaVersion);
+  line += ",\"window\":" + std::to_string(w.index);
   line += ",\"start\":" + std::to_string(w.start);
   line += ",\"end\":" + std::to_string(w.end);
   line += ",\"jobs_completed\":" + std::to_string(w.jobs_completed);
@@ -327,6 +354,11 @@ std::string window_to_json(const WindowRecord& w) {
   line += ",\"dag_ready_peak\":" + std::to_string(w.dag_ready_peak);
   line += ",\"dag_release_latency\":" + std::to_string(w.dag_release_latency);
   line += ",\"dag_cp_slack\":" + std::to_string(w.dag_cp_slack);
+  line += ",\"lat_jobs\":" + std::to_string(w.lat_jobs);
+  line += ",\"lat_p50\":" + CsvWriter::number(w.lat_p50);
+  line += ",\"lat_p95\":" + CsvWriter::number(w.lat_p95);
+  line += ",\"lat_p99\":" + CsvWriter::number(w.lat_p99);
+  line += ",\"lat_max\":" + std::to_string(w.lat_max);
   line += ",\"energy_mj\":" + CsvWriter::number(w.energy_mj);
   line += ",\"busy_cycles\":[";
   for (std::size_t i = 0; i < w.busy_cycles.size(); ++i) {
@@ -345,6 +377,7 @@ std::string_view to_string(Anomaly::Rule rule) {
     case Anomaly::Rule::kCoreStarvation: return "core-starvation";
     case Anomaly::Rule::kIdleSpike: return "idle-spike";
     case Anomaly::Rule::kEnergyDrift: return "energy-drift";
+    case Anomaly::Rule::kTailLatencySpike: return "tail-latency-spike";
   }
   return "unknown";
 }
@@ -444,6 +477,46 @@ std::vector<Anomaly> detect_anomalies(std::span<const WindowRecord> windows,
                     " mJ exceeds " +
                     CsvWriter::number(config.energy_drift_factor) +
                     "x the trailing mean " + CsvWriter::number(mean) + " mJ";
+        anomalies.push_back(std::move(a));
+      }
+    }
+  }
+
+  // Tail-latency spike: a window's p99 sojourn far above the trailing
+  // mean p99 of productive windows, with the same bounded lookback as
+  // the energy rule. Windows without latency columns (no span collector
+  // wired) have lat_jobs == 0 and never participate.
+  if (config.tail_latency_factor > 0.0 && config.trailing_windows > 0) {
+    std::vector<const WindowRecord*> productive;
+    for (const WindowRecord& w : windows) {
+      if (w.lat_jobs > 0) productive.push_back(&w);
+    }
+    for (std::size_t i = config.trailing_windows; i < productive.size();
+         ++i) {
+      const std::size_t oldest = i - config.trailing_windows;
+      if (config.drift_lookback_windows > 0 &&
+          productive[i]->index - productive[oldest]->index >
+              config.drift_lookback_windows) {
+        continue;
+      }
+      double trailing = 0.0;
+      for (std::size_t k = oldest; k < i; ++k) {
+        trailing += productive[k]->lat_p99;
+      }
+      const double mean =
+          trailing / static_cast<double>(config.trailing_windows);
+      const double p99 = productive[i]->lat_p99;
+      if (mean > 0.0 && p99 > config.tail_latency_factor * mean) {
+        Anomaly a;
+        a.rule = Anomaly::Rule::kTailLatencySpike;
+        a.window = productive[i]->index;
+        a.value = p99;
+        a.reference = config.tail_latency_factor * mean;
+        a.message = "p99 sojourn " + CsvWriter::number(p99) +
+                    " cycles exceeds " +
+                    CsvWriter::number(config.tail_latency_factor) +
+                    "x the trailing mean " + CsvWriter::number(mean) +
+                    " cycles";
         anomalies.push_back(std::move(a));
       }
     }

@@ -38,6 +38,13 @@
 
 namespace hetsched {
 
+class JobSpanCollector;
+
+// Shared schema marker for the windows JSONL stream and the RunReport
+// document. Version 5 added the per-window `lat_*` latency columns, the
+// report `latency` section and this very field on window lines.
+inline constexpr int kTelemetrySchemaVersion = 5;
+
 // One closed telemetry window.
 struct WindowRecord {
   std::uint64_t index = 0;
@@ -70,6 +77,15 @@ struct WindowRecord {
   std::uint64_t dag_ready_peak = 0;
   std::uint64_t dag_release_latency = 0;
   std::uint64_t dag_cp_slack = 0;
+  // Per-job latency of jobs retired in this window, pulled from an
+  // attached JobSpanCollector when the window closes (all zero without
+  // one): retirement count, bucket-interpolated sojourn percentiles and
+  // the exact maximum sojourn in cycles.
+  std::uint64_t lat_jobs = 0;
+  double lat_p50 = 0.0;
+  double lat_p95 = 0.0;
+  double lat_p99 = 0.0;
+  std::uint64_t lat_max = 0;
   // Execution energy (dynamic + busy static + cpu) of slices closed in
   // this window, in millijoules (requires a suite).
   double energy_mj = 0.0;
@@ -104,6 +120,13 @@ class WindowedCollector final : public ScheduleObserver {
   // Streams each window as one JSONL line the moment it closes. The
   // stream must outlive the collector (or be cleared with nullptr).
   void set_sink(std::ostream* sink) { sink_ = sink; }
+
+  // Wires a span collector as the source of the per-window `lat_*`
+  // columns. The span collector must tumble on the same window width,
+  // sit BEFORE this collector in the observer fanout (so it has closed
+  // window k when this collector closes it) and be finalized first; it
+  // must outlive the collector (or be cleared with nullptr).
+  void set_span_source(const JobSpanCollector* spans);
 
   void on_slice(const ScheduledSlice& slice) override;
   void on_fault(const FaultRecord& record) override;
@@ -146,6 +169,7 @@ class WindowedCollector final : public ScheduleObserver {
   WindowedOptions options_;
   const CharacterizedSuite* suite_;
   std::ostream* sink_ = nullptr;
+  const JobSpanCollector* spans_ = nullptr;
 
   WindowRecord current_;
   bool saw_event_ = false;     // current window (or any before finalize)
@@ -180,6 +204,10 @@ struct AnomalyConfig {
   double idle_spike_factor = 3.0;
   // Energy-per-job above `energy_drift_factor` x the trailing mean.
   double energy_drift_factor = 1.5;
+  // Window p99 sojourn above `tail_latency_factor` x the trailing mean
+  // p99 over productive windows (lat_jobs > 0). Fires only when the
+  // window stream carries latency columns (a span collector was wired).
+  double tail_latency_factor = 3.0;
   // Windows of history the drift rules average over.
   std::size_t trailing_windows = 4;
   // Maximum real-window index distance the energy-drift rule may look
@@ -193,7 +221,12 @@ struct AnomalyConfig {
 };
 
 struct Anomaly {
-  enum class Rule { kCoreStarvation, kIdleSpike, kEnergyDrift };
+  enum class Rule {
+    kCoreStarvation,
+    kIdleSpike,
+    kEnergyDrift,
+    kTailLatencySpike,
+  };
 
   Rule rule = Rule::kCoreStarvation;
   std::uint64_t window = 0;         // window index the rule fired on

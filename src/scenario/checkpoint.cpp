@@ -20,12 +20,17 @@ namespace st = snapshot_text;
 // with a silently reset policy. Version 3 added the DAG arrival source's
 // frontier block (in-degrees, eligible heap, emission log) between the
 // arrival generator and the stream stats, so a dependency-graph run
-// resumes with the exact release frontier.
-constexpr int kCheckpointVersion = 3;
+// resumes with the exact release frontier. Version 4 added the job span
+// collector's block (window clock, latency histograms, slowest-K list,
+// every in-flight span) between the stream stats and the windowed
+// collector, so a resumed run rebuilds the exact latency distributions —
+// older snapshots are rejected rather than resumed with reset spans.
+constexpr int kCheckpointVersion = 4;
 
 std::string make_checkpoint_text(const Scenario& scenario,
                                  const CheckpointRunOptions& options,
                                  std::uint64_t boundary, ScenarioRun& run,
+                                 const JobSpanCollector& spans,
                                  const WindowedCollector& collector) {
   std::ostringstream body;
   body << "hetsched-checkpoint " << kCheckpointVersion << "\n";
@@ -38,6 +43,7 @@ std::string make_checkpoint_text(const Scenario& scenario,
   body << "dag " << (run.dag() != nullptr ? 1 : 0) << "\n";
   if (run.dag() != nullptr) run.dag()->save_state(body);
   run.stats().save_state(body);
+  spans.save_state(body);
   collector.save_state(body);
   run.policy().save_state(body);
   body << "faults " << (run.injector() != nullptr ? 1 : 0) << "\n";
@@ -54,6 +60,7 @@ std::uint64_t restore_checkpoint_text(const std::string& text,
                                       const Scenario& scenario,
                                       const CheckpointRunOptions& options,
                                       ScenarioRun& run,
+                                      JobSpanCollector& spans,
                                       WindowedCollector& collector,
                                       const std::string& context) {
   std::istringstream raw(text);
@@ -104,6 +111,7 @@ std::uint64_t restore_checkpoint_text(const std::string& text,
   }
   if (run.dag() != nullptr) run.dag()->restore_state(in, context);
   run.stats().restore_state(in, context);
+  spans.restore_state(in, context);
   collector.restore_state(in, context);
   run.policy().restore_state(in, context);
   if (!(in >> token) || token != "faults") {
@@ -150,10 +158,15 @@ CheckpointRunOutcome run_scenario_checkpointed(
     throw std::invalid_argument("checkpoint intervals: " + interval_error);
   }
 
+  JobSpanCollector spans(scenario.policy, options.window_cycles);
   WindowedCollector collector(
       scenario.make_system().core_count(),
       WindowedOptions{options.window_cycles, 0}, &context.suite());
-  ScenarioRun run(scenario, context, &collector);
+  collector.set_span_source(&spans);
+  // Span collector first: it must have closed window k (and banked its
+  // latency digest) before the windowed collector closes k and pulls it.
+  FanoutObserver extra({&spans, &collector});
+  ScenarioRun run(scenario, context, &extra);
 
   std::uint64_t boundary = 0;
   std::uint64_t resumed_from = 0;
@@ -164,7 +177,7 @@ CheckpointRunOutcome run_scenario_checkpointed(
                                          ? std::string("checkpoint")
                                          : options.resume_from;
     boundary = restore_checkpoint_text(load_resume_text(options), scenario,
-                                       options, run, collector,
+                                       options, run, spans, collector,
                                        context_name);
     resumed_from = boundary;
   } else {
@@ -178,8 +191,9 @@ CheckpointRunOutcome run_scenario_checkpointed(
     const bool paused = run.advance_until(boundary * stride);
     if (!paused) break;  // stream drained before the boundary
 
-    const std::string text =
-        make_checkpoint_text(scenario, options, boundary, run, collector);
+    const std::string text = make_checkpoint_text(scenario, options,
+                                                  boundary, run, spans,
+                                                  collector);
     if (options.capture_checkpoints != nullptr) {
       options.capture_checkpoints->push_back(text);
     }
@@ -191,9 +205,13 @@ CheckpointRunOutcome run_scenario_checkpointed(
     ++written;
     if (options.halt_after_checkpoints > 0 &&
         written >= options.halt_after_checkpoints) {
+      // The moved-out collectors leave this scope: sever the handshake
+      // pointer so the moved copy never dereferences the dead original.
+      collector.set_span_source(nullptr);
       CheckpointRunOutcome halted{SimulationResult{},
                                   std::move(run.stats()),
                                   std::move(collector),
+                                  std::move(spans),
                                   written,
                                   resumed_from,
                                   true,
@@ -211,11 +229,18 @@ CheckpointRunOutcome run_scenario_checkpointed(
   }
 
   const SimulationResult result = run.finish();
+  spans.finalize();  // before the windowed collector: it pulls on close
   collector.finalize();
-  CheckpointRunOutcome outcome{result,  std::move(run.stats()),
-                               std::move(collector), written,
-                               resumed_from,         false,
-                               std::nullopt,         std::nullopt};
+  collector.set_span_source(nullptr);
+  CheckpointRunOutcome outcome{result,
+                               std::move(run.stats()),
+                               std::move(collector),
+                               std::move(spans),
+                               written,
+                               resumed_from,
+                               false,
+                               std::nullopt,
+                               std::nullopt};
   if (const auto* portfolio =
           dynamic_cast<const PortfolioPolicy*>(&run.policy())) {
     outcome.portfolio = portfolio->stats();

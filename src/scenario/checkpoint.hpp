@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/latency.hpp"
 #include "obs/windowed.hpp"
 #include "scenario/scenario_runner.hpp"
 
@@ -49,6 +50,9 @@ struct CheckpointRunOutcome {
   SimulationResult result;   // default-initialized when halted
   StreamStats stream;
   WindowedCollector windows;  // finalized only when the run completed
+  // Per-job latency spans (policy-labelled); fed the windows' lat_*
+  // columns during the run and finalized alongside them.
+  JobSpanCollector spans;
   std::uint64_t checkpoints_written = 0;
   // Stride boundary the run resumed from; 0 = started fresh.
   std::uint64_t resumed_from = 0;

@@ -8,6 +8,9 @@
 namespace hetsched {
 
 void RunningStats::add(double x) {
+  // A single NaN poisons mean/m2 forever (and inf turns m2 into NaN via
+  // inf - inf); reject at the door like Histogram::build does.
+  HETSCHED_REQUIRE(std::isfinite(x));
   if (n_ == 0) {
     min_ = max_ = x;
   } else {
@@ -49,6 +52,11 @@ double RunningStats::stddev() const { return std::sqrt(variance()); }
 double percentile(std::span<const double> values, double p) {
   HETSCHED_REQUIRE(!values.empty());
   HETSCHED_REQUIRE(p >= 0.0 && p <= 100.0);
+  for (double v : values) {
+    // NaN breaks the strict-weak-ordering std::sort relies on, which is
+    // undefined behaviour, and an inf endpoint would interpolate to NaN.
+    HETSCHED_REQUIRE(std::isfinite(v));
+  }
   std::vector<double> sorted(values.begin(), values.end());
   std::sort(sorted.begin(), sorted.end());
   if (sorted.size() == 1) return sorted.front();

@@ -22,6 +22,7 @@
 
 #include "core/policy_registry.hpp"
 #include "core/simulator.hpp"
+#include "obs/latency.hpp"
 #include "obs/run_report.hpp"
 #include "obs/windowed.hpp"
 #include "scenario/checkpoint.hpp"
@@ -452,11 +453,16 @@ TEST(DagGolden, SmokeScenarioWindowsAndReport) {
   ASSERT_FALSE(scenario.dag.empty());
 
   const ScenarioContext context(scenario);
+  // Mirror the CLI scenario path: span collector ahead of the windowed
+  // collector so the goldens pin the lat_* columns and latency section.
+  JobSpanCollector spans(scenario.policy, 1'000'000);
   WindowedCollector collector(scenario.make_system().core_count(),
                               WindowedOptions{1'000'000, 0},
                               &context.suite());
-  const ScenarioOutcome outcome =
-      run_scenario(scenario, context, &collector);
+  collector.set_span_source(&spans);
+  FanoutObserver fanout({&spans, &collector});
+  const ScenarioOutcome outcome = run_scenario(scenario, context, &fanout);
+  spans.finalize();
   collector.finalize();
   EXPECT_EQ(outcome.stream.invariant_violations(), 0u);
   ASSERT_TRUE(outcome.dag.has_value());
@@ -481,6 +487,7 @@ TEST(DagGolden, SmokeScenarioWindowsAndReport) {
   report.total_energy_mj = outcome.result.total_energy().millijoules();
   report.stream_digest = outcome.stream.digest();
   attach_window_summary(report, collector, AnomalyConfig{});
+  attach_latency_summary(report, {&spans});
   attach_dag_summary(report, *outcome.dag);
   MetricsRegistry local;
   record_scenario_metrics(local, scenario.name + ".", outcome);

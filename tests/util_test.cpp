@@ -282,6 +282,24 @@ TEST(CsvWriterTest, NumberRoundTripsDoubles) {
   EXPECT_EQ(CsvWriter::number(2.0), "2");
 }
 
+TEST(StatsTest, RunningStatsRejectsNonFiniteValues) {
+  RunningStats s;
+  s.add(1.0);
+  EXPECT_DEATH(s.add(std::nan("")), "precondition");
+  EXPECT_DEATH(s.add(std::numeric_limits<double>::infinity()),
+               "precondition");
+  EXPECT_DEATH(s.add(-std::numeric_limits<double>::infinity()),
+               "precondition");
+}
+
+TEST(StatsTest, PercentileRejectsNonFiniteValues) {
+  const std::vector<double> with_nan{1.0, std::nan(""), 2.0};
+  EXPECT_DEATH(percentile(with_nan, 50.0), "precondition");
+  const std::vector<double> with_inf{
+      1.0, std::numeric_limits<double>::infinity()};
+  EXPECT_DEATH(percentile(with_inf, 99.0), "precondition");
+}
+
 TEST(StatsTest, HistogramRejectsNonFiniteValues) {
   const std::vector<double> with_nan{1.0, std::nan(""), 2.0};
   EXPECT_DEATH(Histogram::build(with_nan, 4), "precondition");

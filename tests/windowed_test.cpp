@@ -13,6 +13,7 @@
 
 #include "core/policies.hpp"
 #include "obs/bench_diff.hpp"
+#include "obs/latency.hpp"
 #include "obs/event_trace.hpp"
 #include "obs/run_report.hpp"
 #include "obs/windowed.hpp"
@@ -135,13 +136,15 @@ TEST(WindowedCollector, JsonlLineShapeIsStable) {
   collector.finalize();
   const std::string line = window_to_json(collector.windows()[0]);
   EXPECT_EQ(line,
-            "{\"window\":0,\"start\":0,\"end\":100,\"jobs_completed\":1,"
+            "{\"schema\":5,"
+            "\"window\":0,\"start\":0,\"end\":100,\"jobs_completed\":1,"
             "\"slices\":1,\"dispatches\":0,\"preemptions\":0,\"stalls\":0,"
             "\"migrations\":0,\"fault_migrations\":0,\"queue_peak\":0,"
             "\"prediction_hits\":0,\"prediction_misses\":0,"
             "\"reconfig_attempts\":0,\"faults\":0,\"dag_releases\":0,"
             "\"dag_ready_peak\":0,\"dag_release_latency\":0,"
-            "\"dag_cp_slack\":0,\"energy_mj\":0,"
+            "\"dag_cp_slack\":0,\"lat_jobs\":0,\"lat_p50\":0,"
+            "\"lat_p95\":0,\"lat_p99\":0,\"lat_max\":0,\"energy_mj\":0,"
             "\"busy_cycles\":[60,0],\"idle_cycles\":[0,0]}");
 }
 
@@ -449,7 +452,7 @@ TEST(RunReport, JsonContainsEverySectionAndAnomalies) {
   report.failed_cells.push_back({"c4.g0.base", 2, true, "timed out"});
 
   const std::string json = run_report_to_json(report);
-  EXPECT_NE(json.find("\"schema\": 4"), std::string::npos);
+  EXPECT_NE(json.find("\"schema\": 5"), std::string::npos);
   EXPECT_NE(json.find("\"command\": \"run\""), std::string::npos);
   EXPECT_NE(json.find("\"suite_key\": 12345"), std::string::npos);
   EXPECT_NE(json.find("\"windows\""), std::string::npos);
@@ -617,13 +620,19 @@ TEST(WindowedDeterminism, GoldenStreamingSmokeWindows) {
   const Scenario scenario = Scenario::parse(in);
 
   const ScenarioContext context(scenario);
+  // Mirror the CLI scenario path: span collector ahead of the windowed
+  // collector so the golden pins real lat_* percentile columns.
+  JobSpanCollector spans(scenario.policy, 1'000'000);
   WindowedCollector collector(scenario.make_system().core_count(),
                               WindowedOptions{1'000'000, 0},
                               &context.suite());
-  const ScenarioOutcome outcome =
-      run_scenario(scenario, context, &collector);
+  collector.set_span_source(&spans);
+  FanoutObserver fanout({&spans, &collector});
+  const ScenarioOutcome outcome = run_scenario(scenario, context, &fanout);
+  spans.finalize();
   collector.finalize();
   EXPECT_EQ(outcome.stream.invariant_violations(), 0u);
+  EXPECT_EQ(spans.jobs_completed(), outcome.result.completed_jobs);
   std::ostringstream jsonl;
   collector.write_jsonl(jsonl);
 

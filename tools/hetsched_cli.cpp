@@ -25,6 +25,15 @@
 //       compare two BENCH_*.json result files; exits non-zero when any
 //       classified metric regressed beyond the tolerance (the CI bench
 //       regression gate)
+//   hetsched_cli analyze   --report <report.json> [--windows <file.jsonl>]
+//                          [--top N] [--out FILE]
+//       offline latency forensics over a run report (+ optional windows
+//       stream): per-policy breakdown, slowest jobs with phase
+//       attribution, hottest windows by tail latency, DAG releases
+//   hetsched_cli analyze   --diff <baseline.json> <current.json>
+//                          [--tolerance X] [--out FILE]
+//       metric-by-metric diff of two run reports; exits non-zero when a
+//       classified metric regressed beyond the tolerance
 //
 // Common options:
 //   --arrivals N         number of jobs              (default 5000)
@@ -94,13 +103,16 @@
 #include "experiment/experiment.hpp"
 #include "experiment/sweep.hpp"
 #include "fault/fault_injector.hpp"
+#include "obs/analyzer.hpp"
 #include "obs/bench_diff.hpp"
+#include "obs/latency.hpp"
 #include "obs/observability.hpp"
 #include "obs/run_report.hpp"
 #include "obs/windowed.hpp"
 #include "scenario/checkpoint.hpp"
 #include "scenario/scenario_runner.hpp"
 #include "util/atomic_file.hpp"
+#include "util/csv.hpp"
 #include "util/table_printer.hpp"
 #include "util/thread_pool.hpp"
 #include "workload/profile_cache.hpp"
@@ -126,8 +138,18 @@ struct CliOptions {
   std::string windows_out_path;
   std::uint64_t window_cycles = 1'000'000;
   std::size_t max_trace_events = EventTracer::kDefaultMaxEvents;
-  double tolerance = 0.5;  // bench-diff slack before failing
-  std::vector<std::string> positional;  // bench-diff file operands
+  double tolerance = 0.5;  // bench-diff/analyze-diff slack before failing
+  std::vector<std::string> positional;  // bench-diff/analyze file operands
+
+  // analyze: forensics inputs and presentation.
+  std::string analyze_report_path;
+  std::string analyze_windows_path;
+  std::string analyze_out_path;
+  std::size_t analyze_top = 8;
+  bool analyze_diff_mode = false;
+  // Emit Perfetto async job spans ('b'/'e' pairs) into --trace-out.
+  // Opt-in: span events double the trace volume and change trace bytes.
+  bool trace_spans = false;
   std::string scenario_path;
   std::string sweep_cores = "4";
   std::string sweep_gaps;  // empty: the scenario file's mean-gap
@@ -174,9 +196,12 @@ struct ObsSession {
   std::vector<std::pair<std::string, const EventTracer*>> processes{
       {"runtime", &runtime}};
 
+  bool job_spans = false;  // forward Perfetto async job spans
+
   EventTracer& add_system_tracer(const std::string& system) {
     sim_tracers.emplace_back(&metrics, system + ".sim.");
     sim_tracers.back().set_max_events(max_trace_events);
+    sim_tracers.back().set_job_spans(job_spans);
     processes.emplace_back(system, &sim_tracers.back());
     return sim_tracers.back();
   }
@@ -210,10 +235,14 @@ struct ObsSession {
   if (!error.empty()) std::cerr << "error: " << error << "\n\n";
   std::cerr <<
       "usage: hetsched_cli "
-      "<compare|run|characterize|train|scenario|sweep|bench-diff> "
+      "<compare|run|characterize|train|scenario|sweep|bench-diff|analyze> "
       "[options]\n"
       "       hetsched_cli bench-diff BASELINE.json CURRENT.json\n"
       "                    [--tolerance X]\n"
+      "       hetsched_cli analyze --report REPORT.json\n"
+      "                    [--windows FILE.jsonl] [--top N] [--out FILE]\n"
+      "       hetsched_cli analyze --diff BASELINE.json CURRENT.json\n"
+      "                    [--tolerance X] [--out FILE]\n"
       "  --system S      base|optimal|energy-centric|proposed|realtime|\n"
       "                  sjf|energy-greedy|random|oracle|cp-aware|\n"
       "                  portfolio:<a>+<b>[@cycles] (competitive\n"
@@ -271,8 +300,18 @@ struct ObsSession {
       "  --manifest-out F\n"
       "                  (sweep) persist the shard manifest after every\n"
       "                  completed cell\n"
-      "  --tolerance X   (bench-diff) relative slack before a metric\n"
-      "                  counts as regressed (default 0.5)\n"
+      "  --tolerance X   (bench-diff/analyze --diff) relative slack before\n"
+      "                  a metric counts as regressed (default 0.5)\n"
+      "  --trace-spans   add Perfetto async job-lifecycle spans ('b'/'e'\n"
+      "                  pairs, arrival -> completion) to --trace-out\n"
+      "  --report F      (analyze) run-report JSON to analyze\n"
+      "  --windows F     (analyze) windows JSONL for the per-window tables\n"
+      "  --top N         (analyze) rows in the slowest-jobs and hottest-\n"
+      "                  windows tables (default 8)\n"
+      "  --diff          (analyze) diff two reports instead of rendering\n"
+      "                  one\n"
+      "  --out F         (analyze) write the analysis there instead of\n"
+      "                  stdout\n"
       "  --file F        (scenario/sweep) scenario description file\n"
       "  --sweep-cores L   (sweep) comma list of core counts (default 4)\n"
       "  --sweep-gaps L    (sweep) comma list of mean gaps (default: the\n"
@@ -409,7 +448,31 @@ CliOptions parse(int argc, char** argv) {
           static_cast<std::size_t>(parse_count(flag, next(), 0));
     } else if (flag == "--tolerance") {
       options.tolerance = parse_real(flag, next(), 0.0, 1e6);
-    } else if (!flag.starts_with("--") && options.command == "bench-diff") {
+    } else if (flag == "--report" && options.command == "analyze") {
+      options.analyze_report_path = next();
+      if (options.analyze_report_path.empty()) {
+        usage(flag + " expects a file path");
+      }
+    } else if (flag == "--windows" && options.command == "analyze") {
+      options.analyze_windows_path = next();
+      if (options.analyze_windows_path.empty()) {
+        usage(flag + " expects a file path");
+      }
+    } else if (flag == "--out" && options.command == "analyze") {
+      options.analyze_out_path = next();
+      if (options.analyze_out_path.empty()) {
+        usage(flag + " expects a file path");
+      }
+    } else if (flag == "--top") {
+      options.analyze_top =
+          static_cast<std::size_t>(parse_count(flag, next(), 1));
+    } else if (flag == "--diff") {
+      options.analyze_diff_mode = true;
+    } else if (flag == "--trace-spans") {
+      options.trace_spans = true;
+    } else if (!flag.starts_with("--") &&
+               (options.command == "bench-diff" ||
+                options.command == "analyze")) {
       options.positional.push_back(flag);
     } else if (flag == "--file") {
       options.scenario_path = next();
@@ -470,6 +533,7 @@ CliOptions parse(int argc, char** argv) {
   require_parent_dir("--checkpoint-out", options.checkpoint_out_path);
   require_parent_dir("--manifest-out", options.manifest_out_path);
   require_parent_dir("--save", options.save_path);
+  require_parent_dir("--out", options.analyze_out_path);
   return options;
 }
 
@@ -773,13 +837,19 @@ int cmd_run_or_compare(const CliOptions& options, ObsSession* obs) {
     EventTracer* tracer =
         obs != nullptr ? &obs->add_system_tracer(options.system) : nullptr;
     std::optional<WindowedCollector> windowed;
+    std::optional<JobSpanCollector> spans;
     if (options.wants_windows()) {
       windowed.emplace(cores,
                        WindowedOptions{options.window_cycles, 0},
                        &experiment.suite());
+      spans.emplace(options.system, options.window_cycles);
+      windowed->set_span_source(&*spans);
     }
+    // Span collector before the windowed one: the windowed collector
+    // pulls the closed window's latency digest when it closes its own.
     FanoutObserver fanout(
-        {tracer, windowed.has_value() ? &*windowed : nullptr});
+        {tracer, spans.has_value() ? &*spans : nullptr,
+         windowed.has_value() ? &*windowed : nullptr});
     ScheduleObserver* observer =
         windowed.has_value() ? static_cast<ScheduleObserver*>(&fanout)
                              : tracer;
@@ -789,6 +859,7 @@ int cmd_run_or_compare(const CliOptions& options, ObsSession* obs) {
       const auto scope = timers.scope("run");
       result = run_system(options.system, observer, &run_policy);
     }
+    if (spans.has_value()) spans->finalize();
     if (windowed.has_value()) windowed->finalize();
     if (obs != nullptr) {
       record_result_metrics(obs->metrics, options.system + ".", result);
@@ -814,6 +885,7 @@ int cmd_run_or_compare(const CliOptions& options, ObsSession* obs) {
     if (windowed.has_value()) {
       attach_window_summary(report, *windowed, AnomalyConfig{});
     }
+    if (spans.has_value()) attach_latency_summary(report, {&*spans});
     std::string windows =
         windowed.has_value() ? windows_jsonl(*windowed) : std::string();
     if (const auto* portfolio =
@@ -947,6 +1019,7 @@ int cmd_scenario_checkpointed(const CliOptions& options, ObsSession* obs,
   report.total_energy_mj = outcome->result.total_energy().millijoules();
   report.stream_digest = outcome->stream.digest();
   attach_window_summary(report, outcome->windows, AnomalyConfig{});
+  attach_latency_summary(report, {&outcome->spans});
   std::string windows = windows_jsonl(outcome->windows);
   if (outcome->portfolio.has_value()) {
     attach_portfolio_summary(report, *outcome->portfolio);
@@ -987,20 +1060,23 @@ int cmd_scenario(const CliOptions& options, ObsSession* obs) {
   EventTracer* tracer =
       obs != nullptr ? &obs->add_system_tracer(scenario->name) : nullptr;
   std::optional<WindowedCollector> windowed;
+  std::optional<JobSpanCollector> spans;
   if (options.wants_windows()) {
     windowed.emplace(scenario->make_system().core_count(),
                      WindowedOptions{options.window_cycles, 0},
                      &context->suite());
+    spans.emplace(scenario->policy, options.window_cycles);
+    windowed->set_span_source(&*spans);
   }
+  // Span collector before the windowed one (window-close handshake).
   FanoutObserver fanout(
-      {tracer, windowed.has_value() ? &*windowed : nullptr});
+      {tracer, spans.has_value() ? &*spans : nullptr,
+       windowed.has_value() ? &*windowed : nullptr});
   ScheduleObserver* extra = nullptr;
-  if (tracer != nullptr && windowed.has_value()) {
+  if (windowed.has_value()) {
     extra = &fanout;
   } else if (tracer != nullptr) {
     extra = tracer;
-  } else if (windowed.has_value()) {
-    extra = &*windowed;
   }
 
   std::optional<ScenarioOutcome> outcome;
@@ -1008,6 +1084,7 @@ int cmd_scenario(const CliOptions& options, ObsSession* obs) {
     const auto scope = timers.scope("run");
     outcome.emplace(run_scenario(*scenario, *context, extra));
   }
+  if (spans.has_value()) spans->finalize();
   if (windowed.has_value()) windowed->finalize();
   print_result(scenario->name, outcome->result);
   std::cout << "stream: " << outcome->stream.slices() << " slices, digest 0x"
@@ -1035,6 +1112,7 @@ int cmd_scenario(const CliOptions& options, ObsSession* obs) {
   if (windowed.has_value()) {
     attach_window_summary(report, *windowed, AnomalyConfig{});
   }
+  if (spans.has_value()) attach_latency_summary(report, {&*spans});
   std::string windows =
       windowed.has_value() ? windows_jsonl(*windowed) : std::string();
   if (outcome->portfolio.has_value()) {
@@ -1218,6 +1296,7 @@ int cmd_sweep(const CliOptions& options, ObsSession* obs) {
            "." + cell.policy;
   };
   std::deque<WindowedCollector> collectors;  // stable addresses
+  std::deque<JobSpanCollector> cell_spans;
   std::deque<FanoutObserver> fanouts;
   std::vector<ScheduleObserver*> cell_observers;
   if (obs != nullptr || options.wants_windows()) {
@@ -1225,20 +1304,25 @@ int cmd_sweep(const CliOptions& options, ObsSession* obs) {
       EventTracer* tracer =
           obs != nullptr ? &obs->add_system_tracer(cell_label(i)) : nullptr;
       WindowedCollector* collector = nullptr;
+      JobSpanCollector* spans = nullptr;
       if (options.wants_windows()) {
         collectors.emplace_back(
             grid.cell_scenario(i).make_system().core_count(),
             WindowedOptions{options.window_cycles, 0}, &context->suite());
         collector = &collectors.back();
+        // Per-cell spans, labelled by the cell's policy so the merged
+        // report breaks latency down per contender.
+        cell_spans.emplace_back(grid.cell_scenario(i).policy,
+                                options.window_cycles);
+        spans = &cell_spans.back();
+        collector->set_span_source(spans);
       }
-      if (tracer != nullptr && collector != nullptr) {
+      if (collector != nullptr) {
         fanouts.emplace_back(
-            std::vector<ScheduleObserver*>{tracer, collector});
+            std::vector<ScheduleObserver*>{tracer, spans, collector});
         cell_observers.push_back(&fanouts.back());
-      } else if (tracer != nullptr) {
-        cell_observers.push_back(tracer);
       } else {
-        cell_observers.push_back(collector);
+        cell_observers.push_back(tracer);
       }
     }
   }
@@ -1249,6 +1333,7 @@ int cmd_sweep(const CliOptions& options, ObsSession* obs) {
     cells = run_sweep(grid, *context, shards, ThreadPool::global(),
                       cell_observers);
   }
+  for (JobSpanCollector& spans : cell_spans) spans.finalize();
   for (WindowedCollector& collector : collectors) collector.finalize();
 
   TablePrinter table({"cell", "completed", "total mJ", "makespan",
@@ -1299,6 +1384,15 @@ int cmd_sweep(const CliOptions& options, ObsSession* obs) {
     }
     windows += windows_jsonl(collector);
   }
+  if (!cell_spans.empty()) {
+    // Merged per-policy latency: cells sharing a policy fold into one
+    // row (fixed histogram boundaries make the merge exact).
+    std::vector<const JobSpanCollector*> span_ptrs;
+    for (const JobSpanCollector& spans : cell_spans) {
+      span_ptrs.push_back(&spans);
+    }
+    attach_latency_summary(report, span_ptrs);
+  }
   const int export_status =
       export_reports(options, obs, timers, std::move(report), windows);
   if (export_status != 0) return export_status;
@@ -1310,18 +1404,20 @@ int cmd_sweep(const CliOptions& options, ObsSession* obs) {
   return 0;
 }
 
+std::optional<std::string> slurp_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
 int cmd_bench_diff(const CliOptions& options) {
   if (options.positional.size() != 2) {
     usage("bench-diff expects exactly two operands: BASELINE.json "
           "CURRENT.json");
   }
-  auto slurp = [](const std::string& path) -> std::optional<std::string> {
-    std::ifstream in(path);
-    if (!in) return std::nullopt;
-    std::ostringstream buffer;
-    buffer << in.rdbuf();
-    return buffer.str();
-  };
+  auto slurp = slurp_file;
   const std::optional<std::string> baseline = slurp(options.positional[0]);
   if (!baseline.has_value()) {
     std::cerr << "cannot open " << options.positional[0] << "\n";
@@ -1341,6 +1437,67 @@ int cmd_bench_diff(const CliOptions& options) {
   return diff.regressed() ? 1 : 0;
 }
 
+int cmd_analyze(const CliOptions& options) {
+  std::string output;
+  bool failed = false;
+  if (options.analyze_diff_mode) {
+    if (options.positional.size() != 2) {
+      usage("analyze --diff expects exactly two operands: BASELINE.json "
+            "CURRENT.json");
+    }
+    const std::optional<std::string> baseline =
+        slurp_file(options.positional[0]);
+    if (!baseline.has_value()) {
+      std::cerr << "cannot open " << options.positional[0] << "\n";
+      return 2;
+    }
+    const std::optional<std::string> current =
+        slurp_file(options.positional[1]);
+    if (!current.has_value()) {
+      std::cerr << "cannot open " << options.positional[1] << "\n";
+      return 2;
+    }
+    output = "analyze --diff " + options.positional[0] + " -> " +
+             options.positional[1] + " (tolerance " +
+             CsvWriter::number(options.tolerance) + ")\n";
+    bool regressed = false;
+    output += analyze_diff(*baseline, *current, options.tolerance,
+                           &regressed);
+    failed = regressed;
+  } else {
+    if (options.analyze_report_path.empty()) {
+      usage("analyze requires --report FILE (or --diff A B)");
+    }
+    const std::optional<std::string> report =
+        slurp_file(options.analyze_report_path);
+    if (!report.has_value()) {
+      std::cerr << "cannot open " << options.analyze_report_path << "\n";
+      return 2;
+    }
+    std::string windows;
+    if (!options.analyze_windows_path.empty()) {
+      const std::optional<std::string> jsonl =
+          slurp_file(options.analyze_windows_path);
+      if (!jsonl.has_value()) {
+        std::cerr << "cannot open " << options.analyze_windows_path << "\n";
+        return 2;
+      }
+      windows = *jsonl;
+    }
+    AnalyzeOptions aopts;
+    aopts.top = options.analyze_top;
+    output = analyze_run(*report, windows, aopts);
+  }
+  if (!options.analyze_out_path.empty()) {
+    if (!write_text_file(options.analyze_out_path, output, "analysis")) {
+      return 1;
+    }
+  } else {
+    std::cout << output;
+  }
+  return failed ? 1 : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -1355,6 +1512,7 @@ int main(int argc, char** argv) {
     obs->trace_path = options.trace_out_path;
     obs->metrics_path = options.metrics_out_path;
     obs->max_trace_events = options.max_trace_events;
+    obs->job_spans = options.trace_spans;
     obs->runtime.set_max_events(options.max_trace_events);
     probe.emplace(&obs->recorder);
   }
@@ -1373,6 +1531,8 @@ int main(int argc, char** argv) {
       status = cmd_sweep(options, obs_ptr);
     } else if (options.command == "bench-diff") {
       status = cmd_bench_diff(options);
+    } else if (options.command == "analyze") {
+      status = cmd_analyze(options);
     } else {
       usage("unknown command " + options.command);
     }
